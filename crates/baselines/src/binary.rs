@@ -1,0 +1,126 @@
+//! Per-label binary decomposition shared by all baselines.
+//!
+//! For label `c`, the binary sub-problem consists of the items where at least
+//! one worker voted for `c` (items with zero positive votes are trivially
+//! negative under every baseline — their acceptance probability can never
+//! cross 0.5 — so excluding them is an exact optimisation, and it is what
+//! keeps the 1450-label entity profile tractable). Within an included item,
+//! every answering worker casts `true` (label present in the answer) or
+//! `false` (label omitted — the paper's "not providing a label is implicitly
+//! taken as a negative answer").
+
+use cpa_data::answers::AnswerMatrix;
+
+/// The binary sub-problem for one label.
+#[derive(Debug, Clone)]
+pub struct LabelInstance {
+    /// The label index this instance decides.
+    pub label: usize,
+    /// Items with at least one positive vote for this label.
+    pub items: Vec<u32>,
+    /// Per entry of `items`: the `(worker, voted_positive)` ballots of every
+    /// worker who answered that item.
+    pub votes: Vec<Vec<(u32, bool)>>,
+}
+
+impl LabelInstance {
+    /// Fraction of positive ballots (ignoring item structure).
+    pub fn positive_rate(&self) -> f64 {
+        let mut pos = 0usize;
+        let mut total = 0usize;
+        for v in &self.votes {
+            total += v.len();
+            pos += v.iter().filter(|(_, b)| *b).count();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            pos as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the binary instances for all labels that received at least one
+/// positive vote anywhere (labels nobody ever used have no instance).
+pub fn decompose(answers: &AnswerMatrix) -> Vec<LabelInstance> {
+    let c = answers.num_labels();
+    // Pass 1: which items have a positive vote per label.
+    let mut items_per_label: Vec<Vec<u32>> = vec![Vec::new(); c];
+    for i in 0..answers.num_items() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, labels) in answers.item_answers(i) {
+            for lbl in labels.iter() {
+                seen.insert(lbl);
+            }
+        }
+        for lbl in seen {
+            items_per_label[lbl].push(i as u32);
+        }
+    }
+    // Pass 2: assemble ballots.
+    items_per_label
+        .into_iter()
+        .enumerate()
+        .filter(|(_, items)| !items.is_empty())
+        .map(|(label, items)| {
+            let votes = items
+                .iter()
+                .map(|&i| {
+                    answers
+                        .item_answers(i as usize)
+                        .iter()
+                        .map(|(w, l)| (*w, l.contains(label)))
+                        .collect()
+                })
+                .collect();
+            LabelInstance {
+                label,
+                items,
+                votes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::table1;
+
+    #[test]
+    fn decompose_table1() {
+        let (m, _) = table1();
+        let instances = decompose(&m);
+        // All five labels are voted somewhere in Table 1.
+        assert_eq!(instances.len(), 5);
+        // Label 3 ("water", 0-indexed) is voted on all four items.
+        let l3 = instances.iter().find(|i| i.label == 3).unwrap();
+        assert_eq!(l3.items, vec![0, 1, 2, 3]);
+        // Every ballot row covers all 5 answering workers.
+        for v in &l3.votes {
+            assert_eq!(v.len(), 5);
+        }
+        // Item 0 ballots for label 3: workers 0,1,2 positive; 3,4 negative.
+        let b: Vec<bool> = l3.votes[0].iter().map(|&(_, p)| p).collect();
+        assert_eq!(b, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn unvoted_label_has_no_instance() {
+        let mut m = AnswerMatrix::new(1, 1, 3);
+        m.insert(0, 0, cpa_data::labels::LabelSet::from_labels(3, [1]));
+        let instances = decompose(&m);
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0].label, 1);
+    }
+
+    #[test]
+    fn positive_rate() {
+        let (m, _) = table1();
+        let instances = decompose(&m);
+        let l3 = instances.iter().find(|i| i.label == 3).unwrap();
+        // Label 3 positives: i1: u1,u2,u3; i2: u2,u3,u5; i3: u2,u3,u5; i4: u3,u4
+        // = 11 of 20 ballots.
+        assert!((l3.positive_rate() - 11.0 / 20.0).abs() < 1e-12);
+    }
+}

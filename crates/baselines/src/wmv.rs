@@ -1,0 +1,148 @@
+//! Iteratively weighted majority voting.
+//!
+//! A classic non-iterative→iterative bridge between MV and the EM family
+//! (see the paper's related-work discussion of non-iterative vs iterative
+//! aggregation): workers are weighted by their agreement with the current
+//! weighted consensus, and voting repeats for a bounded number of rounds.
+//! Included as an extra baseline for ablation benches — it isolates the
+//! "reweight by agreement" ingredient from CPA's community/cluster
+//! machinery.
+
+use crate::Aggregator;
+use cpa_data::answers::AnswerMatrix;
+use cpa_data::labels::LabelSet;
+
+/// Iteratively weighted majority voting.
+#[derive(Debug, Clone)]
+pub struct WeightedMajorityVoting {
+    /// Reweighting rounds (0 = plain MV).
+    pub rounds: usize,
+    /// Acceptance threshold on the weighted vote share.
+    pub threshold: f64,
+}
+
+impl WeightedMajorityVoting {
+    /// Two reweighting rounds, threshold ½ — the configuration used by the
+    /// ablation benches.
+    pub fn new() -> Self {
+        Self {
+            rounds: 2,
+            threshold: 0.5,
+        }
+    }
+}
+
+impl Default for WeightedMajorityVoting {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WeightedMajorityVoting {
+    /// One weighted-voting pass; returns per-item accepted label sets.
+    fn vote(&self, answers: &AnswerMatrix, weights: &[f64]) -> Vec<LabelSet> {
+        let c = answers.num_labels();
+        (0..answers.num_items())
+            .map(|i| {
+                let mut votes = vec![0.0f64; c];
+                let mut total = 0.0;
+                for (w, labels) in answers.item_answers(i) {
+                    let wu = weights[*w as usize];
+                    total += wu;
+                    for lbl in labels.iter() {
+                        votes[lbl] += wu;
+                    }
+                }
+                let mut out = LabelSet::empty(c);
+                if total <= 0.0 {
+                    return out;
+                }
+                for (lbl, &v) in votes.iter().enumerate() {
+                    if v > self.threshold * total {
+                        out.insert(lbl);
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+impl Aggregator for WeightedMajorityVoting {
+    fn name(&self) -> &'static str {
+        "wMV"
+    }
+
+    fn aggregate(&self, answers: &AnswerMatrix) -> Vec<LabelSet> {
+        let mut weights = vec![1.0f64; answers.num_workers()];
+        let mut consensus = self.vote(answers, &weights);
+        for _ in 0..self.rounds {
+            // Reweight workers by Jaccard agreement with the consensus.
+            for (u, w) in weights.iter_mut().enumerate() {
+                let wa = answers.worker_answers(u);
+                if wa.is_empty() {
+                    continue;
+                }
+                let mut acc = 0.0;
+                for (item, labels) in wa {
+                    acc += labels.jaccard(&consensus[*item as usize]);
+                }
+                let agreement = acc / wa.len() as f64;
+                *w = agreement * agreement + 0.01;
+            }
+            consensus = self.vote(answers, &weights);
+        }
+        consensus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mv::MajorityVoting;
+    use crate::testutil::table1;
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+
+    #[test]
+    fn zero_rounds_equals_plain_mv() {
+        let (m, _) = table1();
+        let wmv = WeightedMajorityVoting {
+            rounds: 0,
+            threshold: 0.5,
+        };
+        assert_eq!(wmv.aggregate(&m), MajorityVoting::new().aggregate(&m));
+    }
+
+    #[test]
+    fn reweighting_improves_over_mv_with_spammers() {
+        let sim = simulate(&DatasetProfile::image().scaled(0.05), 221);
+        let mv = MajorityVoting::new().aggregate(&sim.dataset.answers);
+        let wmv = WeightedMajorityVoting::new().aggregate(&sim.dataset.answers);
+        let score = |preds: &[LabelSet]| {
+            preds
+                .iter()
+                .zip(&sim.dataset.truth)
+                .map(|(p, t)| p.jaccard(t))
+                .sum::<f64>()
+        };
+        assert!(
+            score(&wmv) >= score(&mv) - 0.01 * sim.dataset.num_items() as f64,
+            "wMV {} vs MV {}",
+            score(&wmv),
+            score(&mv)
+        );
+    }
+
+    #[test]
+    fn handles_empty_matrix() {
+        let m = AnswerMatrix::new(2, 2, 3);
+        let out = WeightedMajorityVoting::new().aggregate(&m);
+        assert!(out.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn name_is_wmv() {
+        assert_eq!(WeightedMajorityVoting::new().name(), "wMV");
+    }
+}

@@ -1,0 +1,35 @@
+//! Bench for Fig. 3 — the sparsity pipeline: sparsify + CPA aggregation at
+//! increasing sparsity levels (cost shrinks with the answer count; the
+//! robustness itself is measured by `repro fig3`).
+
+use cpa_bench::{bench_cpa_config, bench_sim};
+use cpa_core::CpaModel;
+use cpa_data::perturb::sparsify;
+use cpa_data::profile::DatasetProfile;
+use cpa_math::rng::seeded;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = bench_sim(DatasetProfile::image(), 0.04, 2);
+    let mut g = c.benchmark_group("fig3_sparsity");
+    g.sample_size(10);
+    for sparsity in [0.0f64, 0.4, 0.8] {
+        let mut rng = seeded(3);
+        let sparse = sparsify(&sim.dataset, sparsity, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", sparsity * 100.0)),
+            &sparse,
+            |b, d| {
+                b.iter(|| {
+                    let fitted = CpaModel::new(bench_cpa_config(2)).fit(black_box(&d.answers));
+                    black_box(fitted.predict_all(&d.answers))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

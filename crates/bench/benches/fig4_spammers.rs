@@ -1,0 +1,51 @@
+//! Bench for Fig. 4 — the spammer-injection pipeline and CPA's aggregation
+//! cost as the answer volume grows with injected spam.
+
+use cpa_bench::{bench_cpa_config, bench_sim};
+use cpa_core::CpaModel;
+use cpa_data::perturb::inject_spammers;
+use cpa_data::profile::DatasetProfile;
+use cpa_math::rng::seeded;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = bench_sim(DatasetProfile::aspect(), 0.04, 4);
+    let mut g = c.benchmark_group("fig4_spammers");
+    g.sample_size(10);
+    // The injection itself.
+    g.bench_function("inject_40pct", |b| {
+        b.iter(|| {
+            let mut rng = seeded(5);
+            black_box(inject_spammers(
+                black_box(&sim.dataset),
+                0.4,
+                &sim.affinity,
+                &mut rng,
+            ))
+        })
+    });
+    // Aggregation at each spam level.
+    for ratio in [0.0f64, 0.2, 0.4] {
+        let mut rng = seeded(6);
+        let d = if ratio > 0.0 {
+            inject_spammers(&sim.dataset, ratio, &sim.affinity, &mut rng).0
+        } else {
+            sim.dataset.clone()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("cpa", format!("{:.0}%", ratio * 100.0)),
+            &d,
+            |b, d| {
+                b.iter(|| {
+                    let fitted = CpaModel::new(bench_cpa_config(4)).fit(black_box(&d.answers));
+                    black_box(fitted.predict_all(&d.answers))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

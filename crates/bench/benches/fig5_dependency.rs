@@ -1,0 +1,39 @@
+//! Bench for Fig. 5 — the label-dependency pipeline: dependency injection
+//! plus the per-label baseline (cBCC) and CPA on the enriched entity data.
+
+use cpa_baselines::bcc::CommunityBcc;
+use cpa_baselines::Aggregator;
+use cpa_bench::{bench_cpa_config, bench_sim};
+use cpa_core::CpaModel;
+use cpa_data::perturb::inject_dependencies;
+use cpa_data::profile::DatasetProfile;
+use cpa_math::rng::seeded;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = bench_sim(DatasetProfile::entity(), 0.03, 7);
+    let mut rng = seeded(8);
+    let enriched = inject_dependencies(&sim.dataset, 0.3, &mut rng);
+    let mut g = c.benchmark_group("fig5_dependency");
+    g.sample_size(10);
+    g.bench_function("inject_30pct", |b| {
+        b.iter(|| {
+            let mut rng = seeded(9);
+            black_box(inject_dependencies(black_box(&sim.dataset), 0.3, &mut rng))
+        })
+    });
+    g.bench_function("cbcc_enriched", |b| {
+        b.iter(|| black_box(CommunityBcc::new().aggregate(black_box(&enriched.answers))))
+    });
+    g.bench_function("cpa_enriched", |b| {
+        b.iter(|| {
+            let fitted = CpaModel::new(bench_cpa_config(7)).fit(black_box(&enriched.answers));
+            black_box(fitted.predict_all(&enriched.answers))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

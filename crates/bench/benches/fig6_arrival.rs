@@ -1,0 +1,55 @@
+//! Bench for Fig. 6 / Table 5 — incremental SVI per-batch cost and online
+//! prediction, versus one full offline refit on the same data.
+
+use cpa_bench::{bench_cpa_config, bench_sim};
+use cpa_core::{CpaModel, OnlineCpa};
+use cpa_data::profile::DatasetProfile;
+use cpa_data::stream::WorkerStream;
+use cpa_math::rng::seeded;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = bench_sim(DatasetProfile::image(), 0.04, 10);
+    let d = &sim.dataset;
+    let mut rng = seeded(11);
+    let stream = WorkerStream::new(d, 10, &mut rng);
+    let mut g = c.benchmark_group("fig6_arrival");
+    g.sample_size(10);
+    g.bench_function("online_full_stream", |b| {
+        b.iter(|| {
+            let mut online = OnlineCpa::new(
+                bench_cpa_config(10),
+                d.num_items(),
+                d.num_workers(),
+                d.num_labels(),
+                0.875,
+            );
+            for batch in stream.iter() {
+                online.partial_fit(&d.answers, batch);
+            }
+            black_box(online.predict_all())
+        })
+    });
+    g.bench_function("offline_refit", |b| {
+        b.iter(|| {
+            let fitted = CpaModel::new(bench_cpa_config(10)).fit(black_box(&d.answers));
+            black_box(fitted.predict_all(&d.answers))
+        })
+    });
+    g.bench_function("online_single_batch", |b| {
+        let mut online = OnlineCpa::new(
+            bench_cpa_config(10),
+            d.num_items(),
+            d.num_workers(),
+            d.num_labels(),
+            0.875,
+        );
+        let batch = &stream.batches()[0];
+        b.iter(|| online.partial_fit(black_box(&d.answers), black_box(batch)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

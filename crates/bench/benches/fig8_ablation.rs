@@ -1,0 +1,39 @@
+//! Bench for Fig. 8 — cost of the model ablations: full CPA vs No Z
+//! (singleton communities) vs No L (singleton clusters) on the movie
+//! dataset, the only one the paper could run No L on.
+
+use cpa_bench::{bench_cpa_config, bench_sim};
+use cpa_core::ablation::{fit_ablated, Ablation};
+use cpa_core::CpaModel;
+use cpa_data::profile::DatasetProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = bench_sim(DatasetProfile::movie(), 0.05, 14);
+    let answers = &sim.dataset.answers;
+    let mut g = c.benchmark_group("fig8_ablation");
+    g.sample_size(10);
+    g.bench_function("full_cpa", |b| {
+        b.iter(|| {
+            let fitted = CpaModel::new(bench_cpa_config(14)).fit(black_box(answers));
+            black_box(fitted.predict_all(answers))
+        })
+    });
+    g.bench_function("no_z", |b| {
+        b.iter(|| {
+            let fitted = fit_ablated(&bench_cpa_config(14), black_box(answers), Ablation::NoZ);
+            black_box(fitted.predict_all(answers))
+        })
+    });
+    g.bench_function("no_l", |b| {
+        b.iter(|| {
+            let fitted = fit_ablated(&bench_cpa_config(14), black_box(answers), Ablation::NoL);
+            black_box(fitted.predict_all(answers))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench for Figs. 9–10 — the worker-characterisation pipeline: per-label
+//! coin points against ground truth and the model-side community summaries.
+
+use cpa_baselines::twocoin::{coin_points, overall_coins};
+use cpa_bench::{bench_cpa_config, bench_sim};
+use cpa_core::diagnostics::{cluster_summaries, community_summaries};
+use cpa_core::CpaModel;
+use cpa_data::profile::DatasetProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = bench_sim(DatasetProfile::image(), 0.04, 15);
+    let fitted = CpaModel::new(bench_cpa_config(15)).fit(&sim.dataset.answers);
+    let mut g = c.benchmark_group("fig9_communities");
+    g.sample_size(10);
+    g.bench_function("coin_points_label0", |b| {
+        b.iter(|| black_box(coin_points(black_box(&sim.dataset), 0, 1)))
+    });
+    g.bench_function("overall_coins", |b| {
+        b.iter(|| black_box(overall_coins(black_box(&sim.dataset))))
+    });
+    g.bench_function("community_summaries", |b| {
+        b.iter(|| black_box(community_summaries(black_box(&fitted))))
+    });
+    g.bench_function("cluster_summaries", |b| {
+        b.iter(|| black_box(cluster_summaries(black_box(&fitted))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench for Table 1 — aggregation latency on the paper's motivating
+//! example (4 items × 5 workers × 5 labels): the floor cost of each method.
+
+use cpa_baselines::fixtures::table1;
+use cpa_baselines::mv::MajorityVoting;
+use cpa_baselines::Aggregator;
+use cpa_bench::bench_cpa_config;
+use cpa_core::CpaModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (answers, _) = table1();
+    let mut g = c.benchmark_group("table1_motivating");
+    g.bench_function("mv", |b| {
+        b.iter(|| black_box(MajorityVoting::new().aggregate(black_box(&answers))))
+    });
+    g.bench_function("cpa", |b| {
+        b.iter(|| {
+            let model = CpaModel::new(bench_cpa_config(1).with_truncation(5, 4));
+            let fitted = model.fit(black_box(&answers));
+            black_box(fitted.predict_all(&answers))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

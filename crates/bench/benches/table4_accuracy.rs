@@ -1,0 +1,39 @@
+//! Bench for Table 4 — end-to-end aggregation cost of each method (MV, EM,
+//! cBCC, CPA) on a bench-scale movie dataset: the per-method cost behind the
+//! overall-accuracy table.
+
+use cpa_baselines::bcc::CommunityBcc;
+use cpa_baselines::ds::DawidSkene;
+use cpa_baselines::mv::MajorityVoting;
+use cpa_baselines::Aggregator;
+use cpa_bench::{bench_cpa_config, bench_sim};
+use cpa_core::CpaModel;
+use cpa_data::profile::DatasetProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sim = bench_sim(DatasetProfile::movie(), 0.05, 1);
+    let answers = &sim.dataset.answers;
+    let mut g = c.benchmark_group("table4_accuracy");
+    g.sample_size(10);
+    g.bench_function("mv", |b| {
+        b.iter(|| black_box(MajorityVoting::new().aggregate(black_box(answers))))
+    });
+    g.bench_function("em", |b| {
+        b.iter(|| black_box(DawidSkene::new().aggregate(black_box(answers))))
+    });
+    g.bench_function("cbcc", |b| {
+        b.iter(|| black_box(CommunityBcc::new().aggregate(black_box(answers))))
+    });
+    g.bench_function("cpa", |b| {
+        b.iter(|| {
+            let fitted = CpaModel::new(bench_cpa_config(1)).fit(black_box(answers));
+            black_box(fitted.predict_all(answers))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Shared helpers for the Criterion benchmark targets (one per paper
+//! table/figure; see `benches/`).
+
+#![warn(missing_docs)]
+
+use cpa_core::CpaConfig;
+use cpa_data::profile::DatasetProfile;
+use cpa_data::simulate::{simulate, SimulatedDataset};
+
+/// Benchmark-sized simulation of a paper profile (kept small so `cargo
+/// bench` completes in minutes; the `repro` binary runs the full scales).
+pub fn bench_sim(profile: DatasetProfile, scale: f64, seed: u64) -> SimulatedDataset {
+    simulate(&profile.scaled(scale), seed)
+}
+
+/// CPA configuration used across benches: fixed truncations and a capped
+/// iteration budget so timings compare like for like.
+pub fn bench_cpa_config(seed: u64) -> CpaConfig {
+    let mut cfg = CpaConfig::default().with_truncation(10, 12).with_seed(seed);
+    cfg.max_iters = 10;
+    cfg
+}

@@ -1,0 +1,211 @@
+//! Model ablations for the paper's §5.4 (Fig. 8).
+//!
+//! - **No Z** removes the worker-community structure: every worker is a
+//!   singleton community (`M = U`, `κ` pinned to the identity). The paper
+//!   reports this mainly hurts *precision* (faulty workers are no longer
+//!   pooled and discounted).
+//! - **No L** removes the item-cluster structure: every item is a singleton
+//!   cluster (`T = I`, `ϕ` pinned to the identity), so label co-occurrence
+//!   can no longer be shared across items; the paper reports this mainly
+//!   hurts *recall* and is intractable beyond small label spaces (movie).
+//!
+//! Both reuse the standard inference with the corresponding responsibility
+//! block frozen, which is exactly the limiting case of the CRP prior the
+//! paper describes (§3.2: `M → ∞` each worker its own community, etc.).
+
+use crate::config::CpaConfig;
+use crate::inference::run_batch_vi;
+use crate::model::FittedCpa;
+use crate::params::VariationalParams;
+use crate::truth::KnownLabels;
+use cpa_data::answers::AnswerMatrix;
+use cpa_math::matrix::Mat;
+use cpa_math::rng::seeded;
+
+/// Which structure to remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// No worker communities (`z` removed): singleton communities.
+    NoZ,
+    /// No item clusters (`l` removed): singleton clusters.
+    NoL,
+}
+
+/// Practical ceiling on `U` (for NoZ) / `I` (for NoL) — the λ block is
+/// `(T·M) × C` and singleton structures make it quadratic-ish; the paper
+/// itself only ran No L on the movie dataset for the same reason.
+pub const ABLATION_SIZE_LIMIT: usize = 2500;
+
+/// Fits an ablated CPA variant. Truncations are forced to the singleton
+/// structure; the frozen block is pinned to the identity before inference and
+/// restored after every iteration is unnecessary because the update functions
+/// renormalise only the *free* block (the frozen block is re-pinned here).
+///
+/// # Panics
+/// Panics if the singleton dimension exceeds [`ABLATION_SIZE_LIMIT`]
+/// (mirroring the paper's "intractable for all except the movie dataset").
+pub fn fit_ablated(cfg: &CpaConfig, answers: &AnswerMatrix, which: Ablation) -> FittedCpa {
+    let items = answers.num_items();
+    let workers = answers.num_workers();
+    let labels = answers.num_labels();
+    let mut cfg = cfg.clone();
+    match which {
+        Ablation::NoZ => {
+            assert!(
+                workers <= ABLATION_SIZE_LIMIT,
+                "No-Z ablation with {workers} workers exceeds the tractability limit"
+            );
+            cfg.max_communities = workers;
+        }
+        Ablation::NoL => {
+            assert!(
+                items <= ABLATION_SIZE_LIMIT,
+                "No-L ablation with {items} items exceeds the tractability limit"
+            );
+            cfg.max_clusters = items;
+        }
+    }
+    cfg.validate();
+    let mut rng = seeded(cfg.seed);
+    let mut params = VariationalParams::init(&cfg, items, workers, labels, &mut rng);
+    pin(&mut params, which);
+    let known = KnownLabels::none(items);
+
+    // Run inference iteration-by-iteration, re-pinning the frozen block after
+    // each sweep (its coordinate update would otherwise soften it again).
+    let mut single_iter = cfg.clone();
+    single_iter.max_iters = 1;
+    let mut report = crate::inference::FitReport {
+        iterations: 0,
+        converged: false,
+        final_delta: f64::INFINITY,
+        delta_trace: Vec::new(),
+    };
+    for _ in 0..cfg.max_iters {
+        let free_before = match which {
+            Ablation::NoZ => params.phi.clone(),
+            Ablation::NoL => params.kappa.clone(),
+        };
+        let _ = run_batch_vi(&single_iter, &mut params, answers, &known);
+        pin(&mut params, which);
+        report.iterations += 1;
+        let delta = match which {
+            Ablation::NoZ => params.phi.max_abs_diff(&free_before),
+            Ablation::NoL => params.kappa.max_abs_diff(&free_before),
+        };
+        report.delta_trace.push(delta);
+        report.final_delta = delta;
+        if delta < cfg.tol {
+            report.converged = true;
+            break;
+        }
+    }
+    // Final truth estimate under the pinned structure.
+    let estimate = crate::truth::estimate_truth(&params, answers, &known);
+    crate::truth::update_zeta(&mut params, &estimate, cfg.eta0);
+
+    FittedCpa {
+        cfg,
+        params,
+        estimate,
+        report,
+    }
+}
+
+/// Pins the frozen responsibility block to the identity.
+fn pin(params: &mut VariationalParams, which: Ablation) {
+    match which {
+        Ablation::NoZ => {
+            params.kappa = identity(params.num_workers, params.m);
+        }
+        Ablation::NoL => {
+            params.phi = identity(params.num_items, params.t);
+            params.mu = crate::params::phi_to_mu(&params.phi);
+        }
+    }
+}
+
+fn identity(n: usize, k: usize) -> Mat {
+    Mat::from_fn(n, k, |r, c| if r.min(k - 1) == c { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+
+    #[test]
+    fn noz_pins_each_worker_to_own_community() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 101);
+        let cfg = CpaConfig::default().with_truncation(8, 8);
+        let fitted = fit_ablated(&cfg, &sim.dataset.answers, Ablation::NoZ);
+        let p = fitted.params();
+        assert_eq!(p.m, sim.dataset.num_workers());
+        for u in 0..p.num_workers {
+            assert_eq!(p.kappa.get(u, u), 1.0);
+        }
+    }
+
+    #[test]
+    fn nol_pins_each_item_to_own_cluster() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 103);
+        let cfg = CpaConfig::default().with_truncation(8, 8);
+        let fitted = fit_ablated(&cfg, &sim.dataset.answers, Ablation::NoL);
+        let p = fitted.params();
+        assert_eq!(p.t, sim.dataset.num_items());
+        for i in 0..p.num_items {
+            assert_eq!(p.phi.get(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn ablations_still_predict_sensibly() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 107);
+        let cfg = CpaConfig::default().with_truncation(8, 8);
+        for which in [Ablation::NoZ, Ablation::NoL] {
+            let fitted = fit_ablated(&cfg, &sim.dataset.answers, which);
+            let preds = fitted.predict_all(&sim.dataset.answers);
+            let j: f64 = preds
+                .iter()
+                .zip(&sim.dataset.truth)
+                .map(|(p, t)| p.jaccard(t))
+                .sum::<f64>()
+                / preds.len() as f64;
+            assert!(j > 0.3, "{which:?} jaccard {j}");
+        }
+    }
+
+    #[test]
+    fn full_model_not_worse_than_ablations() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.1), 109);
+        let cfg = CpaConfig::default().with_truncation(10, 12);
+        let full = crate::model::CpaModel::new(cfg.clone())
+            .fit(&sim.dataset.answers)
+            .predict_all(&sim.dataset.answers);
+        let score = |preds: &[cpa_data::labels::LabelSet]| {
+            preds
+                .iter()
+                .zip(&sim.dataset.truth)
+                .map(|(p, t)| p.jaccard(t))
+                .sum::<f64>()
+                / preds.len() as f64
+        };
+        let s_full = score(&full);
+        for which in [Ablation::NoZ, Ablation::NoL] {
+            let ab = fit_ablated(&cfg, &sim.dataset.answers, which);
+            let s_ab = score(&ab.predict_all(&sim.dataset.answers));
+            assert!(
+                s_full > s_ab - 0.08,
+                "{which:?}: full {s_full} vs ablated {s_ab}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tractability limit")]
+    fn nol_rejects_oversized_inputs() {
+        let answers = AnswerMatrix::new(ABLATION_SIZE_LIMIT + 1, 3, 4);
+        fit_ablated(&CpaConfig::default(), &answers, Ablation::NoL);
+    }
+}

@@ -1,0 +1,144 @@
+//! Model and inference configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How the deterministic assignment `d : I → 2^Z` is instantiated from the
+/// posterior (paper §3.4 and DESIGN.md deviation #3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictionMode {
+    /// Estimate the item's label count `n̂_i`, then include label `c` iff its
+    /// presence probability under the cluster mixture with `n̂_i` multinomial
+    /// draws exceeds ½. Deterministic and calibrated (default).
+    SizeAdaptive,
+    /// The paper-literal greedy search on the multinomial MAP objective,
+    /// seeded with the best single label and capped at `⌈n̂_i⌉ + 2` labels.
+    GreedyMultinomial,
+}
+
+/// Configuration of the CPA model and its variational inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpaConfig {
+    /// Truncation level `M` for worker communities (paper: "can safely be set
+    /// to large values"; communities beyond what the data supports receive
+    /// vanishing mass). Clamped to the worker count at fit time.
+    pub max_communities: usize,
+    /// Truncation level `T` for item clusters. Clamped to the item count.
+    pub max_clusters: usize,
+    /// CRP concentration `α` for worker communities.
+    pub alpha: f64,
+    /// CRP concentration `ε` for item clusters.
+    pub epsilon: f64,
+    /// Symmetric Dirichlet prior `γ` on the answer distributions `ψ_tm`.
+    pub gamma0: f64,
+    /// Symmetric Dirichlet prior `η` on the truth distributions `φ_t`.
+    pub eta0: f64,
+    /// Maximum coordinate-ascent iterations (the paper observes ≤ 10 suffice
+    /// for 98% accuracy).
+    pub max_iters: usize,
+    /// Convergence threshold on the largest parameter change between
+    /// iterations (paper §5.3 uses 1e-3).
+    pub tol: f64,
+    /// RNG seed for parameter initialisation.
+    pub seed: u64,
+    /// Prediction instantiation mode.
+    pub prediction: PredictionMode,
+    /// Whether the truth distributions `φ` are refreshed from the
+    /// community-reliability-weighted consensus each iteration (DESIGN.md
+    /// deviation #2). Disable only for diagnostics (e.g. exact ELBO ascent
+    /// tests); without it the unsupervised model cannot learn `φ`.
+    pub estimate_truth: bool,
+    /// Worker threads for the parallelised engines (0 or 1 = serial).
+    pub threads: usize,
+}
+
+impl Default for CpaConfig {
+    fn default() -> Self {
+        Self {
+            max_communities: 20,
+            max_clusters: 30,
+            alpha: 1.0,
+            epsilon: 1.0,
+            gamma0: 1.0,
+            eta0: 0.1,
+            max_iters: 30,
+            tol: 1e-3,
+            seed: 0,
+            prediction: PredictionMode::SizeAdaptive,
+            estimate_truth: true,
+            threads: 0,
+        }
+    }
+}
+
+impl CpaConfig {
+    /// Validates the configuration, panicking with a descriptive message on
+    /// nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.max_communities >= 1, "need at least one community");
+        assert!(self.max_clusters >= 1, "need at least one cluster");
+        assert!(self.alpha > 0.0 && self.alpha.is_finite(), "alpha must be positive");
+        assert!(self.epsilon > 0.0 && self.epsilon.is_finite(), "epsilon must be positive");
+        assert!(self.gamma0 > 0.0, "gamma0 must be positive");
+        assert!(self.eta0 > 0.0, "eta0 must be positive");
+        assert!(self.max_iters >= 1, "need at least one iteration");
+        assert!(self.tol > 0.0, "tolerance must be positive");
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style truncation override.
+    pub fn with_truncation(mut self, max_communities: usize, max_clusters: usize) -> Self {
+        self.max_communities = max_communities;
+        self.max_clusters = max_clusters;
+        self
+    }
+
+    /// Builder-style thread-count override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CpaConfig::default().validate();
+    }
+
+    #[test]
+    fn builders() {
+        let c = CpaConfig::default()
+            .with_seed(9)
+            .with_truncation(5, 7)
+            .with_threads(4);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.max_communities, 5);
+        assert_eq!(c.max_clusters, 7);
+        assert_eq!(c.threads, 4);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_alpha() {
+        let mut c = CpaConfig::default();
+        c.alpha = -1.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn rejects_zero_clusters() {
+        let mut c = CpaConfig::default();
+        c.max_clusters = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,116 @@
+//! Posterior diagnostics: community/cluster summaries for the Fig. 9 style
+//! analyses and for users inspecting what the model learned.
+
+use crate::model::FittedCpa;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one inferred worker community.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommunitySummary {
+    /// Community index.
+    pub community: usize,
+    /// Posterior worker mass (soft count).
+    pub mass: f64,
+    /// Number of workers hard-assigned here.
+    pub members: usize,
+    /// Informativeness score (mutual information statistic).
+    pub reliability: f64,
+}
+
+/// Summary of one inferred item cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Posterior item mass (soft count).
+    pub mass: f64,
+    /// Number of items hard-assigned here.
+    pub members: usize,
+    /// The cluster's most probable labels under `φ_t^MAP` (top 5).
+    pub top_labels: Vec<usize>,
+}
+
+/// Produces per-community summaries, sorted by descending mass.
+pub fn community_summaries(fitted: &FittedCpa) -> Vec<CommunitySummary> {
+    let p = fitted.params();
+    let mass = p.community_mass();
+    let hard = p.worker_communities();
+    let rel = fitted.community_reliability();
+    let mut out: Vec<CommunitySummary> = (0..p.m)
+        .map(|m| CommunitySummary {
+            community: m,
+            mass: mass[m] * p.num_workers as f64,
+            members: hard.iter().filter(|&&h| h == m).count(),
+            reliability: rel[m],
+        })
+        .collect();
+    out.sort_by(|a, b| b.mass.partial_cmp(&a.mass).expect("finite"));
+    out
+}
+
+/// Produces per-cluster summaries, sorted by descending mass.
+pub fn cluster_summaries(fitted: &FittedCpa) -> Vec<ClusterSummary> {
+    let p = fitted.params();
+    let mass = p.cluster_mass();
+    let hard = p.item_clusters();
+    let phi_map = p.phi_truth_map();
+    let mut out: Vec<ClusterSummary> = (0..p.t)
+        .map(|t| {
+            let mut labels: Vec<(usize, f64)> = phi_map
+                .row(t)
+                .iter()
+                .copied()
+                .enumerate()
+                .collect();
+            labels.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            ClusterSummary {
+                cluster: t,
+                mass: mass[t] * p.num_items as f64,
+                members: hard.iter().filter(|&&h| h == t).count(),
+                top_labels: labels.into_iter().take(5).map(|(c, _)| c).collect(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.mass.partial_cmp(&a.mass).expect("finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpaConfig;
+    use crate::model::CpaModel;
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+
+    fn fitted() -> (FittedCpa, cpa_data::simulate::SimulatedDataset) {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.06), 121);
+        let fitted = CpaModel::new(CpaConfig::default().with_truncation(8, 10))
+            .fit(&sim.dataset.answers);
+        (fitted, sim)
+    }
+
+    #[test]
+    fn community_summaries_account_for_all_workers() {
+        let (f, sim) = fitted();
+        let s = community_summaries(&f);
+        let members: usize = s.iter().map(|c| c.members).sum();
+        assert_eq!(members, sim.dataset.num_workers());
+        let mass: f64 = s.iter().map(|c| c.mass).sum();
+        assert!((mass - sim.dataset.num_workers() as f64).abs() < 1e-6);
+        // Sorted descending by mass.
+        assert!(s.windows(2).all(|w| w[0].mass >= w[1].mass));
+    }
+
+    #[test]
+    fn cluster_summaries_account_for_all_items() {
+        let (f, sim) = fitted();
+        let s = cluster_summaries(&f);
+        let members: usize = s.iter().map(|c| c.members).sum();
+        assert_eq!(members, sim.dataset.num_items());
+        for c in &s {
+            assert!(c.top_labels.len() <= 5);
+            assert!(c.top_labels.iter().all(|&l| l < sim.dataset.num_labels()));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Evidence lower bound (ELBO) of the CPA model.
+//!
+//! Variational inference maximises `L(Θ)` (paper §3.3); this module computes
+//! the bound for the answer model (all terms involving `x`, `z`, `l`, `ψ`,
+//! `π'`, `τ'` — the `y`/`φ` terms are omitted because in the unsupervised
+//! setting `y` enters through the documented consensus estimator rather than
+//! the exact ELBO; see DESIGN.md deviation #2). Used by convergence
+//! diagnostics and by tests asserting coordinate ascent is monotone.
+
+use crate::config::CpaConfig;
+use crate::params::VariationalParams;
+use cpa_data::answers::AnswerMatrix;
+use cpa_math::beta::BetaDist;
+use cpa_math::special::ln_gamma;
+
+/// Computes the answer-model ELBO under the current variational parameters.
+pub fn elbo(cfg: &CpaConfig, params: &VariationalParams, answers: &AnswerMatrix) -> f64 {
+    let mut l = 0.0;
+    let eln_psi = params.expected_log_psi();
+    let eln_pi = params.rho.expected_log_weights();
+    let eln_tau = params.upsilon.expected_log_weights();
+
+    // E[ln p(x | ψ, z, l)] = Σ_{(i,u)} Σ_t Σ_m ϕ_it κ_um Σ_{c∈x} E[ln ψ_tmc]
+    // (the multinomial coefficient is constant in Θ and omitted throughout).
+    for i in 0..params.num_items {
+        let phi_row = params.phi.row(i);
+        for (worker, labels) in answers.item_answers(i) {
+            let kappa_row = params.kappa.row(*worker as usize);
+            for (t, &p) in phi_row.iter().enumerate() {
+                if p <= 1e-14 {
+                    continue;
+                }
+                let base = t * params.m;
+                for (m, &k) in kappa_row.iter().enumerate() {
+                    if k <= 1e-14 {
+                        continue;
+                    }
+                    let s: f64 = labels.iter().map(|c| eln_psi.get(base + m, c)).sum();
+                    l += p * k * s;
+                }
+            }
+        }
+    }
+
+    // E[ln p(z|π)] + H[q(z)] and E[ln p(l|τ)] + H[q(l)].
+    for u in 0..params.num_workers {
+        for (m, &k) in params.kappa.row(u).iter().enumerate() {
+            if k > 1e-14 {
+                l += k * (eln_pi[m] - k.ln());
+            }
+        }
+    }
+    for i in 0..params.num_items {
+        for (t, &p) in params.phi.row(i).iter().enumerate() {
+            if p > 1e-14 {
+                l += p * (eln_tau[t] - p.ln());
+            }
+        }
+    }
+
+    // Stick terms: E[ln p(v)] − E[ln q(v)] with p = Beta(1, concentration).
+    l += stick_term(&params.rho.params, cfg.alpha);
+    l += stick_term(&params.upsilon.params, cfg.epsilon);
+
+    // Dirichlet ψ terms: ln B(λ) − ln B(γ0·1) + Σ_c (γ0 − λ_c) E[ln ψ_c].
+    let c = params.num_labels as f64;
+    let ln_b_prior = c * ln_gamma(cfg.gamma0) - ln_gamma(c * cfg.gamma0);
+    for r in 0..params.lambda.rows() {
+        let row = params.lambda.row(r);
+        let total: f64 = row.iter().sum();
+        let ln_b_q: f64 = row.iter().map(|&a| ln_gamma(a)).sum::<f64>() - ln_gamma(total);
+        l += ln_b_q - ln_b_prior;
+        for (cc, &a) in row.iter().enumerate() {
+            l += (cfg.gamma0 - a) * eln_psi.get(r, cc);
+        }
+    }
+    l
+}
+
+fn stick_term(sticks: &[(f64, f64)], concentration: f64) -> f64 {
+    let mut l = 0.0;
+    for &(a, b) in sticks {
+        let q = BetaDist::new(a, b);
+        let elv = q.expected_log();
+        let el1mv = q.expected_log_complement();
+        // E[ln p(v)] with p = Beta(1, conc): ln conc + (conc − 1) E[ln(1−v)].
+        l += concentration.ln() + (concentration - 1.0) * el1mv;
+        // − E[ln q(v)].
+        l -= -cpa_math::special::ln_beta_fn(a, b) + (a - 1.0) * elv + (b - 1.0) * el1mv;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::run_batch_vi;
+    use crate::truth::KnownLabels;
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+    use cpa_math::rng::seeded;
+
+    #[test]
+    fn elbo_finite_at_init() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 41);
+        let cfg = CpaConfig::default().with_truncation(5, 6);
+        let mut rng = seeded(1);
+        let params = VariationalParams::init(
+            &cfg,
+            sim.dataset.num_items(),
+            sim.dataset.num_workers(),
+            sim.dataset.num_labels(),
+            &mut rng,
+        );
+        let l = elbo(&cfg, &params, &sim.dataset.answers);
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    fn coordinate_ascent_is_monotone_without_truth_refresh() {
+        // With estimate_truth disabled, the updates are the exact
+        // coordinate-ascent updates of the x-model ELBO, which must ascend.
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 43);
+        let cfg = CpaConfig {
+            estimate_truth: false,
+            max_iters: 1,
+            ..CpaConfig::default().with_truncation(5, 6)
+        };
+        let mut rng = seeded(2);
+        let mut params = VariationalParams::init(
+            &cfg,
+            sim.dataset.num_items(),
+            sim.dataset.num_workers(),
+            sim.dataset.num_labels(),
+            &mut rng,
+        );
+        let known = KnownLabels::none(sim.dataset.num_items());
+        let mut prev = elbo(&cfg, &params, &sim.dataset.answers);
+        for step in 0..6 {
+            let (_, _) = run_batch_vi(&cfg, &mut params, &sim.dataset.answers, &known);
+            let cur = elbo(&cfg, &params, &sim.dataset.answers);
+            assert!(
+                cur >= prev - 1e-6,
+                "ELBO decreased at step {step}: {prev} → {cur}"
+            );
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn elbo_improves_substantially_from_init() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 47);
+        let cfg = CpaConfig {
+            estimate_truth: false,
+            ..CpaConfig::default().with_truncation(5, 6)
+        };
+        let mut rng = seeded(3);
+        let mut params = VariationalParams::init(
+            &cfg,
+            sim.dataset.num_items(),
+            sim.dataset.num_workers(),
+            sim.dataset.num_labels(),
+            &mut rng,
+        );
+        let known = KnownLabels::none(sim.dataset.num_items());
+        let before = elbo(&cfg, &params, &sim.dataset.answers);
+        run_batch_vi(&cfg, &mut params, &sim.dataset.answers, &known);
+        let after = elbo(&cfg, &params, &sim.dataset.answers);
+        assert!(after > before, "ELBO did not improve: {before} → {after}");
+    }
+}

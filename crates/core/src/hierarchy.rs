@@ -1,0 +1,224 @@
+//! Label hierarchies as prior knowledge — the paper's future-work extension
+//! (§7: "incorporate domain-specific information, such as question
+//! difficulty and label hierarchies"; §6: prior knowledge "could be
+//! expressed as conditional probabilities, which are then integrated in the
+//! label selection, i.e., step 2b of the generative process").
+//!
+//! A [`LabelHierarchy`] is a two-level taxonomy: each label belongs to one
+//! parent group. [`apply_hierarchy`] injects it into a fitted model by
+//! smoothing the per-item soft truth towards the group structure — evidence
+//! for one child label lends (bounded) support to its siblings — and
+//! refreshing the truth distributions `φ` accordingly, which is exactly a
+//! conditional-probability prior on step 2b.
+
+use crate::model::FittedCpa;
+use crate::truth::update_zeta;
+use serde::{Deserialize, Serialize};
+
+/// A two-level label taxonomy: `parent_of[c]` is the group of label `c`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelHierarchy {
+    parent_of: Vec<usize>,
+    members: Vec<Vec<usize>>,
+}
+
+impl LabelHierarchy {
+    /// Builds a hierarchy from a per-label parent assignment.
+    ///
+    /// # Panics
+    /// Panics if `parent_of` is empty.
+    pub fn new(parent_of: Vec<usize>) -> Self {
+        assert!(!parent_of.is_empty(), "hierarchy needs at least one label");
+        let groups = parent_of.iter().copied().max().unwrap_or(0) + 1;
+        let mut members = vec![Vec::new(); groups];
+        for (c, &g) in parent_of.iter().enumerate() {
+            members[g].push(c);
+        }
+        Self { parent_of, members }
+    }
+
+    /// Builds the hierarchy matching a planted [`cpa_data::workers::LabelAffinity`].
+    pub fn from_affinity(affinity: &cpa_data::workers::LabelAffinity) -> Self {
+        Self::new(affinity.group_of.clone())
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.parent_of.len()
+    }
+
+    /// Number of parent groups.
+    pub fn num_groups(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The parent group of a label.
+    pub fn parent(&self, label: usize) -> usize {
+        self.parent_of[label]
+    }
+
+    /// The sibling set of a label (including the label itself).
+    pub fn siblings(&self, label: usize) -> &[usize] {
+        &self.members[self.parent_of[label]]
+    }
+
+    /// Smooths a sparse soft label vector towards the hierarchy: each
+    /// label's mass is blended with its group's mean mass at rate `rho`,
+    /// spreading evidence to siblings. Input and output are sparse
+    /// `(label, mass)` lists; masses stay in `[0, 1]`.
+    pub fn smooth(&self, soft: &[(usize, f64)], rho: f64) -> Vec<(usize, f64)> {
+        debug_assert!((0.0..=1.0).contains(&rho));
+        if soft.is_empty() || rho == 0.0 {
+            return soft.to_vec();
+        }
+        // Group mass from the evidence present.
+        let mut group_mass: std::collections::BTreeMap<usize, f64> =
+            std::collections::BTreeMap::new();
+        for &(c, v) in soft {
+            *group_mass.entry(self.parent_of[c]).or_insert(0.0) += v;
+        }
+        let mut out: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for &(c, v) in soft {
+            *out.entry(c).or_insert(0.0) += (1.0 - rho) * v;
+        }
+        for (&g, &mass) in &group_mass {
+            let size = self.members[g].len() as f64;
+            for &c in &self.members[g] {
+                *out.entry(c).or_insert(0.0) += rho * mass / size;
+            }
+        }
+        out.into_iter()
+            .map(|(c, v)| (c, v.min(1.0)))
+            .filter(|&(_, v)| v > 1e-9)
+            .collect()
+    }
+}
+
+/// Injects a hierarchy into a fitted model: smooths every item's soft truth
+/// towards the taxonomy at rate `rho ∈ [0, 1]` and refreshes `ζ` (Eq. 7), so
+/// subsequent predictions see the hierarchical prior. `rho = 0` is a no-op;
+/// small values (≤ 0.3) are recommended — the prior should nudge, not
+/// override, the crowd's evidence.
+pub fn apply_hierarchy(fitted: &mut FittedCpa, hierarchy: &LabelHierarchy, rho: f64) {
+    assert_eq!(
+        hierarchy.num_labels(),
+        fitted.params.num_labels,
+        "hierarchy label count mismatch"
+    );
+    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+    for soft in fitted.estimate.soft.iter_mut() {
+        *soft = hierarchy.smooth(soft, rho);
+    }
+    let eta0 = fitted.cfg.eta0;
+    update_zeta(&mut fitted.params, &fitted.estimate, eta0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpaConfig;
+    use crate::model::CpaModel;
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+    use cpa_eval_stub::*;
+
+    /// Local metric helpers to avoid a dev-dependency cycle with cpa-eval.
+    mod cpa_eval_stub {
+        use cpa_data::labels::LabelSet;
+
+        pub fn mean_recall(preds: &[LabelSet], truth: &[LabelSet]) -> f64 {
+            let mut acc = 0.0;
+            for (p, t) in preds.iter().zip(truth) {
+                if t.is_empty() {
+                    acc += 1.0;
+                } else {
+                    acc += p.intersection_len(t) as f64 / t.len() as f64;
+                }
+            }
+            acc / preds.len() as f64
+        }
+
+        pub fn mean_precision(preds: &[LabelSet], truth: &[LabelSet]) -> f64 {
+            let mut acc = 0.0;
+            for (p, t) in preds.iter().zip(truth) {
+                if !p.is_empty() {
+                    acc += p.intersection_len(t) as f64 / p.len() as f64;
+                } else if t.is_empty() {
+                    acc += 1.0;
+                }
+            }
+            acc / preds.len() as f64
+        }
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let h = LabelHierarchy::new(vec![0, 0, 1, 1, 1]);
+        assert_eq!(h.num_labels(), 5);
+        assert_eq!(h.num_groups(), 2);
+        assert_eq!(h.parent(3), 1);
+        assert_eq!(h.siblings(0), &[0, 1]);
+        assert_eq!(h.siblings(4), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn smoothing_spreads_mass_to_siblings() {
+        let h = LabelHierarchy::new(vec![0, 0, 1]);
+        let soft = vec![(0usize, 0.8)];
+        let sm = h.smooth(&soft, 0.5);
+        let get = |c: usize| sm.iter().find(|&&(l, _)| l == c).map(|&(_, v)| v);
+        // Label 0 keeps (1−ρ)·0.8 + ρ·0.8/2 = 0.4 + 0.2 = 0.6.
+        assert!((get(0).unwrap() - 0.6).abs() < 1e-12);
+        // Sibling 1 gains ρ·0.8/2 = 0.2.
+        assert!((get(1).unwrap() - 0.2).abs() < 1e-12);
+        // Unrelated label 2 gains nothing.
+        assert!(get(2).is_none());
+    }
+
+    #[test]
+    fn smoothing_zero_rho_is_identity() {
+        let h = LabelHierarchy::new(vec![0, 1]);
+        let soft = vec![(1usize, 0.5)];
+        assert_eq!(h.smooth(&soft, 0.0), soft);
+    }
+
+    #[test]
+    fn smoothing_preserves_unit_bound() {
+        let h = LabelHierarchy::new(vec![0, 0]);
+        let soft = vec![(0usize, 1.0), (1usize, 1.0)];
+        for &(_, v) in &h.smooth(&soft, 0.9) {
+            assert!(v <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn correct_hierarchy_does_not_hurt_and_may_help_recall() {
+        // Inject the *true* planted taxonomy: recall must not degrade and
+        // precision must stay high.
+        let sim = simulate(&DatasetProfile::image().scaled(0.05), 231);
+        let model = CpaModel::new(CpaConfig::default().with_truncation(10, 12).with_seed(231));
+        let plain = model.fit(&sim.dataset.answers);
+        let p_plain = plain.predict_all(&sim.dataset.answers);
+
+        let mut with_h = model.fit(&sim.dataset.answers);
+        let h = LabelHierarchy::from_affinity(&sim.affinity);
+        apply_hierarchy(&mut with_h, &h, 0.2);
+        let p_hier = with_h.predict_all(&sim.dataset.answers);
+
+        let r0 = mean_recall(&p_plain, &sim.dataset.truth);
+        let r1 = mean_recall(&p_hier, &sim.dataset.truth);
+        let prec1 = mean_precision(&p_hier, &sim.dataset.truth);
+        assert!(r1 > r0 - 0.03, "hierarchy hurt recall: {r0} → {r1}");
+        assert!(prec1 > 0.7, "hierarchy destroyed precision: {prec1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn rejects_wrong_size_hierarchy() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.04), 233);
+        let mut fitted = CpaModel::new(CpaConfig::default().with_truncation(5, 6))
+            .fit(&sim.dataset.answers);
+        let h = LabelHierarchy::new(vec![0, 0, 1]); // wrong C
+        apply_hierarchy(&mut fitted, &h, 0.2);
+    }
+}

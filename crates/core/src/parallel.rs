@@ -1,0 +1,196 @@
+//! MapReduce phases for stochastic inference — the paper's Algorithm 3.
+//!
+//! "When the global variables are given, the updates to local variables
+//! become independent and can thus be computed concurrently" (§4.2). The MAP
+//! phase computes, *per worker of the current batch*, the new community
+//! responsibilities `κ_u` (Eq. 2) and the per-(item, cluster) evidence
+//! contributions `a_it = Σ_m κ_um E[ln p(x_iu | ψ_tm)]` (Eq. 15). The REDUCE
+//! phase (in [`crate::svi`]) accumulates these messages into natural
+//! gradients and applies the global updates. The partition key is the worker,
+//! exactly as the paper prescribes.
+//!
+//! Parallelism is realised with a `rayon` pool whose size is
+//! `CpaConfig::threads`, so the Fig. 7 series (online / online-4 / online-16)
+//! is a single parameter away.
+
+use crate::params::VariationalParams;
+use cpa_data::answers::AnswerMatrix;
+use cpa_math::matrix::Mat;
+use cpa_math::simplex::log_normalize;
+use rayon::prelude::*;
+
+/// The MAP-phase output for one worker (the `emit {κ_um, a_it}` of
+/// Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct WorkerMessage {
+    /// The worker index.
+    pub worker: usize,
+    /// Updated community responsibilities `κ_u` (length `M`).
+    pub kappa: Vec<f64>,
+    /// Per answered item, the evidence vector `a_i·` over clusters
+    /// (`(item, [a_it; T])`).
+    pub a_contrib: Vec<(usize, Vec<f64>)>,
+}
+
+/// Runs the MAP phase for a batch of workers, serially or on `pool`.
+pub fn map_phase(
+    params: &VariationalParams,
+    answers: &AnswerMatrix,
+    eln_psi: &Mat,
+    eln_pi: &[f64],
+    workers: &[usize],
+    pool: Option<&rayon::ThreadPool>,
+) -> Vec<WorkerMessage> {
+    let run = |u: usize| map_worker(params, answers, eln_psi, eln_pi, u);
+    match pool {
+        Some(pool) => pool.install(|| workers.par_iter().map(|&u| run(u)).collect()),
+        None => workers.iter().map(|&u| run(u)).collect(),
+    }
+}
+
+/// The MAP computation for a single worker: Eq. 2 for `κ_u`, then the
+/// `a_it` evidence of each of the worker's answers under the *new* `κ_u`.
+pub fn map_worker(
+    params: &VariationalParams,
+    answers: &AnswerMatrix,
+    eln_psi: &Mat,
+    eln_pi: &[f64],
+    u: usize,
+) -> WorkerMessage {
+    let mm = params.m;
+    let tt = params.t;
+    let worker_answers = answers.worker_answers(u);
+
+    // Eq. 2: κ_um ∝ exp(Σ_i Σ_t ϕ_it E[ln p(x_iu|ψ_tm)] + E[ln π_m]).
+    let mut kappa = eln_pi.to_vec();
+    // Cache the per-answer score table s[t][m] — reused for the a_it pass.
+    let mut score_tables: Vec<Vec<f64>> = Vec::with_capacity(worker_answers.len());
+    for (item, labels) in worker_answers {
+        let i = *item as usize;
+        let phi_row = params.phi.row(i);
+        let mut table = vec![0.0; tt * mm];
+        for t in 0..tt {
+            let base = t * mm;
+            for m in 0..mm {
+                let row = eln_psi.row(base + m);
+                let s: f64 = labels.iter().map(|c| row[c]).sum();
+                table[base + m] = s;
+                let p = phi_row[t];
+                if p > 1e-12 {
+                    kappa[m] += p * s;
+                }
+            }
+        }
+        score_tables.push(table);
+    }
+    log_normalize(&mut kappa);
+
+    // a_it = Σ_m κ_um E[ln p(x_iu | ψ_tm)] for each answered item.
+    let a_contrib = worker_answers
+        .iter()
+        .zip(&score_tables)
+        .map(|((item, _), table)| {
+            let mut a = vec![0.0; tt];
+            for (t, at) in a.iter_mut().enumerate() {
+                let base = t * mm;
+                let mut s = 0.0;
+                for (m, &k) in kappa.iter().enumerate() {
+                    if k > 1e-12 {
+                        s += k * table[base + m];
+                    }
+                }
+                *at = s;
+            }
+            (*item as usize, a)
+        })
+        .collect();
+
+    WorkerMessage {
+        worker: u,
+        kappa,
+        a_contrib,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpaConfig;
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+    use cpa_math::rng::seeded;
+    use cpa_math::simplex::is_probability_vector;
+
+    fn setup() -> (VariationalParams, AnswerMatrix) {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 71);
+        let cfg = CpaConfig::default().with_truncation(6, 8);
+        let mut rng = seeded(1);
+        let params = VariationalParams::init(
+            &cfg,
+            sim.dataset.num_items(),
+            sim.dataset.num_workers(),
+            sim.dataset.num_labels(),
+            &mut rng,
+        );
+        (params, sim.dataset.answers.clone())
+    }
+
+    #[test]
+    fn map_worker_emits_valid_messages() {
+        let (params, answers) = setup();
+        let eln_psi = params.expected_log_psi();
+        let eln_pi = params.rho.expected_log_weights();
+        let u = (0..params.num_workers)
+            .find(|&u| !answers.worker_answers(u).is_empty())
+            .expect("some active worker");
+        let msg = map_worker(&params, &answers, &eln_psi, &eln_pi, u);
+        assert_eq!(msg.worker, u);
+        assert!(is_probability_vector(&msg.kappa, 1e-9));
+        assert_eq!(msg.a_contrib.len(), answers.worker_answers(u).len());
+        for (_, a) in &msg.a_contrib {
+            assert_eq!(a.len(), params.t);
+            assert!(a.iter().all(|x| x.is_finite() && *x < 0.0));
+        }
+    }
+
+    #[test]
+    fn parallel_map_equals_serial_map() {
+        let (params, answers) = setup();
+        let eln_psi = params.expected_log_psi();
+        let eln_pi = params.rho.expected_log_weights();
+        let workers: Vec<usize> = (0..params.num_workers).collect();
+        let serial = map_phase(&params, &answers, &eln_psi, &eln_pi, &workers, None);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let parallel = map_phase(&params, &answers, &eln_psi, &eln_pi, &workers, Some(&pool));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.worker, p.worker);
+            for (a, b) in s.kappa.iter().zip(&p.kappa) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_worker_gets_prior_kappa() {
+        let (params, mut answers) = setup();
+        // Strip one worker's answers.
+        let u = (0..params.num_workers)
+            .find(|&u| !answers.worker_answers(u).is_empty())
+            .unwrap();
+        let items: Vec<u32> = answers.worker_answers(u).iter().map(|(i, _)| *i).collect();
+        for i in items {
+            answers.remove(i as usize, u);
+        }
+        let eln_psi = params.expected_log_psi();
+        let eln_pi = params.rho.expected_log_weights();
+        let msg = map_worker(&params, &answers, &eln_psi, &eln_pi, u);
+        // κ equals the normalised prior stick weights.
+        let mut expect = eln_pi.clone();
+        log_normalize(&mut expect);
+        for (a, b) in msg.kappa.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(msg.a_contrib.is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! Stochastic variational inference for online learning — Algorithm 2.
+//!
+//! Answers arrive in batches of workers (`U_b` with their items `N_b`). Each
+//! [`OnlineCpa::partial_fit`] call
+//!
+//! 1. runs the MAP phase ([`crate::parallel::map_phase`]) to recompute the
+//!    batch workers' `κ_u` (Eq. 2) and their evidence contributions `a_it`
+//!    (Eq. 15);
+//! 2. REDUCEs the messages into natural-gradient targets for the globals
+//!    (Eqs. 9–14), scaling batch statistics up to the full population
+//!    (`U/|U_b|` for worker-side, `I/|N_b|` for item-side statistics — the
+//!    standard SVI scale-up the paper's per-worker gradients imply);
+//! 3. blends `λ, ζ, ρ, υ, µ` with learning rate `ω_b = (1+b)^{−r}`
+//!    (Eqs. 18–20) and recovers `ϕ` from the canonical `µ` (Eqs. 16–17).
+//!
+//! Online prediction (§4.1) reuses the §3.4 instantiation with the current
+//! globals — the most recent parameter values summarise all data so far.
+
+use crate::config::CpaConfig;
+use crate::parallel::{map_phase, WorkerMessage};
+use crate::params::VariationalParams;
+use crate::predict::Predictor;
+use crate::truth::{estimate_truth, KnownLabels, TruthEstimate};
+use cpa_data::answers::AnswerMatrix;
+use cpa_data::labels::LabelSet;
+use cpa_data::stream::{learning_rate, WorkerBatch};
+use cpa_math::rng::seeded;
+
+/// Incremental CPA model for the online setting.
+#[derive(Debug)]
+pub struct OnlineCpa {
+    cfg: CpaConfig,
+    forgetting_rate: f64,
+    params: VariationalParams,
+    /// Answers accumulated from the batches seen so far.
+    seen: AnswerMatrix,
+    /// Known true labels (empty in the paper's experiments).
+    known: KnownLabels,
+    batch_count: usize,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl OnlineCpa {
+    /// Creates an online model for a population of `num_items × num_workers`
+    /// over `num_labels` labels. `forgetting_rate` is the paper's `r`
+    /// (must lie in (0.5, 1]; the paper fixes 0.875).
+    pub fn new(
+        cfg: CpaConfig,
+        num_items: usize,
+        num_workers: usize,
+        num_labels: usize,
+        forgetting_rate: f64,
+    ) -> Self {
+        cfg.validate();
+        assert!(
+            (0.5..=1.0).contains(&forgetting_rate) && forgetting_rate > 0.5,
+            "forgetting rate must lie in (0.5, 1]"
+        );
+        let mut rng = seeded(cfg.seed);
+        let params = VariationalParams::init(&cfg, num_items, num_workers, num_labels, &mut rng);
+        let pool = crate::inference::build_pool(cfg.threads);
+        Self {
+            cfg,
+            forgetting_rate,
+            params,
+            seen: AnswerMatrix::new(num_items, num_workers, num_labels),
+            known: KnownLabels::none(num_items),
+            batch_count: 0,
+            pool,
+        }
+    }
+
+    /// Registers known true labels (test questions) ahead of streaming.
+    pub fn set_known(&mut self, known: KnownLabels) {
+        assert_eq!(known.len(), self.params.num_items);
+        self.known = known;
+    }
+
+    /// Number of batches absorbed so far.
+    pub fn batches_seen(&self) -> usize {
+        self.batch_count
+    }
+
+    /// The answers absorbed so far.
+    pub fn seen_answers(&self) -> &AnswerMatrix {
+        &self.seen
+    }
+
+    /// Borrow the current variational parameters.
+    pub fn params(&self) -> &VariationalParams {
+        &self.params
+    }
+
+    /// Absorbs one batch of workers: copies their answers out of `answers`
+    /// and performs one stochastic update (Algorithm 2 body).
+    pub fn partial_fit(&mut self, answers: &AnswerMatrix, batch: &WorkerBatch) {
+        assert_eq!(answers.num_items(), self.params.num_items);
+        assert_eq!(answers.num_workers(), self.params.num_workers);
+        // Ingest the batch's answers.
+        for &u in &batch.workers {
+            for (item, labels) in answers.worker_answers(u) {
+                self.seen.insert(*item as usize, u, labels.clone());
+            }
+        }
+        self.batch_count += 1;
+        let omega = learning_rate(self.batch_count, self.forgetting_rate);
+
+        let eln_psi = self.params.expected_log_psi();
+        let eln_pi = self.params.rho.expected_log_weights();
+        let eln_tau = self.params.upsilon.expected_log_weights();
+
+        // --- MAP phase: local updates + evidence messages ------------------
+        let messages = map_phase(
+            &self.params,
+            &self.seen,
+            &eln_psi,
+            &eln_pi,
+            &batch.workers,
+            self.pool.as_ref(),
+        );
+        for msg in &messages {
+            self.params
+                .kappa
+                .row_mut(msg.worker)
+                .copy_from_slice(&msg.kappa);
+        }
+
+        // --- REDUCE phase: natural-gradient blends -------------------------
+        self.reduce_globals(&messages, batch, &eln_tau, omega);
+    }
+
+    /// REDUCE: accumulate messages into natural-gradient targets and blend.
+    fn reduce_globals(
+        &mut self,
+        messages: &[WorkerMessage],
+        batch: &WorkerBatch,
+        eln_tau: &[f64],
+        omega: f64,
+    ) {
+        let p = &mut self.params;
+        let mm = p.m;
+        let tt = p.t;
+        let u_total = p.num_workers as f64;
+        let u_batch = batch.workers.len().max(1) as f64;
+        let scale_u = u_total / u_batch;
+        let i_total = p.num_items as f64;
+        let i_batch = batch.items.len().max(1) as f64;
+        let scale_i = i_total / i_batch;
+
+        // λ target (Eq. 9): γ0 + scale_u Σ_{u∈Ub} Σ_i ϕ_it κ_um x_iuc.
+        let mut lambda_hat =
+            cpa_math::matrix::Mat::filled(tt * mm, p.num_labels, self.cfg.gamma0);
+        for msg in messages {
+            for (item, labels) in self.seen.worker_answers(msg.worker) {
+                let i = *item as usize;
+                for t in 0..tt {
+                    let phi_it = p.phi.get(i, t);
+                    if phi_it <= 1e-12 {
+                        continue;
+                    }
+                    let base = t * mm;
+                    for (m, &k) in msg.kappa.iter().enumerate() {
+                        let w = scale_u * phi_it * k;
+                        if w <= 1e-12 {
+                            continue;
+                        }
+                        for c in labels.iter() {
+                            lambda_hat.add(base + m, c, w);
+                        }
+                    }
+                }
+            }
+        }
+        p.lambda.scaled_add(1.0 - omega, &lambda_hat, omega);
+
+        // ρ target (Eqs. 11–12): 1 + scale_u Σ κ_um ; α + scale_u Σ tails.
+        let mut col = vec![0.0; mm];
+        for msg in messages {
+            for (m, &k) in msg.kappa.iter().enumerate() {
+                col[m] += k;
+            }
+        }
+        let mut tail = vec![0.0; mm + 1];
+        for m in (0..mm).rev() {
+            tail[m] = tail[m + 1] + col[m];
+        }
+        for m in 0..mm.saturating_sub(1) {
+            let (a, b) = p.rho.params[m];
+            let a_hat = 1.0 + scale_u * col[m];
+            let b_hat = self.cfg.alpha + scale_u * tail[m + 1];
+            p.rho.params[m] = (
+                (1.0 - omega) * a + omega * a_hat,
+                (1.0 - omega) * b + omega * b_hat,
+            );
+        }
+
+        // µ target (Eq. 15): E[ln τ_t] − E[ln τ_T] + scale_u (A_it − A_iT),
+        // then ϕ via softmax (Eqs. 16–17).
+        let mut a_acc: std::collections::HashMap<usize, Vec<f64>> = std::collections::HashMap::new();
+        for msg in messages {
+            for (item, a) in &msg.a_contrib {
+                let e = a_acc.entry(*item).or_insert_with(|| vec![0.0; tt]);
+                for (acc, &v) in e.iter_mut().zip(a) {
+                    *acc += v;
+                }
+            }
+        }
+        for (&i, a) in &a_acc {
+            for t in 0..tt.saturating_sub(1) {
+                let mu_hat =
+                    eln_tau[t] - eln_tau[tt - 1] + scale_u * (a[t] - a[tt - 1]);
+                let old = p.mu.get(i, t);
+                p.mu.set(i, t, (1.0 - omega) * old + omega * mu_hat);
+            }
+        }
+        p.refresh_phi_from_mu();
+
+        // υ target (Eqs. 13–14) from the refreshed ϕ of the batch items.
+        let mut col = vec![0.0; tt];
+        for &i in &batch.items {
+            for (t, c) in col.iter_mut().enumerate() {
+                *c += p.phi.get(i, t);
+            }
+        }
+        let mut tail = vec![0.0; tt + 1];
+        for t in (0..tt).rev() {
+            tail[t] = tail[t + 1] + col[t];
+        }
+        for t in 0..tt.saturating_sub(1) {
+            let (a, b) = p.upsilon.params[t];
+            let a_hat = 1.0 + scale_i * col[t];
+            let b_hat = self.cfg.epsilon + scale_i * tail[t + 1];
+            p.upsilon.params[t] = (
+                (1.0 - omega) * a + omega * a_hat,
+                (1.0 - omega) * b + omega * b_hat,
+            );
+        }
+
+        // ζ target (Eq. 10) from the current soft-truth estimate restricted
+        // to the batch items.
+        let estimate = estimate_truth(p, &self.seen, &self.known);
+        let mut zeta_hat = cpa_math::matrix::Mat::filled(tt, p.num_labels, self.cfg.eta0);
+        for &i in &batch.items {
+            for &(c, v) in &estimate.soft[i] {
+                for t in 0..tt {
+                    let phi_it = p.phi.get(i, t);
+                    if phi_it > 1e-12 {
+                        zeta_hat.add(t, c, scale_i * phi_it * v);
+                    }
+                }
+            }
+        }
+        p.zeta.scaled_add(1.0 - omega, &zeta_hat, omega);
+    }
+
+    /// Online prediction (§4.1): instantiate labels for all items from the
+    /// current globals and the answers seen so far.
+    pub fn predict_all(&self) -> Vec<LabelSet> {
+        let estimate = self.current_estimate();
+        let predictor = Predictor::new(&self.params, &estimate, self.cfg.prediction);
+        match &self.pool {
+            Some(pool) => pool.install(|| predictor.predict_all(&self.seen)),
+            None => predictor.predict_all(&self.seen),
+        }
+    }
+
+    /// The soft-truth estimate under the current posterior and seen answers.
+    pub fn current_estimate(&self) -> TruthEstimate {
+        estimate_truth(&self.params, &self.seen, &self.known)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+    use cpa_data::stream::WorkerStream;
+    use cpa_math::simplex::is_probability_vector;
+
+    fn run_online(threads: usize, seed: u64) -> (OnlineCpa, cpa_data::simulate::SimulatedDataset) {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.08), seed);
+        let cfg = CpaConfig::default()
+            .with_truncation(8, 10)
+            .with_seed(seed)
+            .with_threads(threads);
+        let mut online = OnlineCpa::new(
+            cfg,
+            sim.dataset.num_items(),
+            sim.dataset.num_workers(),
+            sim.dataset.num_labels(),
+            0.875,
+        );
+        let mut rng = seeded(seed + 1);
+        let stream = WorkerStream::new(&sim.dataset, 10, &mut rng);
+        for batch in stream.iter() {
+            online.partial_fit(&sim.dataset.answers, batch);
+        }
+        (online, sim)
+    }
+
+    #[test]
+    fn online_absorbs_all_answers() {
+        let (online, sim) = run_online(0, 81);
+        assert_eq!(
+            online.seen_answers().num_answers(),
+            sim.dataset.answers.num_answers()
+        );
+        assert!(online.batches_seen() > 1);
+    }
+
+    #[test]
+    fn parameters_stay_valid_through_stream() {
+        let (online, _) = run_online(0, 83);
+        let p = online.params();
+        for u in 0..p.num_workers {
+            assert!(is_probability_vector(p.kappa.row(u), 1e-6));
+        }
+        for i in 0..p.num_items {
+            assert!(is_probability_vector(p.phi.row(i), 1e-6));
+        }
+        for r in 0..p.lambda.rows() {
+            assert!(p.lambda.row(r).iter().all(|&x| x > 0.0 && x.is_finite()));
+        }
+        for &(a, b) in &p.rho.params {
+            assert!(a > 0.0 && b > 0.0);
+        }
+        for &(a, b) in &p.upsilon.params {
+            assert!(a > 0.0 && b > 0.0);
+        }
+    }
+
+    #[test]
+    fn online_predictions_beat_chance() {
+        let (online, sim) = run_online(0, 85);
+        let preds = online.predict_all();
+        let mut j = 0.0;
+        for (p, t) in preds.iter().zip(&sim.dataset.truth) {
+            j += p.jaccard(t);
+        }
+        j /= preds.len() as f64;
+        assert!(j > 0.4, "online jaccard {j}");
+    }
+
+    #[test]
+    fn online_close_to_offline_quality() {
+        // Paper Table 5: online accuracy is a few points below offline.
+        let (online, sim) = run_online(0, 87);
+        let online_preds = online.predict_all();
+        let model = crate::model::CpaModel::new(
+            CpaConfig::default().with_truncation(8, 10).with_seed(87),
+        );
+        let offline_preds = model
+            .fit(&sim.dataset.answers)
+            .predict_all(&sim.dataset.answers);
+        let score = |preds: &[LabelSet]| {
+            preds
+                .iter()
+                .zip(&sim.dataset.truth)
+                .map(|(p, t)| p.jaccard(t))
+                .sum::<f64>()
+                / preds.len() as f64
+        };
+        let on = score(&online_preds);
+        let off = score(&offline_preds);
+        assert!(
+            on > off - 0.15,
+            "online {on} too far below offline {off}"
+        );
+    }
+
+    #[test]
+    fn parallel_stream_matches_serial() {
+        let (a, _) = run_online(0, 89);
+        let (b, _) = run_online(4, 89);
+        // Per-worker messages are deterministic; the reduction is ordered by
+        // message vector, which map_phase preserves.
+        assert!(a.params().kappa.max_abs_diff(&b.params().kappa) < 1e-9);
+        assert!(a.params().lambda.max_abs_diff(&b.params().lambda) < 1e-9);
+    }
+
+    #[test]
+    fn intermediate_predictions_available() {
+        // Predictions must be usable after every batch (the online setting's
+        // raison d'être: intermediate results, §4.1).
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 91);
+        let cfg = CpaConfig::default().with_truncation(6, 8);
+        let mut online = OnlineCpa::new(
+            cfg,
+            sim.dataset.num_items(),
+            sim.dataset.num_workers(),
+            sim.dataset.num_labels(),
+            0.875,
+        );
+        let mut rng = seeded(92);
+        let stream = WorkerStream::new(&sim.dataset, 20, &mut rng);
+        let mut scores = Vec::new();
+        for batch in stream.iter() {
+            online.partial_fit(&sim.dataset.answers, batch);
+            let preds = online.predict_all();
+            let j: f64 = preds
+                .iter()
+                .zip(&sim.dataset.truth)
+                .map(|(p, t)| p.jaccard(t))
+                .sum::<f64>()
+                / preds.len() as f64;
+            scores.push(j);
+        }
+        // Quality at the end should beat quality after the first batch.
+        assert!(
+            scores.last().unwrap() >= &(scores[0] - 0.05),
+            "quality collapsed: {scores:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting rate")]
+    fn rejects_bad_forgetting_rate() {
+        OnlineCpa::new(CpaConfig::default(), 2, 2, 2, 0.4);
+    }
+}

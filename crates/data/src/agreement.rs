@@ -1,0 +1,173 @@
+//! Inter-annotator agreement statistics.
+//!
+//! The paper's motivating citations (\[17\], Nowak & Rüger) study how reliable
+//! multi-label crowd annotations are via inter-annotator agreement. These
+//! statistics let users diagnose a crowd *before* aggregation: low agreement
+//! flags tasks that are too hard or a worker pool with many spammers, and
+//! the per-item variant is a practical question-difficulty signal (the
+//! paper's §7 future-work item).
+
+use crate::answers::AnswerMatrix;
+
+/// Mean pairwise Jaccard agreement between the answers given to one item.
+/// `None` when fewer than two workers answered.
+pub fn item_agreement(answers: &AnswerMatrix, item: usize) -> Option<f64> {
+    let a = answers.item_answers(item);
+    if a.len() < 2 {
+        return None;
+    }
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for i in 0..a.len() {
+        for j in (i + 1)..a.len() {
+            acc += a[i].1.jaccard(&a[j].1);
+            n += 1;
+        }
+    }
+    Some(acc / n as f64)
+}
+
+/// Observed agreement over the whole dataset: the mean of per-item pairwise
+/// Jaccard agreements (items with fewer than two answers are skipped).
+pub fn observed_agreement(answers: &AnswerMatrix) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for i in 0..answers.num_items() {
+        if let Some(a) = item_agreement(answers, i) {
+            acc += a;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Expected agreement by chance: the mean Jaccard overlap of two answers
+/// drawn at random from *different* items (the permutation-null of the
+/// observed statistic). Deterministic: computed over a systematic sample of
+/// up to `max_pairs` cross-item pairs.
+pub fn chance_agreement(answers: &AnswerMatrix, max_pairs: usize) -> f64 {
+    // Collect a bounded, evenly spaced sample of answers.
+    let mut sample = Vec::new();
+    let total = answers.num_answers();
+    if total == 0 {
+        return 0.0;
+    }
+    let step = (total / 512).max(1);
+    for (k, a) in answers.iter().enumerate() {
+        if k % step == 0 {
+            sample.push((a.item, a.labels));
+        }
+    }
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    'outer: for i in 0..sample.len() {
+        for j in (i + 1)..sample.len() {
+            if sample[i].0 == sample[j].0 {
+                continue;
+            }
+            acc += sample[i].1.jaccard(&sample[j].1);
+            n += 1;
+            if n >= max_pairs {
+                break 'outer;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Chance-corrected agreement in the style of Krippendorff's alpha with a
+/// Jaccard distance: `(A_obs − A_chance) / (1 − A_chance)`. Values near 0
+/// mean the crowd agrees no more than chance; ~1 means near-perfect
+/// consensus.
+pub fn chance_corrected_agreement(answers: &AnswerMatrix) -> f64 {
+    let obs = observed_agreement(answers);
+    let chance = chance_agreement(answers, 20_000);
+    if chance >= 1.0 {
+        return 0.0;
+    }
+    (obs - chance) / (1.0 - chance)
+}
+
+/// Per-item difficulty signal: `1 − agreement`, in `[0, 1]`; `None` for
+/// items with fewer than two answers.
+pub fn item_difficulty(answers: &AnswerMatrix, item: usize) -> Option<f64> {
+    item_agreement(answers, item).map(|a| 1.0 - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::LabelSet;
+    use crate::profile::DatasetProfile;
+    use crate::simulate::simulate;
+    use crate::workers::WorkerMix;
+
+    fn ls(v: &[usize]) -> LabelSet {
+        LabelSet::from_labels(6, v.iter().copied())
+    }
+
+    #[test]
+    fn unanimous_item_has_full_agreement() {
+        let mut m = AnswerMatrix::new(1, 3, 6);
+        for u in 0..3 {
+            m.insert(0, u, ls(&[1, 2]));
+        }
+        assert_eq!(item_agreement(&m, 0), Some(1.0));
+        assert_eq!(item_difficulty(&m, 0), Some(0.0));
+    }
+
+    #[test]
+    fn disjoint_answers_have_zero_agreement() {
+        let mut m = AnswerMatrix::new(1, 2, 6);
+        m.insert(0, 0, ls(&[0]));
+        m.insert(0, 1, ls(&[5]));
+        assert_eq!(item_agreement(&m, 0), Some(0.0));
+    }
+
+    #[test]
+    fn single_answer_is_undefined() {
+        let mut m = AnswerMatrix::new(1, 2, 6);
+        m.insert(0, 0, ls(&[0]));
+        assert_eq!(item_agreement(&m, 0), None);
+    }
+
+    #[test]
+    fn clean_crowd_agrees_more_than_spammy_crowd() {
+        let mut clean_profile = DatasetProfile::image().scaled(0.05);
+        clean_profile.mix = WorkerMix::no_spammers();
+        let clean = simulate(&clean_profile, 211);
+        let spammy_profile = DatasetProfile::image().scaled(0.05); // 25% spammers
+        let spammy = simulate(&spammy_profile, 211);
+        let a_clean = observed_agreement(&clean.dataset.answers);
+        let a_spammy = observed_agreement(&spammy.dataset.answers);
+        assert!(
+            a_clean > a_spammy + 0.05,
+            "clean {a_clean} vs spammy {a_spammy}"
+        );
+    }
+
+    #[test]
+    fn chance_corrected_is_positive_for_real_crowds() {
+        let sim = simulate(&DatasetProfile::image().scaled(0.05), 213);
+        let alpha = chance_corrected_agreement(&sim.dataset.answers);
+        assert!(
+            alpha > 0.1 && alpha <= 1.0,
+            "chance-corrected agreement {alpha}"
+        );
+    }
+
+    #[test]
+    fn empty_matrix_degenerates_to_zero() {
+        let m = AnswerMatrix::new(3, 3, 4);
+        assert_eq!(observed_agreement(&m), 0.0);
+        assert_eq!(chance_agreement(&m, 100), 0.0);
+    }
+}

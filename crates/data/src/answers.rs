@@ -1,0 +1,291 @@
+//! The sparse answer matrix `M` (paper §2.2).
+//!
+//! Crowdsourcing matrices are extremely sparse — each item is answered by a
+//! handful of workers — so the matrix is stored as adjacency lists in *both*
+//! orientations: by item (needed by per-item updates, prediction and the
+//! baselines) and by worker (needed by the per-worker community updates and by
+//! SVI's worker batches). The two views are kept consistent by construction.
+
+use crate::labels::LabelSet;
+use serde::{Deserialize, Serialize};
+
+/// One worker's answer to one item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Answer {
+    /// Item index.
+    pub item: u32,
+    /// Worker index.
+    pub worker: u32,
+    /// The assigned label set (non-empty; an empty set means "did not
+    /// answer", which is represented by *absence* from the matrix).
+    pub labels: LabelSet,
+}
+
+/// Sparse `I × U` answer matrix over `C` labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnswerMatrix {
+    num_items: usize,
+    num_workers: usize,
+    num_labels: usize,
+    /// For each item, `(worker, labels)` pairs sorted by worker.
+    by_item: Vec<Vec<(u32, LabelSet)>>,
+    /// For each worker, `(item, labels)` pairs sorted by item.
+    by_worker: Vec<Vec<(u32, LabelSet)>>,
+    num_answers: usize,
+}
+
+impl AnswerMatrix {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(num_items: usize, num_workers: usize, num_labels: usize) -> Self {
+        Self {
+            num_items,
+            num_workers,
+            num_labels,
+            by_item: vec![Vec::new(); num_items],
+            by_worker: vec![Vec::new(); num_workers],
+            num_answers: 0,
+        }
+    }
+
+    /// Number of items `I`.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of workers `U`.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Number of labels `C`.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Number of non-empty answers (worker-item pairs).
+    pub fn num_answers(&self) -> usize {
+        self.num_answers
+    }
+
+    /// Fraction of the full `I × U` grid that is *not* answered.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.num_items * self.num_workers;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.num_answers as f64 / total as f64
+    }
+
+    /// Inserts an answer. Replaces any previous answer by the same worker for
+    /// the same item. Empty label sets are rejected — absence encodes
+    /// "no answer".
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices, a label universe mismatch, or an empty
+    /// label set.
+    pub fn insert(&mut self, item: usize, worker: usize, labels: LabelSet) {
+        assert!(item < self.num_items, "item {item} out of range");
+        assert!(worker < self.num_workers, "worker {worker} out of range");
+        assert_eq!(labels.universe(), self.num_labels, "label universe mismatch");
+        assert!(!labels.is_empty(), "empty answers are encoded by absence");
+        let iv = &mut self.by_item[item];
+        match iv.binary_search_by_key(&(worker as u32), |e| e.0) {
+            Ok(pos) => {
+                iv[pos].1 = labels.clone();
+                let wv = &mut self.by_worker[worker];
+                let wpos = wv
+                    .binary_search_by_key(&(item as u32), |e| e.0)
+                    .expect("views out of sync");
+                wv[wpos].1 = labels;
+            }
+            Err(pos) => {
+                iv.insert(pos, (worker as u32, labels.clone()));
+                let wv = &mut self.by_worker[worker];
+                let wpos = wv
+                    .binary_search_by_key(&(item as u32), |e| e.0)
+                    .expect_err("views out of sync");
+                wv.insert(wpos, (item as u32, labels));
+                self.num_answers += 1;
+            }
+        }
+    }
+
+    /// Removes the answer of `worker` for `item`; returns whether one existed.
+    pub fn remove(&mut self, item: usize, worker: usize) -> bool {
+        if item >= self.num_items || worker >= self.num_workers {
+            return false;
+        }
+        let iv = &mut self.by_item[item];
+        if let Ok(pos) = iv.binary_search_by_key(&(worker as u32), |e| e.0) {
+            iv.remove(pos);
+            let wv = &mut self.by_worker[worker];
+            let wpos = wv
+                .binary_search_by_key(&(item as u32), |e| e.0)
+                .expect("views out of sync");
+            wv.remove(wpos);
+            self.num_answers -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The answer of `worker` for `item`, if any.
+    pub fn get(&self, item: usize, worker: usize) -> Option<&LabelSet> {
+        self.by_item[item]
+            .binary_search_by_key(&(worker as u32), |e| e.0)
+            .ok()
+            .map(|pos| &self.by_item[item][pos].1)
+    }
+
+    /// All `(worker, labels)` answers for an item, sorted by worker index.
+    pub fn item_answers(&self, item: usize) -> &[(u32, LabelSet)] {
+        &self.by_item[item]
+    }
+
+    /// All `(item, labels)` answers of a worker, sorted by item index.
+    pub fn worker_answers(&self, worker: usize) -> &[(u32, LabelSet)] {
+        &self.by_worker[worker]
+    }
+
+    /// Iterates all answers in item-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Answer> + '_ {
+        self.by_item.iter().enumerate().flat_map(|(i, v)| {
+            v.iter().map(move |(w, l)| Answer {
+                item: i as u32,
+                worker: *w,
+                labels: l.clone(),
+            })
+        })
+    }
+
+    /// Grows the worker dimension (used by spammer injection).
+    pub fn grow_workers(&mut self, new_num_workers: usize) {
+        assert!(new_num_workers >= self.num_workers);
+        self.by_worker.resize(new_num_workers, Vec::new());
+        self.num_workers = new_num_workers;
+    }
+
+    /// Per-label positive-vote counts and answer counts for an item:
+    /// `(votes_for_label, total_answers)`. This is the sufficient statistic of
+    /// majority voting and of the per-label baseline decomposition.
+    pub fn item_vote_counts(&self, item: usize) -> (Vec<u32>, u32) {
+        let mut votes = vec![0u32; self.num_labels];
+        let answers = &self.by_item[item];
+        for (_, labels) in answers {
+            for c in labels.iter() {
+                votes[c] += 1;
+            }
+        }
+        (votes, answers.len() as u32)
+    }
+
+    /// Debug-checks the two orientations agree. Exposed for tests.
+    pub fn check_consistency(&self) -> bool {
+        let mut n = 0;
+        for (i, v) in self.by_item.iter().enumerate() {
+            for (w, l) in v {
+                n += 1;
+                match self.by_worker[*w as usize]
+                    .binary_search_by_key(&(i as u32), |e| e.0)
+                {
+                    Ok(pos) => {
+                        if self.by_worker[*w as usize][pos].1 != *l {
+                            return false;
+                        }
+                    }
+                    Err(_) => return false,
+                }
+            }
+        }
+        n == self.num_answers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(c: usize, labels: &[usize]) -> LabelSet {
+        LabelSet::from_labels(c, labels.iter().copied())
+    }
+
+    #[test]
+    fn insert_get_both_views() {
+        let mut m = AnswerMatrix::new(3, 2, 5);
+        m.insert(0, 1, ls(5, &[0, 2]));
+        m.insert(2, 1, ls(5, &[4]));
+        m.insert(0, 0, ls(5, &[1]));
+        assert_eq!(m.num_answers(), 3);
+        assert_eq!(m.get(0, 1).unwrap().to_vec(), vec![0, 2]);
+        assert!(m.get(1, 0).is_none());
+        assert_eq!(m.item_answers(0).len(), 2);
+        assert_eq!(m.worker_answers(1).len(), 2);
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut m = AnswerMatrix::new(1, 1, 4);
+        m.insert(0, 0, ls(4, &[0]));
+        m.insert(0, 0, ls(4, &[1, 2]));
+        assert_eq!(m.num_answers(), 1);
+        assert_eq!(m.get(0, 0).unwrap().to_vec(), vec![1, 2]);
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut m = AnswerMatrix::new(2, 2, 3);
+        m.insert(0, 0, ls(3, &[0]));
+        m.insert(1, 0, ls(3, &[1]));
+        assert!(m.remove(0, 0));
+        assert!(!m.remove(0, 0));
+        assert_eq!(m.num_answers(), 1);
+        assert!(m.get(0, 0).is_none());
+        assert_eq!(m.worker_answers(0).len(), 1);
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty answers")]
+    fn rejects_empty_answer() {
+        let mut m = AnswerMatrix::new(1, 1, 3);
+        m.insert(0, 0, LabelSet::empty(3));
+    }
+
+    #[test]
+    fn sparsity_and_counts() {
+        let mut m = AnswerMatrix::new(2, 2, 3);
+        assert_eq!(m.sparsity(), 1.0);
+        m.insert(0, 0, ls(3, &[0, 1]));
+        m.insert(0, 1, ls(3, &[1]));
+        assert_eq!(m.sparsity(), 0.5);
+        let (votes, n) = m.item_vote_counts(0);
+        assert_eq!(votes, vec![1, 2, 0]);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn grow_workers_preserves() {
+        let mut m = AnswerMatrix::new(1, 1, 2);
+        m.insert(0, 0, ls(2, &[0]));
+        m.grow_workers(3);
+        assert_eq!(m.num_workers(), 3);
+        m.insert(0, 2, ls(2, &[1]));
+        assert_eq!(m.num_answers(), 2);
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut m = AnswerMatrix::new(2, 3, 4);
+        m.insert(0, 2, ls(4, &[1]));
+        m.insert(1, 0, ls(4, &[2]));
+        m.insert(1, 1, ls(4, &[3]));
+        let all: Vec<Answer> = m.iter().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].item, 0);
+        assert_eq!(all[0].worker, 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! A labelled crowdsourcing dataset: answer matrix + ground truth.
+
+use crate::answers::AnswerMatrix;
+use crate::labels::LabelSet;
+use serde::{Deserialize, Serialize};
+
+/// A complete dataset for the partial-agreement answer-aggregation problem
+/// (paper Problem 1): the inputs (`N`, `U`, `Z`, `M`) plus the ground truth
+/// used by the evaluation metrics and, optionally revealed, by
+/// semi-supervised inference (`ȳ`, paper §3.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name (e.g. the paper profile it simulates).
+    pub name: String,
+    /// The sparse answer matrix.
+    pub answers: AnswerMatrix,
+    /// Ground-truth label set per item (used for evaluation; hidden from the
+    /// aggregators unless explicitly revealed).
+    pub truth: Vec<LabelSet>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking that shapes line up.
+    ///
+    /// # Panics
+    /// Panics if `truth.len()` differs from the matrix's item count or any
+    /// truth set has the wrong universe.
+    pub fn new(name: impl Into<String>, answers: AnswerMatrix, truth: Vec<LabelSet>) -> Self {
+        assert_eq!(truth.len(), answers.num_items(), "truth/items mismatch");
+        for t in &truth {
+            assert_eq!(t.universe(), answers.num_labels(), "label universe mismatch");
+        }
+        Self {
+            name: name.into(),
+            answers,
+            truth,
+        }
+    }
+
+    /// Number of items `I`.
+    pub fn num_items(&self) -> usize {
+        self.answers.num_items()
+    }
+
+    /// Number of workers `U`.
+    pub fn num_workers(&self) -> usize {
+        self.answers.num_workers()
+    }
+
+    /// Number of labels `C`.
+    pub fn num_labels(&self) -> usize {
+        self.answers.num_labels()
+    }
+
+    /// Mean number of labels per ground-truth set.
+    pub fn mean_truth_labels(&self) -> f64 {
+        if self.truth.is_empty() {
+            return 0.0;
+        }
+        self.truth.iter().map(|t| t.len()).sum::<usize>() as f64 / self.truth.len() as f64
+    }
+
+    /// Mean number of answers per item.
+    pub fn mean_answers_per_item(&self) -> f64 {
+        if self.num_items() == 0 {
+            return 0.0;
+        }
+        self.answers.num_answers() as f64 / self.num_items() as f64
+    }
+
+    /// Summary statistics in the shape of the paper's Table 3.
+    pub fn statistics(&self) -> DatasetStats {
+        DatasetStats {
+            name: self.name.clone(),
+            items: self.num_items(),
+            labels: self.num_labels(),
+            workers: self.num_workers(),
+            answers: self.answers.num_answers(),
+            mean_labels_per_item: self.mean_truth_labels(),
+            mean_answers_per_item: self.mean_answers_per_item(),
+            sparsity: self.answers.sparsity(),
+        }
+    }
+
+    /// Serialises to pretty JSON (round-trips with [`Dataset::from_json`]).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serialises")
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Table-3 style dataset statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of items (questions).
+    pub items: usize,
+    /// Number of labels.
+    pub labels: usize,
+    /// Number of workers.
+    pub workers: usize,
+    /// Number of answers.
+    pub answers: usize,
+    /// Mean ground-truth labels per item.
+    pub mean_labels_per_item: f64,
+    /// Mean answers per item.
+    pub mean_answers_per_item: f64,
+    /// Fraction of the item×worker grid without an answer.
+    pub sparsity: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut m = AnswerMatrix::new(2, 3, 4);
+        m.insert(0, 0, LabelSet::from_labels(4, [0, 1]));
+        m.insert(0, 1, LabelSet::from_labels(4, [1]));
+        m.insert(1, 2, LabelSet::from_labels(4, [3]));
+        let truth = vec![
+            LabelSet::from_labels(4, [0, 1]),
+            LabelSet::from_labels(4, [3]),
+        ];
+        Dataset::new("tiny", m, truth)
+    }
+
+    #[test]
+    fn stats() {
+        let d = tiny();
+        let s = d.statistics();
+        assert_eq!(s.items, 2);
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.answers, 3);
+        assert!((s.mean_labels_per_item - 1.5).abs() < 1e-12);
+        assert!((s.mean_answers_per_item - 1.5).abs() < 1e-12);
+        assert!((s.sparsity - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = tiny();
+        let j = d.to_json();
+        let d2 = Dataset::from_json(&j).unwrap();
+        assert_eq!(d2.num_items(), 2);
+        assert_eq!(d2.truth[0].to_vec(), vec![0, 1]);
+        assert_eq!(d2.answers.get(0, 1).unwrap().to_vec(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "truth/items mismatch")]
+    fn rejects_shape_mismatch() {
+        let m = AnswerMatrix::new(2, 1, 3);
+        Dataset::new("bad", m, vec![LabelSet::empty(3)]);
+    }
+}

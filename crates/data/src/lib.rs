@@ -1,0 +1,42 @@
+//! Data substrate for the CPA crowd-consensus library.
+//!
+//! The paper evaluates on five CrowdFlower datasets (Table 3) plus a
+//! large-scale synthetic crowd (§5.1). The raw crowd answers are not
+//! redistributable, so this crate provides (see `DESIGN.md` §4 for the
+//! substitution argument):
+//!
+//! - [`labels::LabelSet`]: compact bitset label sets (answers and truths);
+//! - [`answers::AnswerMatrix`]: the sparse `I × U` answer matrix `M` of the
+//!   problem statement (§2.2), indexable by item and by worker;
+//! - [`dataset::Dataset`]: answers + ground truth + metadata;
+//! - [`profile::DatasetProfile`]: the published statistics of each paper
+//!   dataset (items, labels, workers, answers, correlation structure);
+//! - [`workers`]: the five worker types of §2.1 (reliable, normal, sloppy,
+//!   uniform spammer, random spammer) with Fig. 10-style behaviour;
+//! - [`truthgen`]: ground-truth generators (correlated label-cluster model and
+//!   independent model);
+//! - [`simulate`]: the crowd simulator assembling all of the above;
+//! - [`perturb`]: the perturbations driving Figs. 3–5 (sparsity, spammer
+//!   injection, label-dependency injection);
+//! - [`stream`]: worker-batch streaming for the online experiments (Fig. 6).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod agreement;
+pub mod answers;
+pub mod dataset;
+pub mod io;
+pub mod labels;
+pub mod perturb;
+pub mod profile;
+pub mod simulate;
+pub mod stream;
+pub mod truthgen;
+pub mod workers;
+
+pub use answers::AnswerMatrix;
+pub use dataset::Dataset;
+pub use labels::LabelSet;
+pub use profile::DatasetProfile;
+pub use workers::{WorkerMix, WorkerType};

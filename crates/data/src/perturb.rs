@@ -1,0 +1,275 @@
+//! Dataset perturbations driving the robustness experiments.
+//!
+//! - [`sparsify`] — Fig. 3: "randomly removing a certain share of the
+//!   answers";
+//! - [`inject_spammers`] — Fig. 4: "adding answers of spammers to the
+//!   datasets, such that they account for 20% or 40% of the data";
+//! - [`inject_dependencies`] — Fig. 5: "randomly adding missing labels from
+//!   the ground truth to worker answers that contain at least one correct
+//!   label".
+
+use crate::dataset::Dataset;
+use crate::labels::LabelSet;
+use crate::simulate::SimulatedDataset;
+use crate::workers::{LabelAffinity, WorkerProfile, WorkerType};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Removes `fraction` of the answers uniformly at random (Fig. 3's sparsity
+/// axis). Guarantees at least one answer per item remains whenever the item
+/// had any, so no item becomes completely unanswerable.
+pub fn sparsify<R: Rng + ?Sized>(dataset: &Dataset, fraction: f64, rng: &mut R) -> Dataset {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut pairs: Vec<(u32, u32)> = dataset
+        .answers
+        .iter()
+        .map(|a| (a.item, a.worker))
+        .collect();
+    pairs.shuffle(rng);
+    let remove_target = (pairs.len() as f64 * fraction).round() as usize;
+    let mut out = dataset.clone();
+    let mut removed = 0usize;
+    for (item, worker) in pairs {
+        if removed >= remove_target {
+            break;
+        }
+        if out.answers.item_answers(item as usize).len() <= 1 {
+            continue; // keep the last answer of an item
+        }
+        out.answers.remove(item as usize, worker as usize);
+        removed += 1;
+    }
+    out
+}
+
+/// Adds spammer workers (half uniform, half random, per §5.1) with enough
+/// answers that spam makes up `ratio` of all answers afterwards. Spammers
+/// answer randomly chosen items. Returns the new dataset plus the types of
+/// the appended workers.
+pub fn inject_spammers<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    ratio: f64,
+    affinity: &LabelAffinity,
+    rng: &mut R,
+) -> (Dataset, Vec<WorkerType>) {
+    assert!((0.0..1.0).contains(&ratio), "spam ratio must be in [0,1)");
+    let mut out = dataset.clone();
+    let honest = dataset.answers.num_answers() as f64;
+    // spam / (honest + spam) = ratio  →  spam = honest · ratio / (1 − ratio).
+    let spam_total = (honest * ratio / (1.0 - ratio)).round() as usize;
+    if spam_total == 0 {
+        return (out, Vec::new());
+    }
+    // Same answering intensity as the average honest worker.
+    let per_worker = (honest / dataset.num_workers().max(1) as f64).ceil().max(1.0) as usize;
+    let num_spammers = spam_total.div_ceil(per_worker);
+    let first_new = out.num_workers();
+    out.answers.grow_workers(first_new + num_spammers);
+
+    let typical = dataset.mean_truth_labels().max(1.0);
+    let mut new_types = Vec::with_capacity(num_spammers);
+    let mut emitted = 0usize;
+    for s in 0..num_spammers {
+        let kind = if s % 2 == 0 {
+            WorkerType::UniformSpammer
+        } else {
+            WorkerType::RandomSpammer
+        };
+        new_types.push(kind);
+        let profile = WorkerProfile::sample(rng, kind, 1.0, dataset.num_labels());
+        let worker = first_new + s;
+        let quota = per_worker.min(spam_total - emitted).min(dataset.num_items());
+        // Answer `quota` distinct random items.
+        let mut items: Vec<usize> = (0..dataset.num_items()).collect();
+        items.shuffle(rng);
+        for &item in items.iter().take(quota) {
+            let ans = profile.answer(rng, &dataset.truth[item], affinity, typical);
+            out.answers.insert(item, worker, ans);
+            emitted += 1;
+        }
+        if emitted >= spam_total {
+            break;
+        }
+    }
+    (out, new_types)
+}
+
+/// Convenience wrapper of [`inject_spammers`] for a [`SimulatedDataset`],
+/// extending the planted worker-type vector.
+pub fn inject_spammers_sim<R: Rng + ?Sized>(
+    sim: &SimulatedDataset,
+    ratio: f64,
+    rng: &mut R,
+) -> SimulatedDataset {
+    let (dataset, new_types) = inject_spammers(&sim.dataset, ratio, &sim.affinity, rng);
+    let mut worker_types = sim.worker_types.clone();
+    let mut worker_profiles = sim.worker_profiles.clone();
+    for t in new_types {
+        worker_types.push(t);
+        worker_profiles.push(WorkerProfile::sample(
+            rng,
+            t,
+            1.0,
+            sim.dataset.num_labels(),
+        ));
+    }
+    SimulatedDataset {
+        dataset,
+        worker_types,
+        worker_profiles,
+        affinity: sim.affinity.clone(),
+    }
+}
+
+/// Strengthens the label-dependency signal in worker answers (Fig. 5): counts
+/// the labels missing from answers that contain at least one correct label,
+/// then adds `fraction` of those missing true labels back at random.
+pub fn inject_dependencies<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    fraction: f64,
+    rng: &mut R,
+) -> Dataset {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    // Collect all (item, worker, missing-label) slots among qualifying answers.
+    let mut slots: Vec<(u32, u32, u16)> = Vec::new();
+    for a in dataset.answers.iter() {
+        let truth = &dataset.truth[a.item as usize];
+        if a.labels.intersection_len(truth) == 0 {
+            continue; // answer has no correct label — not a qualifying answer
+        }
+        for missing in truth.difference(&a.labels).iter() {
+            slots.push((a.item, a.worker, missing as u16));
+        }
+    }
+    slots.shuffle(rng);
+    let take = (slots.len() as f64 * fraction).round() as usize;
+    let mut out = dataset.clone();
+    for &(item, worker, label) in slots.iter().take(take) {
+        let mut labels: LabelSet = out
+            .answers
+            .get(item as usize, worker as usize)
+            .expect("slot comes from an existing answer")
+            .clone();
+        labels.insert(label as usize);
+        out.answers.insert(item as usize, worker as usize, labels);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+    use crate::simulate::simulate;
+    use cpa_math::rng::seeded;
+
+    fn sim() -> SimulatedDataset {
+        simulate(&DatasetProfile::image().scaled(0.05), 31)
+    }
+
+    #[test]
+    fn sparsify_removes_requested_share() {
+        let s = sim();
+        let before = s.dataset.answers.num_answers();
+        let mut rng = seeded(1);
+        let d = sparsify(&s.dataset, 0.5, &mut rng);
+        let after = d.answers.num_answers();
+        let removed = before - after;
+        assert!(
+            (removed as f64 - before as f64 * 0.5).abs() <= before as f64 * 0.02,
+            "removed {removed} of {before}"
+        );
+        assert!(d.answers.check_consistency());
+        // No item left unanswered.
+        for i in 0..d.num_items() {
+            assert!(!d.answers.item_answers(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn sparsify_zero_is_identity() {
+        let s = sim();
+        let mut rng = seeded(2);
+        let d = sparsify(&s.dataset, 0.0, &mut rng);
+        assert_eq!(d.answers.num_answers(), s.dataset.answers.num_answers());
+    }
+
+    #[test]
+    fn spammer_injection_reaches_ratio() {
+        let s = sim();
+        let mut rng = seeded(3);
+        let (d, types) = inject_spammers(&s.dataset, 0.4, &s.affinity, &mut rng);
+        let total = d.answers.num_answers() as f64;
+        let honest = s.dataset.answers.num_answers() as f64;
+        let spam_frac = (total - honest) / total;
+        assert!((spam_frac - 0.4).abs() < 0.03, "spam fraction {spam_frac}");
+        assert!(types.iter().all(|t| t.is_spammer()));
+        assert!(d.num_workers() > s.dataset.num_workers());
+        assert!(d.answers.check_consistency());
+        // Truth untouched.
+        assert_eq!(d.truth.len(), s.dataset.truth.len());
+    }
+
+    #[test]
+    fn spammer_injection_zero_ratio_noop() {
+        let s = sim();
+        let mut rng = seeded(4);
+        let (d, types) = inject_spammers(&s.dataset, 0.0, &s.affinity, &mut rng);
+        assert!(types.is_empty());
+        assert_eq!(d.answers.num_answers(), s.dataset.answers.num_answers());
+    }
+
+    #[test]
+    fn dependency_injection_adds_only_true_labels() {
+        let s = sim();
+        let mut rng = seeded(5);
+        let d = inject_dependencies(&s.dataset, 0.3, &mut rng);
+        assert_eq!(d.answers.num_answers(), s.dataset.answers.num_answers());
+        let mut added = 0usize;
+        for a in d.answers.iter() {
+            let before = s.dataset.answers.get(a.item as usize, a.worker as usize).unwrap();
+            let new_labels = a.labels.difference(before);
+            for c in new_labels.iter() {
+                assert!(
+                    d.truth[a.item as usize].contains(c),
+                    "injected a non-true label"
+                );
+                added += 1;
+            }
+        }
+        assert!(added > 0, "no labels injected");
+    }
+
+    #[test]
+    fn dependency_injection_fraction_scales() {
+        let s = sim();
+        let count_added = |frac: f64, seed: u64| {
+            let mut rng = seeded(seed);
+            let d = inject_dependencies(&s.dataset, frac, &mut rng);
+            let mut added = 0usize;
+            for a in d.answers.iter() {
+                let before = s.dataset.answers.get(a.item as usize, a.worker as usize).unwrap();
+                added += a.labels.difference(before).len();
+            }
+            added
+        };
+        let a10 = count_added(0.1, 6);
+        let a30 = count_added(0.3, 7);
+        assert!(
+            (a30 as f64 / a10 as f64 - 3.0).abs() < 0.3,
+            "10% → {a10}, 30% → {a30}"
+        );
+    }
+
+    #[test]
+    fn inject_spammers_sim_extends_types() {
+        let s = sim();
+        let mut rng = seeded(8);
+        let s2 = inject_spammers_sim(&s, 0.2, &mut rng);
+        assert_eq!(s2.worker_types.len(), s2.dataset.num_workers());
+        assert_eq!(s2.worker_profiles.len(), s2.dataset.num_workers());
+        assert!(s2.worker_types[s.worker_types.len()..]
+            .iter()
+            .all(|t| t.is_spammer()));
+    }
+}

@@ -1,0 +1,235 @@
+//! Dataset profiles matching the paper's Table 3.
+//!
+//! Each profile carries the *published statistics* of one of the five
+//! evaluation datasets (questions, labels, workers, answers) plus the
+//! qualitative properties §5.1 describes: answer-distribution skew
+//! (image/movie), task difficulty (the text datasets), and label-correlation
+//! strength (strong for image/topic/entity, weak for aspect/movie). The
+//! simulator turns a profile into a concrete [`crate::dataset::Dataset`];
+//! DESIGN.md §4 documents why this substitution preserves the paper's
+//! comparisons.
+
+use crate::truthgen::{CorrelationModel, TruthGen};
+use crate::workers::WorkerMix;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulated crowdsourcing dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name (paper's naming).
+    pub name: String,
+    /// Number of items posted as questions (`# Questions` row of Table 3).
+    pub items: usize,
+    /// Label universe size (`# Labels`).
+    pub labels: usize,
+    /// Worker population (`# Workers`).
+    pub workers: usize,
+    /// Total number of answers (`# Answers`).
+    pub answers: usize,
+    /// Mean true labels per item.
+    pub mean_labels_per_item: f64,
+    /// Cap on true labels per item.
+    pub max_labels_per_item: usize,
+    /// Label correlation regime.
+    pub correlation: CorrelationModel,
+    /// Whether worker activity is skewed (paper: "the distribution of worker
+    /// answers is skewed in datasets (1) and (5), whereas it is normal in (3)").
+    pub skewed_workers: bool,
+    /// Task difficulty ≥ 1 (text understanding tasks are harder, §5.1).
+    pub difficulty: f64,
+    /// Worker-type mixture.
+    pub mix: WorkerMix,
+}
+
+impl DatasetProfile {
+    /// Dataset (1), image annotation: NUS-WIDE tags. 2000 questions, 81
+    /// labels, 416 workers, 22,920 answers; up to 10 tags per image; strong
+    /// label correlation; skewed worker activity; simple task.
+    pub fn image() -> Self {
+        Self {
+            name: "image".into(),
+            items: 2000,
+            labels: 81,
+            workers: 416,
+            answers: 22_920,
+            mean_labels_per_item: 3.2,
+            max_labels_per_item: 10,
+            correlation: CorrelationModel::Clustered {
+                groups: 12,
+                within_prob: 0.85,
+            },
+            skewed_workers: true,
+            difficulty: 1.0,
+            mix: WorkerMix::paper_simulation(),
+        }
+    }
+
+    /// Dataset (2), topic annotation: TREC-2011 microblog topics. 2000
+    /// questions, 49 labels, 313 workers, 15,080 answers; up to 5 topics;
+    /// strong correlation; text understanding (harder).
+    pub fn topic() -> Self {
+        Self {
+            name: "topic".into(),
+            items: 2000,
+            labels: 49,
+            workers: 313,
+            answers: 15_080,
+            mean_labels_per_item: 2.4,
+            max_labels_per_item: 5,
+            correlation: CorrelationModel::Clustered {
+                groups: 8,
+                within_prob: 0.85,
+            },
+            skewed_workers: false,
+            difficulty: 1.3,
+            mix: WorkerMix::paper_simulation(),
+        }
+    }
+
+    /// Dataset (3), aspect extraction from restaurant reviews. 3710
+    /// questions, 262 labels, 482 workers, 19,780 answers; up to 5 aspects;
+    /// little label correlation; text understanding (harder); normal worker
+    /// activity.
+    pub fn aspect() -> Self {
+        Self {
+            name: "aspect".into(),
+            items: 3710,
+            labels: 262,
+            workers: 482,
+            answers: 19_780,
+            mean_labels_per_item: 2.6,
+            max_labels_per_item: 5,
+            correlation: CorrelationModel::Independent { s: 0.9 },
+            skewed_workers: false,
+            difficulty: 1.3,
+            mix: WorkerMix::paper_simulation(),
+        }
+    }
+
+    /// Dataset (4), entity extraction: T-NER tweets. 2400 questions, 1450
+    /// labels, 517 workers, 15,510 answers; strong correlation (entities
+    /// cluster by category); text understanding (harder).
+    pub fn entity() -> Self {
+        Self {
+            name: "entity".into(),
+            items: 2400,
+            labels: 1450,
+            workers: 517,
+            answers: 15_510,
+            mean_labels_per_item: 2.2,
+            max_labels_per_item: 6,
+            correlation: CorrelationModel::Clustered {
+                groups: 10, // the T-NER category count
+                within_prob: 0.9,
+            },
+            skewed_workers: false,
+            difficulty: 1.3,
+            mix: WorkerMix::paper_simulation(),
+        }
+    }
+
+    /// Dataset (5), movie genre tagging from IMDB. 500 questions, 22 labels,
+    /// 936 workers, 14,430 answers; little correlation; skewed worker
+    /// activity; simple task.
+    pub fn movie() -> Self {
+        Self {
+            name: "movie".into(),
+            items: 500,
+            labels: 22,
+            workers: 936,
+            answers: 14_430,
+            mean_labels_per_item: 2.1,
+            max_labels_per_item: 4,
+            correlation: CorrelationModel::Independent { s: 0.7 },
+            skewed_workers: true,
+            difficulty: 1.0,
+            mix: WorkerMix::paper_simulation(),
+        }
+    }
+
+    /// All five paper profiles in Table 3 order.
+    pub fn all_five() -> Vec<Self> {
+        vec![
+            Self::image(),
+            Self::topic(),
+            Self::aspect(),
+            Self::entity(),
+            Self::movie(),
+        ]
+    }
+
+    /// Returns the profile with item/worker/answer counts scaled by `f`
+    /// (labels untouched). Used to run CI-sized versions of each experiment.
+    pub fn scaled(mut self, f: f64) -> Self {
+        assert!(f > 0.0, "scale factor must be positive");
+        let s = |x: usize| ((x as f64 * f).round() as usize).max(1);
+        self.items = s(self.items);
+        self.workers = s(self.workers);
+        self.answers = s(self.answers);
+        self
+    }
+
+    /// The truth generator this profile implies.
+    pub fn truth_gen(&self) -> TruthGen {
+        TruthGen {
+            num_labels: self.labels,
+            mean_labels: self.mean_labels_per_item,
+            max_labels: self.max_labels_per_item,
+            model: self.correlation,
+        }
+    }
+
+    /// Mean answers per item implied by the counts.
+    pub fn answers_per_item(&self) -> f64 {
+        self.answers as f64 / self.items.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_counts_match_paper() {
+        let p = DatasetProfile::all_five();
+        let expect = [
+            ("image", 2000, 81, 416, 22_920),
+            ("topic", 2000, 49, 313, 15_080),
+            ("aspect", 3710, 262, 482, 19_780),
+            ("entity", 2400, 1450, 517, 15_510),
+            ("movie", 500, 22, 936, 14_430),
+        ];
+        for (p, (name, items, labels, workers, answers)) in p.iter().zip(expect) {
+            assert_eq!(p.name, name);
+            assert_eq!(p.items, items);
+            assert_eq!(p.labels, labels);
+            assert_eq!(p.workers, workers);
+            assert_eq!(p.answers, answers);
+            assert!(p.mix.is_valid());
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_labels() {
+        let p = DatasetProfile::image().scaled(0.1);
+        assert_eq!(p.items, 200);
+        assert_eq!(p.labels, 81);
+        assert_eq!(p.workers, 42);
+        assert_eq!(p.answers, 2292);
+    }
+
+    #[test]
+    fn scaling_never_zero() {
+        let p = DatasetProfile::movie().scaled(0.0001);
+        assert!(p.items >= 1 && p.workers >= 1 && p.answers >= 1);
+    }
+
+    #[test]
+    fn answers_per_item_sane() {
+        // Every paper dataset has ~4–30 answers per item.
+        for p in DatasetProfile::all_five() {
+            let a = p.answers_per_item();
+            assert!((3.0..35.0).contains(&a), "{}: {a}", p.name);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The crowd simulator: profile → dataset.
+//!
+//! Follows the paper's own large-scale simulation recipe (§5.1): distribute
+//! the worker population over the five types, give each worker a behaviour
+//! profile, and have each item answered by a set of workers drawn from the
+//! population (skewed by activity when the profile says so). Ground truth
+//! comes from the profile's correlation model ("the ground truth is generated
+//! based on a multinomial distribution", §5.1).
+
+use crate::answers::AnswerMatrix;
+use crate::dataset::Dataset;
+use crate::profile::DatasetProfile;
+use crate::workers::{LabelAffinity, WorkerProfile, WorkerType};
+use cpa_math::categorical::AliasTable;
+use cpa_math::rng::seeded;
+use rand::Rng;
+
+/// A simulated dataset together with the planted structure, which experiments
+/// use as the reference for worker-type identification (Figs. 9–10).
+#[derive(Debug, Clone)]
+pub struct SimulatedDataset {
+    /// The dataset (answers + truth) visible to aggregators.
+    pub dataset: Dataset,
+    /// Planted worker type per worker.
+    pub worker_types: Vec<WorkerType>,
+    /// Full behaviour profiles per worker.
+    pub worker_profiles: Vec<WorkerProfile>,
+    /// Planted label co-occurrence groups.
+    pub affinity: LabelAffinity,
+}
+
+/// Simulates a dataset from a profile, deterministically in `seed`.
+pub fn simulate(profile: &DatasetProfile, seed: u64) -> SimulatedDataset {
+    let mut rng = seeded(seed);
+    simulate_with_rng(profile, &mut rng)
+}
+
+/// Simulates with a caller-provided RNG (for composing simulations).
+pub fn simulate_with_rng<R: Rng + ?Sized>(
+    profile: &DatasetProfile,
+    rng: &mut R,
+) -> SimulatedDataset {
+    assert!(profile.mix.is_valid(), "invalid worker mix");
+    let truth = profile.truth_gen().generate(profile.items, rng);
+
+    // Worker population: type per worker from the mixture, then a concrete
+    // behaviour profile.
+    let type_sampler = AliasTable::new(&profile.mix.weights());
+    let mut worker_types = Vec::with_capacity(profile.workers);
+    let mut worker_profiles = Vec::with_capacity(profile.workers);
+    for _ in 0..profile.workers {
+        let kind = WorkerType::ALL[type_sampler.sample(rng)];
+        worker_types.push(kind);
+        worker_profiles.push(WorkerProfile::sample(
+            rng,
+            kind,
+            profile.difficulty,
+            profile.labels,
+        ));
+    }
+
+    // Worker activity: Zipf-skewed (a few workers do most tasks) or uniform.
+    let activity: Vec<f64> = if profile.skewed_workers {
+        (0..profile.workers)
+            .map(|r| 1.0 / (1.0 + r as f64).powf(0.8))
+            .collect()
+    } else {
+        vec![1.0; profile.workers]
+    };
+    let worker_sampler = AliasTable::new(&activity);
+
+    // Spread the answer budget over items as evenly as possible.
+    let base = profile.answers / profile.items;
+    let remainder = profile.answers % profile.items;
+    let mut answers = AnswerMatrix::new(profile.items, profile.workers, profile.labels);
+    for item in 0..profile.items {
+        let k = (base + usize::from(item < remainder)).min(profile.workers);
+        let workers = sample_distinct_workers(rng, &worker_sampler, profile.workers, k);
+        for w in workers {
+            let ans = worker_profiles[w].answer(
+                rng,
+                &truth.labels[item],
+                &truth.affinity,
+                profile.mean_labels_per_item,
+            );
+            answers.insert(item, w, ans);
+        }
+    }
+
+    SimulatedDataset {
+        dataset: Dataset::new(profile.name.clone(), answers, truth.labels),
+        worker_types,
+        worker_profiles,
+        affinity: truth.affinity,
+    }
+}
+
+/// Draws `k` distinct workers by weighted sampling with rejection (k ≪ U in
+/// every profile, so rejections are rare); falls back to a scan when k is
+/// close to U.
+fn sample_distinct_workers<R: Rng + ?Sized>(
+    rng: &mut R,
+    sampler: &AliasTable,
+    num_workers: usize,
+    k: usize,
+) -> Vec<usize> {
+    let k = k.min(num_workers);
+    if k * 2 >= num_workers {
+        // Dense case: random permutation prefix.
+        let mut all: Vec<usize> = (0..num_workers).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..num_workers);
+            all.swap(i, j);
+        }
+        all.truncate(k);
+        return all;
+    }
+    let mut chosen = Vec::with_capacity(k);
+    let mut seen = vec![false; num_workers];
+    let mut guard = 0usize;
+    while chosen.len() < k {
+        let w = sampler.sample(rng);
+        if !seen[w] {
+            seen[w] = true;
+            chosen.push(w);
+        }
+        guard += 1;
+        if guard > 100 * k + 1000 {
+            // Pathologically concentrated activity: fill deterministically.
+            for w in 0..num_workers {
+                if chosen.len() == k {
+                    break;
+                }
+                if !seen[w] {
+                    seen[w] = true;
+                    chosen.push(w);
+                }
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::LabelSet;
+    use crate::profile::DatasetProfile;
+
+    fn small_image() -> DatasetProfile {
+        DatasetProfile::image().scaled(0.05)
+    }
+
+    #[test]
+    fn simulation_matches_profile_counts() {
+        let p = small_image();
+        let sim = simulate(&p, 42);
+        let d = &sim.dataset;
+        assert_eq!(d.num_items(), p.items);
+        assert_eq!(d.num_workers(), p.workers);
+        assert_eq!(d.num_labels(), p.labels);
+        // Budget respected to within the per-item cap.
+        assert!(d.answers.num_answers() <= p.answers);
+        assert!(d.answers.num_answers() as f64 >= 0.9 * p.answers as f64);
+        assert!(d.answers.check_consistency());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = small_image();
+        let a = simulate(&p, 7);
+        let b = simulate(&p, 7);
+        assert_eq!(a.dataset.to_json(), b.dataset.to_json());
+        let c = simulate(&p, 8);
+        assert_ne!(a.dataset.to_json(), c.dataset.to_json());
+    }
+
+    #[test]
+    fn worker_mix_fractions_respected() {
+        let mut p = DatasetProfile::image().scaled(0.2);
+        p.workers = 2000; // large population for a tight estimate
+        let sim = simulate(&p, 99);
+        let frac = |t: WorkerType| {
+            sim.worker_types.iter().filter(|&&x| x == t).count() as f64
+                / sim.worker_types.len() as f64
+        };
+        assert!((frac(WorkerType::Reliable) - 0.25).abs() < 0.05);
+        assert!((frac(WorkerType::Sloppy) - 0.32).abs() < 0.05);
+        assert!(
+            (frac(WorkerType::UniformSpammer) + frac(WorkerType::RandomSpammer) - 0.25).abs()
+                < 0.05
+        );
+    }
+
+    #[test]
+    fn skewed_profile_concentrates_activity() {
+        // Needs a worker pool much larger than the per-item answer count,
+        // otherwise distinct sampling flattens the skew.
+        let mut p = small_image(); // image is skewed
+        p.workers = 300;
+        let sim = simulate(&p, 5);
+        let mut counts: Vec<usize> = (0..p.workers)
+            .map(|w| sim.dataset.answers.worker_answers(w).len())
+            .collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = counts.iter().sum();
+        let top10 = counts.iter().take(p.workers / 10).sum::<usize>();
+        assert!(
+            top10 as f64 > 0.25 * total as f64,
+            "top-10% workers only did {top10}/{total}"
+        );
+    }
+
+    #[test]
+    fn uniform_profile_spreads_activity() {
+        let p = DatasetProfile::aspect().scaled(0.05); // aspect is not skewed
+        let sim = simulate(&p, 5);
+        let counts: Vec<usize> = (0..p.workers)
+            .map(|w| sim.dataset.answers.worker_answers(w).len())
+            .collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max < mean * 4.0 + 5.0, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn reliable_majority_signal_present() {
+        // Sanity: with the default mix, per-item majority vote over answers
+        // should correlate with the truth far better than chance.
+        let p = small_image();
+        let sim = simulate(&p, 13);
+        let d = &sim.dataset;
+        let mut jaccard_sum = 0.0;
+        for i in 0..d.num_items() {
+            let (votes, n) = d.answers.item_vote_counts(i);
+            if n == 0 {
+                continue;
+            }
+            let mut mv = LabelSet::empty(d.num_labels());
+            for (c, &v) in votes.iter().enumerate() {
+                if v as f64 > 0.5 * n as f64 {
+                    mv.insert(c);
+                }
+            }
+            jaccard_sum += mv.jaccard(&d.truth[i]);
+        }
+        let mean_j = jaccard_sum / d.num_items() as f64;
+        assert!(mean_j > 0.3, "majority voting jaccard {mean_j}");
+    }
+
+    #[test]
+    fn all_items_answered() {
+        let p = small_image();
+        let sim = simulate(&p, 21);
+        for i in 0..sim.dataset.num_items() {
+            assert!(
+                !sim.dataset.answers.item_answers(i).is_empty(),
+                "item {i} unanswered"
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Worker-batch streaming for the online experiments.
+//!
+//! The paper's SVI (Algorithm 2) consumes "the b-th batch of answers of users
+//! U_b for items N_b" — batches are groups of *workers* together with all of
+//! their answers. [`WorkerStream`] partitions a dataset's workers into
+//! shuffled batches; the Fig. 6 data-arrival experiment replays them in
+//! order, measuring accuracy after each arrival step.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One batch of arriving data: worker indices plus the set of items they
+/// touched.
+#[derive(Debug, Clone)]
+pub struct WorkerBatch {
+    /// Batch index `b` (1-based, as in the paper's learning-rate schedule).
+    pub index: usize,
+    /// Workers arriving in this batch (`U_b`).
+    pub workers: Vec<usize>,
+    /// Items answered by those workers (`N_b`), sorted and deduplicated.
+    pub items: Vec<usize>,
+}
+
+/// Splits a dataset's workers into consecutive batches in a shuffled order.
+#[derive(Debug, Clone)]
+pub struct WorkerStream {
+    batches: Vec<WorkerBatch>,
+}
+
+impl WorkerStream {
+    /// Creates a stream with `batch_size` workers per batch (the final batch
+    /// may be smaller). Workers with no answers are skipped.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new<R: Rng + ?Sized>(dataset: &Dataset, batch_size: usize, rng: &mut R) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut workers: Vec<usize> = (0..dataset.num_workers())
+            .filter(|&w| !dataset.answers.worker_answers(w).is_empty())
+            .collect();
+        workers.shuffle(rng);
+        let batches = workers
+            .chunks(batch_size)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut items: Vec<usize> = chunk
+                    .iter()
+                    .flat_map(|&w| {
+                        dataset
+                            .answers
+                            .worker_answers(w)
+                            .iter()
+                            .map(|(it, _)| *it as usize)
+                    })
+                    .collect();
+                items.sort_unstable();
+                items.dedup();
+                WorkerBatch {
+                    index: i + 1,
+                    workers: chunk.to_vec(),
+                    items,
+                }
+            })
+            .collect();
+        Self { batches }
+    }
+
+    /// Number of batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when the stream has no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The batches in arrival order.
+    pub fn batches(&self) -> &[WorkerBatch] {
+        &self.batches
+    }
+
+    /// Iterates over batches.
+    pub fn iter(&self) -> impl Iterator<Item = &WorkerBatch> {
+        self.batches.iter()
+    }
+}
+
+/// The learning-rate schedule of the paper (§4.1): `ω_b = (1 + b)^{−r}` with
+/// forgetting rate `r ∈ (0.5, 1]` for provable convergence; the paper finds
+/// `r ∈ [0.85, 0.9]` works best and fixes 0.875 for its experiments.
+pub fn learning_rate(batch_index: usize, forgetting_rate: f64) -> f64 {
+    assert!(
+        (0.5..=1.0).contains(&forgetting_rate),
+        "forgetting rate must lie in (0.5, 1] for convergence"
+    );
+    (1.0 + batch_index as f64).powf(-forgetting_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+    use crate::simulate::simulate;
+    use cpa_math::rng::seeded;
+
+    #[test]
+    fn stream_covers_all_active_workers_once() {
+        let sim = simulate(&DatasetProfile::image().scaled(0.05), 61);
+        let mut rng = seeded(1);
+        let s = WorkerStream::new(&sim.dataset, 7, &mut rng);
+        let mut seen = vec![false; sim.dataset.num_workers()];
+        for b in s.iter() {
+            for &w in &b.workers {
+                assert!(!seen[w], "worker {w} in two batches");
+                seen[w] = true;
+            }
+            assert!(!b.items.is_empty());
+            assert!(b.items.windows(2).all(|w| w[0] < w[1]));
+        }
+        for w in 0..sim.dataset.num_workers() {
+            let active = !sim.dataset.answers.worker_answers(w).is_empty();
+            assert_eq!(seen[w], active);
+        }
+    }
+
+    #[test]
+    fn batch_sizes() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 62);
+        let mut rng = seeded(2);
+        let s = WorkerStream::new(&sim.dataset, 10, &mut rng);
+        for (i, b) in s.iter().enumerate() {
+            assert_eq!(b.index, i + 1);
+            if i + 1 < s.len() {
+                assert_eq!(b.workers.len(), 10);
+            } else {
+                assert!(b.workers.len() <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_items_are_those_answered() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 63);
+        let mut rng = seeded(3);
+        let s = WorkerStream::new(&sim.dataset, 5, &mut rng);
+        let b = &s.batches()[0];
+        for &item in &b.items {
+            assert!(b
+                .workers
+                .iter()
+                .any(|&w| sim.dataset.answers.get(item, w).is_some()));
+        }
+    }
+
+    #[test]
+    fn learning_rate_schedule() {
+        // Decreasing, in (0, 1), matching (1+b)^-r.
+        let r = 0.875;
+        let w1 = learning_rate(1, r);
+        let w2 = learning_rate(2, r);
+        assert!((w1 - 2f64.powf(-r)).abs() < 1e-12);
+        assert!(w2 < w1);
+        assert!(w1 < 1.0 && w1 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting rate")]
+    fn learning_rate_rejects_bad_r() {
+        learning_rate(1, 0.3);
+    }
+}

@@ -1,0 +1,296 @@
+//! Ground-truth generation.
+//!
+//! The paper's datasets differ in their label-correlation structure (§5.1:
+//! "labels in (1), (2), and (4) are strongly correlated, whereas there is
+//! little correlation between labels in (5)"). Two generative models cover
+//! both regimes:
+//!
+//! - [`CorrelationModel::Clustered`] plants co-occurrence groups (Fig. 1's
+//!   `{sky, birds, cloud}` / `{flower, road}` picture): each item draws a
+//!   dominant group and most of its labels from it;
+//! - [`CorrelationModel::Independent`] draws labels from a Zipf-skewed
+//!   marginal with no group structure.
+//!
+//! Both return the [`LabelAffinity`] used by the worker simulator so that
+//! *confusions* are also locality-aware.
+
+use crate::labels::LabelSet;
+use crate::workers::LabelAffinity;
+use cpa_math::categorical::AliasTable;
+use cpa_math::multinomial::sample_distinct;
+use cpa_math::rng::sample_poisson;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How ground-truth labels co-occur.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CorrelationModel {
+    /// Strong co-occurrence: labels are partitioned into `groups` groups and
+    /// each item draws labels from one dominant group with probability
+    /// `within_prob` per label.
+    Clustered {
+        /// Number of co-occurrence groups.
+        groups: usize,
+        /// Probability each label of an item comes from its dominant group.
+        within_prob: f64,
+    },
+    /// Independent labels with a Zipf(`s`) popularity skew.
+    Independent {
+        /// Zipf exponent (0 = uniform popularity).
+        s: f64,
+    },
+}
+
+/// Ground-truth generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TruthGen {
+    /// Label universe size `C`.
+    pub num_labels: usize,
+    /// Mean number of true labels per item.
+    pub mean_labels: f64,
+    /// Hard cap on labels per item (paper: "each image has up to 10 tags").
+    pub max_labels: usize,
+    /// Correlation regime.
+    pub model: CorrelationModel,
+}
+
+/// Generated truth: per-item label sets plus the planted affinity structure.
+#[derive(Debug, Clone)]
+pub struct GeneratedTruth {
+    /// True label set per item.
+    pub labels: Vec<LabelSet>,
+    /// The planted label-group structure (trivial for independent models).
+    pub affinity: LabelAffinity,
+    /// The per-item dominant group (meaningful only for clustered models;
+    /// `usize::MAX` marks "no dominant group").
+    pub item_group: Vec<usize>,
+}
+
+impl TruthGen {
+    /// Generates truth for `num_items` items.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate (no labels, zero/negative
+    /// mean, max below 1).
+    pub fn generate<R: Rng + ?Sized>(&self, num_items: usize, rng: &mut R) -> GeneratedTruth {
+        assert!(self.num_labels >= 1, "need at least one label");
+        assert!(self.mean_labels >= 1.0, "mean labels must be >= 1");
+        assert!(self.max_labels >= 1, "max labels must be >= 1");
+        match self.model {
+            CorrelationModel::Clustered { groups, within_prob } => {
+                self.generate_clustered(num_items, groups.max(1), within_prob, rng)
+            }
+            CorrelationModel::Independent { s } => self.generate_independent(num_items, s, rng),
+        }
+    }
+
+    /// Draws an item's label-count: `1 + Poisson(mean − 1)`, capped.
+    fn draw_count<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = 1 + sample_poisson(rng, self.mean_labels - 1.0) as usize;
+        n.min(self.max_labels).min(self.num_labels)
+    }
+
+    fn generate_clustered<R: Rng + ?Sized>(
+        &self,
+        num_items: usize,
+        groups: usize,
+        within_prob: f64,
+        rng: &mut R,
+    ) -> GeneratedTruth {
+        let c = self.num_labels;
+        let groups = groups.min(c);
+        // Round-robin assignment keeps group sizes balanced; per-label
+        // popularity is Zipf-ish within the group so some labels dominate
+        // (Fig. 1's vertex sizes).
+        let group_of: Vec<usize> = (0..c).map(|i| i % groups).collect();
+        let affinity = LabelAffinity::new(group_of);
+        let popularity: Vec<f64> = (0..c).map(|i| 1.0 / (1.0 + (i / groups) as f64)).collect();
+        // Group weights: mildly skewed so some topics are more common.
+        let gw: Vec<f64> = (0..groups).map(|g| 1.0 / (1.0 + g as f64 * 0.3)).collect();
+        let gsampler = AliasTable::new(&gw);
+
+        let mut labels = Vec::with_capacity(num_items);
+        let mut item_group = Vec::with_capacity(num_items);
+        for _ in 0..num_items {
+            let g = gsampler.sample(rng);
+            item_group.push(g);
+            let n = self.draw_count(rng);
+            // Build this item's label distribution: mass `within_prob` on the
+            // dominant group, the rest spread over all labels.
+            let mut w = vec![0.0; c];
+            let members = &affinity.members[g];
+            for &m in members {
+                w[m] += within_prob * popularity[m];
+            }
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi += (1.0 - within_prob) * popularity[i] / c as f64;
+            }
+            let picked = sample_distinct(rng, &w, n);
+            labels.push(LabelSet::from_labels(c, picked));
+        }
+        GeneratedTruth {
+            labels,
+            affinity,
+            item_group,
+        }
+    }
+
+    fn generate_independent<R: Rng + ?Sized>(
+        &self,
+        num_items: usize,
+        s: f64,
+        rng: &mut R,
+    ) -> GeneratedTruth {
+        let c = self.num_labels;
+        let popularity: Vec<f64> = (1..=c).map(|r| (r as f64).powf(-s)).collect();
+        let mut labels = Vec::with_capacity(num_items);
+        for _ in 0..num_items {
+            let n = self.draw_count(rng);
+            let picked = sample_distinct(rng, &popularity, n);
+            labels.push(LabelSet::from_labels(c, picked));
+        }
+        GeneratedTruth {
+            labels,
+            affinity: LabelAffinity::trivial(c),
+            item_group: vec![usize::MAX; num_items],
+        }
+    }
+}
+
+/// Empirical pairwise co-occurrence strength between labels, used by the
+/// Fig. 1 experiment and by tests asserting the planted structure is present:
+/// `lift(a, b) = P(a, b) / (P(a) P(b))` estimated over the item sets.
+pub fn cooccurrence_lift(truths: &[LabelSet], a: usize, b: usize) -> f64 {
+    let n = truths.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let pa = truths.iter().filter(|t| t.contains(a)).count() as f64 / n;
+    let pb = truths.iter().filter(|t| t.contains(b)).count() as f64 / n;
+    let pab = truths
+        .iter()
+        .filter(|t| t.contains(a) && t.contains(b))
+        .count() as f64
+        / n;
+    if pa == 0.0 || pb == 0.0 {
+        0.0
+    } else {
+        pab / (pa * pb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_math::rng::seeded;
+
+    #[test]
+    fn clustered_truth_counts_in_bounds() {
+        let gen = TruthGen {
+            num_labels: 40,
+            mean_labels: 3.0,
+            max_labels: 6,
+            model: CorrelationModel::Clustered {
+                groups: 5,
+                within_prob: 0.85,
+            },
+        };
+        let mut rng = seeded(111);
+        let t = gen.generate(500, &mut rng);
+        assert_eq!(t.labels.len(), 500);
+        let mut total = 0usize;
+        for l in &t.labels {
+            assert!(!l.is_empty());
+            assert!(l.len() <= 6);
+            total += l.len();
+        }
+        let mean = total as f64 / 500.0;
+        assert!((mean - 3.0).abs() < 0.4, "mean labels {mean}");
+    }
+
+    #[test]
+    fn clustered_truth_has_cooccurrence_structure() {
+        let gen = TruthGen {
+            num_labels: 20,
+            mean_labels: 3.0,
+            max_labels: 5,
+            model: CorrelationModel::Clustered {
+                groups: 4,
+                within_prob: 0.9,
+            },
+        };
+        let mut rng = seeded(113);
+        let t = gen.generate(3000, &mut rng);
+        // Labels 0 and 4 share group 0; labels 0 and 1 are in different groups.
+        let same = cooccurrence_lift(&t.labels, 0, 4);
+        let diff = cooccurrence_lift(&t.labels, 0, 1);
+        assert!(
+            same > 1.5 * diff.max(0.05),
+            "within-group lift {same} vs cross-group {diff}"
+        );
+    }
+
+    #[test]
+    fn independent_truth_no_structure() {
+        let gen = TruthGen {
+            num_labels: 12,
+            mean_labels: 2.5,
+            max_labels: 4,
+            model: CorrelationModel::Independent { s: 0.0 },
+        };
+        let mut rng = seeded(117);
+        let t = gen.generate(6000, &mut rng);
+        // Lift between any pair should hover near 1 (sampling without
+        // replacement induces a slight negative correlation).
+        let lift = cooccurrence_lift(&t.labels, 0, 1);
+        assert!((0.5..1.5).contains(&lift), "lift {lift}");
+        assert!(t.item_group.iter().all(|&g| g == usize::MAX));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_popular_labels() {
+        let gen = TruthGen {
+            num_labels: 30,
+            mean_labels: 2.0,
+            max_labels: 3,
+            model: CorrelationModel::Independent { s: 1.2 },
+        };
+        let mut rng = seeded(119);
+        let t = gen.generate(4000, &mut rng);
+        let count = |c: usize| t.labels.iter().filter(|l| l.contains(c)).count();
+        assert!(count(0) > 4 * count(20).max(1));
+    }
+
+    #[test]
+    fn affinity_groups_cover_all_labels() {
+        let gen = TruthGen {
+            num_labels: 17,
+            mean_labels: 2.0,
+            max_labels: 4,
+            model: CorrelationModel::Clustered {
+                groups: 5,
+                within_prob: 0.8,
+            },
+        };
+        let mut rng = seeded(121);
+        let t = gen.generate(10, &mut rng);
+        let total: usize = t.affinity.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 17);
+        assert_eq!(t.affinity.members.len(), 5);
+    }
+
+    #[test]
+    fn single_label_universe() {
+        let gen = TruthGen {
+            num_labels: 1,
+            mean_labels: 1.0,
+            max_labels: 1,
+            model: CorrelationModel::Independent { s: 0.0 },
+        };
+        let mut rng = seeded(123);
+        let t = gen.generate(5, &mut rng);
+        for l in &t.labels {
+            assert_eq!(l.to_vec(), vec![0]);
+        }
+    }
+}

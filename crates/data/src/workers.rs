@@ -1,0 +1,416 @@
+//! Worker types and answer behaviour.
+//!
+//! The paper distinguishes five worker types (§2.1): *reliable*, *normal*,
+//! *sloppy*, *uniform spammers* (same answer for every item) and *random
+//! spammers*. Appendix A characterises them on the sensitivity × specificity
+//! plane (Fig. 10); §5.1 simulates large crowds from a mixture of these types
+//! (defaults α = 43% reliable, β = 32% sloppy, γ = 25% spammers split evenly
+//! into random and uniform).
+//!
+//! Behaviour model: given an item's true label set, a non-spammer worker
+//! reports each true label independently with probability `recall` and adds
+//! `Poisson(fp_mean)` spurious labels. Spurious labels are drawn from the
+//! *label neighbourhood* of the truth (same co-occurrence group) with
+//! probability `confusion_locality`, else uniformly — confusing *related*
+//! labels is exactly the behaviour that gives label-dependency modelling its
+//! value (paper R3).
+
+use crate::labels::LabelSet;
+use cpa_math::rng::sample_poisson;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The five worker types of paper §2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkerType {
+    /// Deep domain knowledge, almost always correct.
+    Reliable,
+    /// Tends to be correct, occasional mistakes.
+    Normal,
+    /// Little knowledge, often unintentionally wrong.
+    Sloppy,
+    /// Intentionally answers every question with the same single label.
+    UniformSpammer,
+    /// Gives uniformly random answers.
+    RandomSpammer,
+}
+
+impl WorkerType {
+    /// All five types, in the paper's order.
+    pub const ALL: [WorkerType; 5] = [
+        WorkerType::Reliable,
+        WorkerType::Normal,
+        WorkerType::Sloppy,
+        WorkerType::UniformSpammer,
+        WorkerType::RandomSpammer,
+    ];
+
+    /// True for the two spammer types.
+    pub fn is_spammer(self) -> bool {
+        matches!(self, WorkerType::UniformSpammer | WorkerType::RandomSpammer)
+    }
+}
+
+/// A mixture over worker types (fractions summing to 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerMix {
+    /// Fraction of reliable workers.
+    pub reliable: f64,
+    /// Fraction of normal workers.
+    pub normal: f64,
+    /// Fraction of sloppy workers.
+    pub sloppy: f64,
+    /// Fraction of uniform spammers.
+    pub uniform_spammer: f64,
+    /// Fraction of random spammers.
+    pub random_spammer: f64,
+}
+
+impl WorkerMix {
+    /// The paper's large-scale simulation defaults (§5.1): α = 43% reliable,
+    /// β = 32% sloppy, γ = 25% spammers split evenly, with the reliable mass
+    /// divided between reliable and normal workers (the paper's real-data
+    /// discussion includes both).
+    pub fn paper_simulation() -> Self {
+        Self {
+            reliable: 0.25,
+            normal: 0.18,
+            sloppy: 0.32,
+            uniform_spammer: 0.125,
+            random_spammer: 0.125,
+        }
+    }
+
+    /// The population reported by the study the paper cites in Appendix A
+    /// (\[28\]: 38% spammers, 18% sloppy, 16% normal, 27% reliable).
+    pub fn survey_population() -> Self {
+        Self {
+            reliable: 0.27,
+            normal: 0.16,
+            sloppy: 0.18,
+            uniform_spammer: 0.19,
+            random_spammer: 0.20,
+        }
+    }
+
+    /// A clean crowd with no spammers (used by ablation tests).
+    pub fn no_spammers() -> Self {
+        Self {
+            reliable: 0.5,
+            normal: 0.3,
+            sloppy: 0.2,
+            uniform_spammer: 0.0,
+            random_spammer: 0.0,
+        }
+    }
+
+    /// The mixture as a weight vector in [`WorkerType::ALL`] order.
+    pub fn weights(&self) -> [f64; 5] {
+        [
+            self.reliable,
+            self.normal,
+            self.sloppy,
+            self.uniform_spammer,
+            self.random_spammer,
+        ]
+    }
+
+    /// Checks the fractions are non-negative and sum to ~1.
+    pub fn is_valid(&self) -> bool {
+        let w = self.weights();
+        w.iter().all(|&x| x >= 0.0) && (w.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+}
+
+/// Label neighbourhood structure used to draw *plausible* (correlated) false
+/// positives: `group_of[c]` is the co-occurrence group of label `c`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelAffinity {
+    /// Group id per label.
+    pub group_of: Vec<usize>,
+    /// Members per group (inverse index).
+    pub members: Vec<Vec<usize>>,
+}
+
+impl LabelAffinity {
+    /// Builds the inverse index from a per-label group assignment.
+    pub fn new(group_of: Vec<usize>) -> Self {
+        let ngroups = group_of.iter().copied().max().map_or(0, |g| g + 1);
+        let mut members = vec![Vec::new(); ngroups];
+        for (c, &g) in group_of.iter().enumerate() {
+            members[g].push(c);
+        }
+        Self { group_of, members }
+    }
+
+    /// The trivial affinity where every label is its own group (independent
+    /// labels: confusion has no locality).
+    pub fn trivial(num_labels: usize) -> Self {
+        Self::new((0..num_labels).collect())
+    }
+
+    /// Number of labels covered.
+    pub fn num_labels(&self) -> usize {
+        self.group_of.len()
+    }
+}
+
+/// Concrete behaviour parameters for one simulated worker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// The worker's type.
+    pub kind: WorkerType,
+    /// Probability of reporting each true label.
+    pub recall: f64,
+    /// Expected number of spurious labels per answer.
+    pub fp_mean: f64,
+    /// Probability a spurious label is drawn from the truth's co-occurrence
+    /// neighbourhood rather than uniformly.
+    pub confusion_locality: f64,
+    /// The uniform spammer's fixed label.
+    pub fixed_label: Option<usize>,
+}
+
+impl WorkerProfile {
+    /// Samples a profile of the given type. `difficulty ≥ 1` scales noise up
+    /// (the paper's text datasets are "more difficult than" image/movie,
+    /// §5.1); `num_labels` is needed to pick the uniform spammer's label.
+    pub fn sample<R: Rng + ?Sized>(
+        rng: &mut R,
+        kind: WorkerType,
+        difficulty: f64,
+        num_labels: usize,
+    ) -> Self {
+        let d = difficulty.max(1.0);
+        // Base (recall, fp_mean) bands align with Fig. 10's regions.
+        let (recall, fp_mean) = match kind {
+            WorkerType::Reliable => (0.88 + 0.08 * rng.random::<f64>(), 0.15 + 0.15 * rng.random::<f64>()),
+            WorkerType::Normal => (0.72 + 0.12 * rng.random::<f64>(), 0.4 + 0.3 * rng.random::<f64>()),
+            WorkerType::Sloppy => (0.40 + 0.18 * rng.random::<f64>(), 0.9 + 0.6 * rng.random::<f64>()),
+            WorkerType::UniformSpammer | WorkerType::RandomSpammer => (0.0, 0.0),
+        };
+        // Difficulty dampens recall and inflates false positives.
+        let recall = recall * (1.0 - 0.18 * (d - 1.0)).max(0.3);
+        let fp_mean = fp_mean * d;
+        let fixed_label = match kind {
+            WorkerType::UniformSpammer => Some(rng.random_range(0..num_labels.max(1))),
+            _ => None,
+        };
+        Self {
+            kind,
+            recall,
+            fp_mean,
+            confusion_locality: 0.7,
+            fixed_label,
+        }
+    }
+
+    /// Generates this worker's answer for an item with true labels `truth`.
+    ///
+    /// Never returns an empty set: a worker who "answers" always commits to at
+    /// least one label (an empty set would encode *no answer* in the matrix).
+    pub fn answer<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        truth: &LabelSet,
+        affinity: &LabelAffinity,
+        typical_size: f64,
+    ) -> LabelSet {
+        let c = affinity.num_labels();
+        debug_assert_eq!(truth.universe(), c);
+        let mut out = LabelSet::empty(c);
+        match self.kind {
+            WorkerType::UniformSpammer => {
+                out.insert(self.fixed_label.unwrap_or(0).min(c.saturating_sub(1)));
+            }
+            WorkerType::RandomSpammer => {
+                let n = (1 + sample_poisson(rng, (typical_size - 1.0).max(0.0))) as usize;
+                for _ in 0..n.min(c) {
+                    out.insert(rng.random_range(0..c));
+                }
+            }
+            _ => {
+                for lbl in truth.iter() {
+                    if rng.random::<f64>() < self.recall {
+                        out.insert(lbl);
+                    }
+                }
+                let fp = sample_poisson(rng, self.fp_mean);
+                for _ in 0..fp {
+                    let lbl = self.spurious_label(rng, truth, affinity);
+                    out.insert(lbl);
+                }
+                if out.is_empty() {
+                    // The worker committed an answer: a confused single label.
+                    out.insert(self.spurious_label(rng, truth, affinity));
+                }
+            }
+        }
+        out
+    }
+
+    /// Draws a spurious label: from the co-occurrence neighbourhood of the
+    /// truth with probability `confusion_locality`, else uniformly.
+    fn spurious_label<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        truth: &LabelSet,
+        affinity: &LabelAffinity,
+    ) -> usize {
+        let c = affinity.num_labels();
+        if rng.random::<f64>() < self.confusion_locality {
+            // Pick a random true label's group, then a random member.
+            let truths = truth.to_vec();
+            if !truths.is_empty() {
+                let anchor = truths[rng.random_range(0..truths.len())];
+                let group = &affinity.members[affinity.group_of[anchor]];
+                if group.len() > 1 {
+                    return group[rng.random_range(0..group.len())];
+                }
+            }
+        }
+        rng.random_range(0..c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_math::rng::seeded;
+
+    fn affinity_two_groups(c: usize) -> LabelAffinity {
+        LabelAffinity::new((0..c).map(|i| if i < c / 2 { 0 } else { 1 }).collect())
+    }
+
+    #[test]
+    fn mixes_are_valid() {
+        assert!(WorkerMix::paper_simulation().is_valid());
+        assert!(WorkerMix::survey_population().is_valid());
+        assert!(WorkerMix::no_spammers().is_valid());
+    }
+
+    #[test]
+    fn uniform_spammer_always_same_label() {
+        let mut rng = seeded(71);
+        let p = WorkerProfile::sample(&mut rng, WorkerType::UniformSpammer, 1.0, 20);
+        let aff = affinity_two_groups(20);
+        let t1 = LabelSet::from_labels(20, [1, 2]);
+        let t2 = LabelSet::from_labels(20, [15]);
+        let a1 = p.answer(&mut rng, &t1, &aff, 2.0);
+        let a2 = p.answer(&mut rng, &t2, &aff, 2.0);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.len(), 1);
+    }
+
+    #[test]
+    fn random_spammer_ignores_truth() {
+        let mut rng = seeded(73);
+        let p = WorkerProfile::sample(&mut rng, WorkerType::RandomSpammer, 1.0, 50);
+        let aff = LabelAffinity::trivial(50);
+        let truth = LabelSet::from_labels(50, [0]);
+        // Over many answers, hit rate on the single true label ≈ size/50.
+        let mut hits = 0;
+        let n = 5000;
+        for _ in 0..n {
+            let a = p.answer(&mut rng, &truth, &aff, 2.0);
+            assert!(!a.is_empty());
+            if a.contains(0) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!(rate < 0.12, "random spammer suspiciously accurate: {rate}");
+    }
+
+    #[test]
+    fn reliable_workers_recover_truth() {
+        let mut rng = seeded(79);
+        let p = WorkerProfile::sample(&mut rng, WorkerType::Reliable, 1.0, 30);
+        let aff = affinity_two_groups(30);
+        let truth = LabelSet::from_labels(30, [3, 7, 11]);
+        let n = 2000;
+        let mut recalled = 0usize;
+        let mut reported = 0usize;
+        for _ in 0..n {
+            let a = p.answer(&mut rng, &truth, &aff, 3.0);
+            recalled += a.intersection_len(&truth);
+            reported += a.len();
+        }
+        let recall = recalled as f64 / (3 * n) as f64;
+        let precision = recalled as f64 / reported as f64;
+        assert!(recall > 0.8, "recall {recall}");
+        assert!(precision > 0.8, "precision {precision}");
+    }
+
+    #[test]
+    fn sloppy_noisier_than_reliable() {
+        let mut rng = seeded(83);
+        let rel = WorkerProfile::sample(&mut rng, WorkerType::Reliable, 1.0, 30);
+        let slo = WorkerProfile::sample(&mut rng, WorkerType::Sloppy, 1.0, 30);
+        let aff = affinity_two_groups(30);
+        let truth = LabelSet::from_labels(30, [3, 7, 11]);
+        let score = |p: &WorkerProfile, rng: &mut rand::rngs::StdRng| {
+            let mut j = 0.0;
+            for _ in 0..1500 {
+                j += p.answer(rng, &truth, &aff, 3.0).jaccard(&truth);
+            }
+            j / 1500.0
+        };
+        let jr = score(&rel, &mut rng);
+        let js = score(&slo, &mut rng);
+        assert!(jr > js + 0.15, "reliable {jr} vs sloppy {js}");
+    }
+
+    #[test]
+    fn difficulty_hurts_accuracy() {
+        let mut rng = seeded(89);
+        let easy = WorkerProfile::sample(&mut rng, WorkerType::Normal, 1.0, 30);
+        let hard = WorkerProfile::sample(&mut rng, WorkerType::Normal, 1.6, 30);
+        assert!(hard.recall < easy.recall + 1e-9);
+        assert!(hard.fp_mean > easy.fp_mean * 1.2);
+    }
+
+    #[test]
+    fn confused_labels_prefer_group() {
+        let mut rng = seeded(97);
+        let p = WorkerProfile {
+            kind: WorkerType::Sloppy,
+            recall: 0.0, // never reports truth, always a confused label
+            fp_mean: 0.0,
+            confusion_locality: 1.0,
+            fixed_label: None,
+        };
+        let aff = affinity_two_groups(20); // groups {0..9}, {10..19}
+        let truth = LabelSet::from_labels(20, [2]);
+        let mut in_group = 0;
+        let n = 3000;
+        for _ in 0..n {
+            let a = p.answer(&mut rng, &truth, &aff, 1.0);
+            let lbl = a.to_vec()[0];
+            if lbl < 10 {
+                in_group += 1;
+            }
+        }
+        assert!(in_group as f64 / n as f64 > 0.95);
+    }
+
+    #[test]
+    fn answers_never_empty() {
+        let mut rng = seeded(101);
+        let aff = LabelAffinity::trivial(8);
+        let truth = LabelSet::from_labels(8, [1]);
+        for kind in WorkerType::ALL {
+            let p = WorkerProfile::sample(&mut rng, kind, 1.4, 8);
+            for _ in 0..200 {
+                assert!(!p.answer(&mut rng, &truth, &aff, 2.0).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn spammer_predicate() {
+        assert!(WorkerType::UniformSpammer.is_spammer());
+        assert!(WorkerType::RandomSpammer.is_spammer());
+        assert!(!WorkerType::Reliable.is_spammer());
+    }
+}

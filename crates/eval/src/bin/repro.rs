@@ -1,0 +1,90 @@
+//! `repro` — regenerates every table and figure of the CPA paper.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR] [--full]
+//!
+//! EXPERIMENT: table1 fig1 table3 table4 fig3 fig4 fig5 fig6 table5 fig7
+//!             fig8 fig9 fig10 all        (default: all)
+//! --scale F   dataset scale factor, 1.0 = the paper's Table 3 sizes
+//!             (default 0.25)
+//! --reps N    repetitions with shuffled seeds (default 3)
+//! --seed S    base seed (default 7)
+//! --out DIR   where JSON reports are written (default results/)
+//! --full      shorthand for --scale 1.0 --reps 10
+//! ```
+
+use cpa_eval::experiments;
+use cpa_eval::runner::EvalConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = EvalConfig::default();
+    let mut which: Vec<String> = Vec::new();
+    let mut it = args.into_iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                cfg.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--reps" => {
+                cfg.reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs an integer"));
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                cfg.out_dir = it
+                    .next()
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--full" => {
+                cfg.scale = 1.0;
+                cfg.reps = 10;
+            }
+            "--help" | "-h" => {
+                println!("repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR] [--full]");
+                println!("experiments: {} all", experiments::ALL.join(" "));
+                return;
+            }
+            other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = experiments::ALL.iter().map(|s| s.to_string()).collect();
+        // fig6 produces table5 too; avoid running it twice.
+        which.retain(|w| w != "table5");
+    }
+
+    eprintln!(
+        "# CPA reproduction — scale {}, reps {}, seed {}, out {:?}",
+        cfg.scale, cfg.reps, cfg.seed, cfg.out_dir
+    );
+    for id in &which {
+        let t = std::time::Instant::now();
+        let reports = experiments::run(id, &cfg);
+        for report in &reports {
+            println!("{}", report.render());
+            match report.save_json(&cfg.out_dir) {
+                Ok(path) => eprintln!("  saved {}", path.display()),
+                Err(e) => eprintln!("  warning: could not save report: {e}"),
+            }
+        }
+        eprintln!("  [{id} took {:.1}s]", t.elapsed().as_secs_f64());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}

@@ -1,0 +1,77 @@
+//! Fig. 10 (Appendix A) — worker-type characterisation on the
+//! sensitivity × specificity plane: reliable workers in the top-right,
+//! sloppy in the middle, random spammers near the diagonal centre, uniform
+//! spammers at extreme specificity with near-zero sensitivity.
+
+use crate::report::{f3, Report};
+use crate::runner::EvalConfig;
+use cpa_baselines::twocoin::overall_coins;
+use cpa_data::profile::DatasetProfile;
+use cpa_data::simulate::simulate;
+use cpa_data::workers::WorkerType;
+use cpa_math::stats::{mean, std_dev};
+
+/// Runs the worker-type characterisation.
+pub fn run(cfg: &EvalConfig) -> Report {
+    let profile = DatasetProfile::image().scaled(cfg.scale);
+    let sim = simulate(&profile, cfg.seed);
+    let coins = overall_coins(&sim.dataset);
+
+    let mut r = Report::new(
+        "fig10",
+        "Worker-type characterisation (paper Fig. 10): measured sensitivity/specificity per planted type",
+        &["worker type", "workers", "sensitivity", "specificity"],
+    );
+    for t in WorkerType::ALL {
+        let mut sens = Vec::new();
+        let mut spec = Vec::new();
+        for (u, &wt) in sim.worker_types.iter().enumerate() {
+            if wt == t {
+                if let Some((s, p)) = coins[u] {
+                    sens.push(s);
+                    spec.push(p);
+                }
+            }
+        }
+        if sens.is_empty() {
+            continue;
+        }
+        r.push_row(vec![
+            format!("{t:?}"),
+            sens.len().to_string(),
+            format!("{} ±{}", f3(mean(&sens)), f3(std_dev(&sens))),
+            format!("{} ±{}", f3(mean(&spec)), f3(std_dev(&spec))),
+        ]);
+    }
+    r.note("paper bands: reliable ≈ top-right, normal below, sloppy mid-sensitivity, uniform spammers extreme specificity at ~0 sensitivity, random spammers centre");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_ordering_matches_fig10_bands() {
+        let cfg = EvalConfig {
+            scale: 0.08,
+            reps: 1,
+            ..EvalConfig::default()
+        };
+        let r = run(&cfg);
+        let sens_of = |name: &str| -> f64 {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .map(|row| row[2].split_whitespace().next().unwrap().parse().unwrap())
+                .unwrap_or(f64::NAN)
+        };
+        let rel = sens_of("Reliable");
+        let slo = sens_of("Sloppy");
+        assert!(rel > slo, "reliable {rel} vs sloppy {slo}\n{}", r.render());
+        let uni = sens_of("UniformSpammer");
+        if !uni.is_nan() {
+            assert!(uni < slo, "uniform spammer sens {uni} vs sloppy {slo}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! One module per table/figure of the paper's evaluation (§5).
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`table1`] | Table 1 — motivating example, MV failure modes |
+//! | [`fig1`] | Fig. 1 — label co-occurrence clusters |
+//! | [`table3`] | Table 3 — dataset statistics |
+//! | [`table4`] | Table 4 — overall accuracy (MV, EM, cBCC, CPA) |
+//! | [`fig3`] | Fig. 3 — robustness against sparsity |
+//! | [`fig4`] | Fig. 4 — robustness against spammers (20%/40%) |
+//! | [`fig5`] | Fig. 5 — effects of label dependencies |
+//! | [`fig6`] | Fig. 6 + Table 5 — online vs offline data arrival |
+//! | [`fig7`] | Fig. 7 — runtime of inference mechanisms |
+//! | [`fig8`] | Fig. 8 — model ablations (No Z / No L) |
+//! | [`fig9`] | Fig. 9 — worker communities per label |
+//! | [`fig10`] | Fig. 10 — worker-type characterisation (App. A) |
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+
+use crate::report::Report;
+use crate::runner::EvalConfig;
+
+/// All experiment ids in paper order.
+pub const ALL: [&str; 13] = [
+    "table1", "fig1", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "table5", "fig7",
+    "fig8", "fig9", "fig10",
+];
+
+/// Runs one experiment by id. `table5` is produced by the fig6 runner.
+pub fn run(id: &str, cfg: &EvalConfig) -> Vec<Report> {
+    match id {
+        "table1" => vec![table1::run(cfg)],
+        "fig1" => vec![fig1::run(cfg)],
+        "table3" => vec![table3::run(cfg)],
+        "table4" => vec![table4::run(cfg)],
+        "fig3" => vec![fig3::run(cfg)],
+        "fig4" => vec![fig4::run(cfg)],
+        "fig5" => vec![fig5::run(cfg)],
+        "fig6" | "table5" => fig6::run(cfg),
+        "fig7" => vec![fig7::run(cfg)],
+        "fig8" => vec![fig8::run(cfg)],
+        "fig9" => vec![fig9::run(cfg)],
+        "fig10" => vec![fig10::run(cfg)],
+        other => panic!("unknown experiment id: {other} (known: {ALL:?})"),
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 3 — dataset statistics: the simulated datasets alongside the
+//! paper's published counts.
+
+use crate::report::{f3, Report};
+use crate::runner::EvalConfig;
+use cpa_data::profile::DatasetProfile;
+use cpa_data::simulate::simulate;
+
+/// Runs the dataset-statistics experiment.
+pub fn run(cfg: &EvalConfig) -> Report {
+    let mut r = Report::new(
+        "table3",
+        "Dataset statistics (paper Table 3) — paper counts vs simulated at the configured scale",
+        &[
+            "dataset",
+            "labels",
+            "items(paper)",
+            "items(sim)",
+            "workers(paper)",
+            "workers(sim)",
+            "answers(paper)",
+            "answers(sim)",
+            "labels/item",
+            "sparsity",
+        ],
+    );
+    for profile in DatasetProfile::all_five() {
+        let scaled = profile.clone().scaled(cfg.scale);
+        let sim = simulate(&scaled, cfg.seed);
+        let s = sim.dataset.statistics();
+        r.push_row(vec![
+            profile.name.clone(),
+            profile.labels.to_string(),
+            profile.items.to_string(),
+            s.items.to_string(),
+            profile.workers.to_string(),
+            s.workers.to_string(),
+            profile.answers.to_string(),
+            s.answers.to_string(),
+            f3(s.mean_labels_per_item),
+            f3(s.sparsity),
+        ]);
+    }
+    r.note(format!("simulated at scale {}", cfg.scale));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_rows_with_paper_counts() {
+        let cfg = EvalConfig {
+            scale: 0.05,
+            ..EvalConfig::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.rows[0][0], "image");
+        assert_eq!(r.rows[0][2], "2000"); // paper's image question count
+        assert_eq!(r.rows[3][1], "1450"); // entity label count
+        // Simulated counts reflect the scale.
+        let sim_items: usize = r.rows[0][3].parse().unwrap();
+        assert_eq!(sim_items, 100);
+    }
+}

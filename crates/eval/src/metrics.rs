@@ -1,0 +1,164 @@
+//! Set-based precision and recall (paper §5.1, "Metrics").
+//!
+//! Per item `i`: `P_i = |Y_i ∩ Y*_i| / |Y*_i|` (correct predicted labels over
+//! predicted labels) and `R_i = |Y_i ∩ Y*_i| / |Y_i|` (correct predicted
+//! labels over true labels); dataset precision/recall are the means over
+//! items. Degenerate conventions: an empty prediction has `P_i = 0` unless
+//! the truth is empty too (then `P_i = R_i = 1`); an empty truth has
+//! `R_i = 1`.
+
+use cpa_data::labels::LabelSet;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate precision/recall/F1 over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrMetrics {
+    /// Mean per-item precision `P`.
+    pub precision: f64,
+    /// Mean per-item recall `R`.
+    pub recall: f64,
+    /// Harmonic mean of the aggregate precision and recall.
+    pub f1: f64,
+}
+
+impl PrMetrics {
+    /// Builds the F1 from precision and recall.
+    pub fn new(precision: f64, recall: f64) -> Self {
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Per-item precision and recall.
+pub fn item_pr(pred: &LabelSet, truth: &LabelSet) -> (f64, f64) {
+    let inter = pred.intersection_len(truth) as f64;
+    let p = if pred.is_empty() {
+        if truth.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        inter / pred.len() as f64
+    };
+    let r = if truth.is_empty() {
+        1.0
+    } else {
+        inter / truth.len() as f64
+    };
+    (p, r)
+}
+
+/// Evaluates predictions against ground truth.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn evaluate(preds: &[LabelSet], truth: &[LabelSet]) -> PrMetrics {
+    assert_eq!(preds.len(), truth.len(), "prediction/truth length mismatch");
+    if preds.is_empty() {
+        return PrMetrics::new(0.0, 0.0);
+    }
+    let mut p_acc = 0.0;
+    let mut r_acc = 0.0;
+    for (pred, t) in preds.iter().zip(truth) {
+        let (p, r) = item_pr(pred, t);
+        p_acc += p;
+        r_acc += r;
+    }
+    let n = preds.len() as f64;
+    PrMetrics::new(p_acc / n, r_acc / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ls(v: &[usize]) -> LabelSet {
+        LabelSet::from_labels(8, v.iter().copied())
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let m = evaluate(&[ls(&[1, 2])], &[ls(&[1, 2])]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_prediction() {
+        // Predicted {1,2,3}, truth {2,3,4}: P = 2/3, R = 2/3.
+        let m = evaluate(&[ls(&[1, 2, 3])], &[ls(&[2, 3, 4])]);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_asymmetry() {
+        // Over-prediction hurts precision only; under-prediction recall only.
+        let over = evaluate(&[ls(&[1, 2, 3, 4])], &[ls(&[1, 2])]);
+        assert!((over.precision - 0.5).abs() < 1e-12);
+        assert_eq!(over.recall, 1.0);
+        let under = evaluate(&[ls(&[1])], &[ls(&[1, 2])]);
+        assert_eq!(under.precision, 1.0);
+        assert!((under.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let (p, r) = item_pr(&ls(&[]), &ls(&[]));
+        assert_eq!((p, r), (1.0, 1.0));
+        let (p, r) = item_pr(&ls(&[]), &ls(&[1]));
+        assert_eq!((p, r), (0.0, 0.0));
+        let (p, r) = item_pr(&ls(&[1]), &ls(&[]));
+        assert_eq!((p, r), (0.0, 1.0));
+    }
+
+    #[test]
+    fn averaging_over_items() {
+        let preds = vec![ls(&[1]), ls(&[2, 3])];
+        let truth = vec![ls(&[1]), ls(&[2])];
+        let m = evaluate(&preds, &truth);
+        assert!((m.precision - (1.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        evaluate(&[ls(&[1])], &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_bounded(
+            pred in proptest::collection::btree_set(0usize..8, 0..6),
+            truth in proptest::collection::btree_set(0usize..8, 0..6),
+        ) {
+            let p = LabelSet::from_labels(8, pred.iter().copied());
+            let t = LabelSet::from_labels(8, truth.iter().copied());
+            let (pi, ri) = item_pr(&p, &t);
+            prop_assert!((0.0..=1.0).contains(&pi));
+            prop_assert!((0.0..=1.0).contains(&ri));
+        }
+
+        #[test]
+        fn prop_exact_prediction_is_perfect(
+            truth in proptest::collection::btree_set(0usize..8, 1..6),
+        ) {
+            let t = LabelSet::from_labels(8, truth.iter().copied());
+            let (pi, ri) = item_pr(&t, &t);
+            prop_assert!((pi - 1.0).abs() < 1e-12);
+            prop_assert!((ri - 1.0).abs() < 1e-12);
+        }
+    }
+}

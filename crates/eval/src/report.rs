@@ -1,0 +1,141 @@
+//! Experiment reports: aligned-text tables plus JSON persistence.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A tabular experiment result, renderable as text and persistable as JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment identifier ("table4", "fig3", ...).
+    pub id: String,
+    /// Human title, matching the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (substitutions, scales, seeds).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Saves the report as pretty JSON under `dir/<id>.json`.
+    pub fn save_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serialisable"))?;
+        Ok(path)
+    }
+}
+
+/// Formats a float to three decimals (the paper's table precision is two;
+/// three keeps comparisons informative).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats `mean ± std`.
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{mean:.3} ±{std:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut r = Report::new("t", "demo", &["method", "P", "R"]);
+        r.push_row(vec!["MV".into(), f3(0.65), f3(0.57)]);
+        r.push_row(vec!["CPA".into(), f3(0.81), f3(0.74)]);
+        r.note("scale 0.25");
+        let s = r.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("0.810"));
+        assert!(s.contains("note: scale 0.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_bad_row() {
+        let mut r = Report::new("t", "demo", &["a"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = Report::new("rt", "roundtrip", &["x"]);
+        r.push_row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("cpa_report_test");
+        let path = r.save_json(&dir).unwrap();
+        let loaded: Report =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded.id, "rt");
+        assert_eq!(loaded.rows.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pm(0.5, 0.01), "0.500 ±0.010");
+    }
+}

@@ -1,0 +1,176 @@
+//! Beta distribution — the stick-breaking building block.
+//!
+//! The CPA priors over worker communities and item clusters are Chinese
+//! Restaurant Processes represented through stick-breaking: `π'_m ~ Beta(1, α)`
+//! (paper Eq. 1), with variational posteriors `q(π'_m | ρ_m1, ρ_m2)` that are
+//! again Beta. The coordinate updates need `E[ln π']` and `E[ln (1−π')]`
+//! (Appendix B), exposed here.
+
+use crate::rng::sample_gamma;
+use crate::special::{digamma, ln_beta_fn};
+use rand::Rng;
+
+/// A Beta(a, b) distribution, `a, b > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaDist {
+    a: f64,
+    b: f64,
+}
+
+impl BetaDist {
+    /// Creates `Beta(a, b)`.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are finite and positive.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(
+            a.is_finite() && a > 0.0 && b.is_finite() && b > 0.0,
+            "Beta parameters must be positive, got ({a}, {b})"
+        );
+        Self { a, b }
+    }
+
+    /// First shape parameter.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Second shape parameter.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Mean `a / (a + b)`.
+    pub fn mean(&self) -> f64 {
+        self.a / (self.a + self.b)
+    }
+
+    /// Variance.
+    pub fn variance(&self) -> f64 {
+        let s = self.a + self.b;
+        self.a * self.b / (s * s * (s + 1.0))
+    }
+
+    /// `E[ln X] = Ψ(a) − Ψ(a+b)` (used for `E[ln π'_m]`).
+    pub fn expected_log(&self) -> f64 {
+        digamma(self.a) - digamma(self.a + self.b)
+    }
+
+    /// `E[ln (1−X)] = Ψ(b) − Ψ(a+b)` (used for `E[ln (1−π'_m)]`).
+    pub fn expected_log_complement(&self) -> f64 {
+        digamma(self.b) - digamma(self.a + self.b)
+    }
+
+    /// Log density at `x ∈ (0, 1)`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return f64::NEG_INFINITY;
+        }
+        let mut acc = -ln_beta_fn(self.a, self.b);
+        if self.a != 1.0 {
+            if x == 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            acc += (self.a - 1.0) * x.ln();
+        }
+        if self.b != 1.0 {
+            if x == 1.0 {
+                return f64::NEG_INFINITY;
+            }
+            acc += (self.b - 1.0) * (1.0 - x).ln();
+        }
+        acc
+    }
+
+    /// Draws a sample via the gamma ratio `G_a / (G_a + G_b)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let ga = sample_gamma(rng, self.a);
+        let gb = sample_gamma(rng, self.b);
+        if ga + gb == 0.0 {
+            return self.mean();
+        }
+        ga / (ga + gb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_closed_form() {
+        let b = BetaDist::new(2.0, 6.0);
+        assert!((b.mean() - 0.25).abs() < 1e-12);
+        assert!((b.variance() - 2.0 * 6.0 / (64.0 * 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_logs_consistent_with_sampling() {
+        let b = BetaDist::new(1.0, 4.0);
+        let mut rng = seeded(3);
+        let n = 200_000;
+        let (mut l, mut lc) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = b.sample(&mut rng).clamp(1e-12, 1.0 - 1e-12);
+            l += x.ln();
+            lc += (1.0 - x).ln();
+        }
+        assert!((l / n as f64 - b.expected_log()).abs() < 0.01);
+        assert!((lc / n as f64 - b.expected_log_complement()).abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_beta_pdf_is_flat() {
+        let b = BetaDist::new(1.0, 1.0);
+        for &x in &[0.0, 0.25, 0.5, 1.0] {
+            assert!(b.ln_pdf(x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_pdf_outside_support() {
+        let b = BetaDist::new(2.0, 2.0);
+        assert_eq!(b.ln_pdf(-0.1), f64::NEG_INFINITY);
+        assert_eq!(b.ln_pdf(1.1), f64::NEG_INFINITY);
+        assert_eq!(b.ln_pdf(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sample_moments() {
+        let b = BetaDist::new(3.0, 1.5);
+        let mut rng = seeded(5);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = b.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - b.mean()).abs() < 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_bad_params() {
+        BetaDist::new(1.0, -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_expected_log_negative(a in 0.1f64..20.0, b in 0.1f64..20.0) {
+            let d = BetaDist::new(a, b);
+            // X in (0,1) so ln X < 0 a.s.
+            prop_assert!(d.expected_log() < 0.0);
+            prop_assert!(d.expected_log_complement() < 0.0);
+        }
+
+        #[test]
+        fn prop_mean_in_unit_interval(a in 0.1f64..20.0, b in 0.1f64..20.0) {
+            let d = BetaDist::new(a, b);
+            prop_assert!(d.mean() > 0.0 && d.mean() < 1.0);
+            prop_assert!(d.variance() > 0.0 && d.variance() < 0.25 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Categorical sampling, including an alias table for O(1) draws.
+//!
+//! The CPA generative process draws item clusters `l_i ~ Cat(τ)` and worker
+//! communities `z_u ~ Cat(π)`; the crowd simulator draws enormous numbers of
+//! label picks, which is why the Walker/Vose alias method is provided alongside
+//! simple linear-scan sampling.
+
+use rand::Rng;
+
+/// A categorical distribution over `0..k`, sampled by linear scan.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    /// Normalised probabilities.
+    probs: Vec<f64>,
+    /// Cumulative distribution (same length as `probs`).
+    cdf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds a categorical from non-negative (not necessarily normalised)
+    /// weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/non-finite entry, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one outcome");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "categorical weights must be non-negative and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "categorical weights must not all be zero");
+        let probs: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard against rounding: the last entry must cover u = 1-ε draws.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { probs, cdf }
+    }
+
+    /// The normalised probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True if there is exactly one outcome (`len() == 1`); kept for clippy
+    /// symmetry with `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws an outcome index by binary search over the CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Walker/Vose alias table: O(k) construction, O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights (same contract as
+    /// [`Categorical::new`]).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "alias table weights must be non-negative with positive sum"
+        );
+        let k = weights.len();
+        let scaled: Vec<f64> = weights.iter().map(|&w| w * k as f64 / total).collect();
+        let mut prob = vec![0.0; k];
+        let mut alias = vec![0usize; k];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut rem = scaled;
+        for (i, &p) in rem.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let Some(&l) = large.last() {
+            let Some(s) = small.pop() else { break };
+            prob[s] = rem[s];
+            alias[s] = l;
+            rem[l] -= 1.0 - rem[s];
+            if rem[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers in either list have (up to rounding) weight exactly 1.
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Draws an outcome index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let k = self.prob.len();
+        let i = rng.random_range(0..k);
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn empirical<F: FnMut(&mut rand::rngs::StdRng) -> usize>(
+        k: usize,
+        n: usize,
+        seed: u64,
+        mut f: F,
+    ) -> Vec<f64> {
+        let mut rng = seeded(seed);
+        let mut counts = vec![0usize; k];
+        for _ in 0..n {
+            counts[f(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let c = Categorical::new(&w);
+        let freq = empirical(4, 200_000, 31, |r| c.sample(r));
+        for (f, p) in freq.iter().zip(c.probs()) {
+            assert!((f - p).abs() < 0.01, "{f} vs {p}");
+        }
+    }
+
+    #[test]
+    fn categorical_degenerate() {
+        let c = Categorical::new(&[0.0, 1.0, 0.0]);
+        let mut rng = seeded(1);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn categorical_single_outcome() {
+        let c = Categorical::new(&[5.0]);
+        let mut rng = seeded(1);
+        assert_eq!(c.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let w = [0.5, 0.1, 3.0, 1.4, 0.0];
+        let t = AliasTable::new(&w);
+        let freq = empirical(5, 300_000, 37, |r| t.sample(r));
+        let total: f64 = w.iter().sum();
+        for (f, wi) in freq.iter().zip(&w) {
+            assert!((f - wi / total).abs() < 0.01, "{f} vs {}", wi / total);
+        }
+    }
+
+    #[test]
+    fn alias_and_categorical_agree() {
+        let w = [2.0, 7.0, 1.0];
+        let t = AliasTable::new(&w);
+        let c = Categorical::new(&w);
+        let ft = empirical(3, 100_000, 41, |r| t.sample(r));
+        let fc = empirical(3, 100_000, 43, |r| c.sample(r));
+        for (a, b) in ft.iter().zip(&fc) {
+            assert!((a - b).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn categorical_rejects_empty() {
+        Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn categorical_rejects_zero_sum() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+}

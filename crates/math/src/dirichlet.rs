@@ -1,0 +1,277 @@
+//! Dirichlet distribution.
+//!
+//! `ψ_tm ~ Dir(γ)` (per community/cluster label-assignment probabilities) and
+//! `φ_t ~ Dir(η)` (per-cluster truth probabilities) in the CPA generative
+//! process; their variational posteriors `q(ψ_tm|λ_tm)`, `q(φ_t|ζ_t)` are also
+//! Dirichlets. Inference consumes [`Dirichlet::expected_log`] (Appendix B) and
+//! prediction consumes [`Dirichlet::map_estimate`] (§3.4, "MAP estimates, aka
+//! modes").
+
+use crate::rng::sample_gamma;
+use crate::special::{digamma, ln_gamma};
+use rand::Rng;
+
+/// A Dirichlet distribution with concentration vector `alpha` (all entries
+/// strictly positive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet with the given concentration parameters.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is empty or any entry is not finite and positive.
+    pub fn new(alpha: Vec<f64>) -> Self {
+        assert!(!alpha.is_empty(), "Dirichlet needs at least one dimension");
+        assert!(
+            alpha.iter().all(|&a| a.is_finite() && a > 0.0),
+            "Dirichlet concentrations must be positive"
+        );
+        Self { alpha }
+    }
+
+    /// Symmetric Dirichlet `Dir(a, ..., a)` with `dim` components.
+    pub fn symmetric(dim: usize, a: f64) -> Self {
+        Self::new(vec![a; dim])
+    }
+
+    /// The concentration vector.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Number of components.
+    pub fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Sum of concentrations `α_0`.
+    pub fn total(&self) -> f64 {
+        self.alpha.iter().sum()
+    }
+
+    /// Mean vector `α_c / α_0`.
+    pub fn mean(&self) -> Vec<f64> {
+        let a0 = self.total();
+        self.alpha.iter().map(|&a| a / a0).collect()
+    }
+
+    /// Variational expectation `E[ln θ_c] = Ψ(α_c) − Ψ(α_0)` for all c.
+    pub fn expected_log(&self) -> Vec<f64> {
+        let d0 = digamma(self.total());
+        self.alpha.iter().map(|&a| digamma(a) - d0).collect()
+    }
+
+    /// Mode of the distribution when it exists (`α_c > 1` for all c):
+    /// `(α_c − 1) / (α_0 − K)`. When some components are ≤ 1 the mode lies on
+    /// the simplex boundary; following standard practice for MAP label
+    /// estimates (and to keep downstream log-likelihoods finite) we clamp
+    /// `α_c − 1` at a small positive floor and renormalise.
+    pub fn map_estimate(&self) -> Vec<f64> {
+        const FLOOR: f64 = 1e-10;
+        let mut v: Vec<f64> = self.alpha.iter().map(|&a| (a - 1.0).max(FLOOR)).collect();
+        let s: f64 = v.iter().sum();
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+        v
+    }
+
+    /// Log normaliser `ln B(α) = Σ ln Γ(α_c) − ln Γ(α_0)`.
+    pub fn ln_normalizer(&self) -> f64 {
+        self.alpha.iter().map(|&a| ln_gamma(a)).sum::<f64>() - ln_gamma(self.total())
+    }
+
+    /// Log density at a point `x` on the simplex.
+    ///
+    /// Points with zero components where `α_c != 1` get density `−∞`/`+∞`
+    /// handled through the log computation (a `0^0 = 1` convention applies
+    /// when `α_c = 1`).
+    pub fn ln_pdf(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.alpha.len());
+        let mut acc = -self.ln_normalizer();
+        for (&a, &xi) in self.alpha.iter().zip(x) {
+            if a != 1.0 {
+                if xi <= 0.0 {
+                    return f64::NEG_INFINITY;
+                }
+                acc += (a - 1.0) * xi.ln();
+            }
+        }
+        acc
+    }
+
+    /// Differential entropy of the Dirichlet.
+    pub fn entropy(&self) -> f64 {
+        let a0 = self.total();
+        let k = self.alpha.len() as f64;
+        self.ln_normalizer() + (a0 - k) * digamma(a0)
+            - self
+                .alpha
+                .iter()
+                .map(|&a| (a - 1.0) * digamma(a))
+                .sum::<f64>()
+    }
+
+    /// Draws a sample from the Dirichlet via normalised gamma variates.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|&a| sample_gamma(rng, a))
+            .collect();
+        let s: f64 = v.iter().sum();
+        if s > 0.0 {
+            for x in v.iter_mut() {
+                *x /= s;
+            }
+        } else {
+            // Astronomically unlikely; fall back to the mean.
+            v = self.mean();
+        }
+        v
+    }
+
+    /// KL divergence `KL(self ‖ other)` between two Dirichlets of the same
+    /// dimension. Used by convergence diagnostics in the test-suite.
+    pub fn kl_to(&self, other: &Dirichlet) -> f64 {
+        assert_eq!(self.dim(), other.dim());
+        let a0 = self.total();
+        let mut acc = ln_gamma(a0) - ln_gamma(other.total());
+        for (&a, &b) in self.alpha.iter().zip(&other.alpha) {
+            acc += ln_gamma(b) - ln_gamma(a) + (a - b) * (digamma(a) - digamma(a0));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::simplex::is_probability_vector;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_sums_to_one() {
+        let d = Dirichlet::new(vec![1.0, 2.0, 3.0]);
+        let m = d.mean();
+        assert!(is_probability_vector(&m, 1e-12));
+        assert!((m[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_log_below_log_mean() {
+        // Jensen: E[ln θ] < ln E[θ].
+        let d = Dirichlet::new(vec![2.0, 5.0, 1.0]);
+        let el = d.expected_log();
+        let m = d.mean();
+        for (e, mu) in el.iter().zip(&m) {
+            assert!(*e < mu.ln());
+        }
+    }
+
+    #[test]
+    fn map_estimate_interior_case() {
+        let d = Dirichlet::new(vec![3.0, 2.0, 5.0]);
+        // (α−1)/(α0−K) = (2,1,4)/7
+        let m = d.map_estimate();
+        assert!((m[0] - 2.0 / 7.0).abs() < 1e-12);
+        assert!((m[1] - 1.0 / 7.0).abs() < 1e-12);
+        assert!((m[2] - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_estimate_boundary_clamped() {
+        let d = Dirichlet::new(vec![0.5, 3.0]);
+        let m = d.map_estimate();
+        assert!(is_probability_vector(&m, 1e-12));
+        assert!(m[0] < 1e-6 && m[1] > 0.999);
+    }
+
+    #[test]
+    fn ln_pdf_uniform_dirichlet() {
+        // Dir(1,1,1) is uniform on the simplex with density Γ(3) = 2.
+        let d = Dirichlet::symmetric(3, 1.0);
+        let x = [0.2, 0.3, 0.5];
+        assert!((d.ln_pdf(&x) - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_pdf_integrates_to_one_2d() {
+        // Numerically integrate a Beta(2,3)-equivalent Dirichlet along x.
+        let d = Dirichlet::new(vec![2.0, 3.0]);
+        let n = 20_000;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = (i as f64 + 0.5) / n as f64;
+            acc += d.ln_pdf(&[x, 1.0 - x]).exp();
+        }
+        acc /= n as f64;
+        assert!((acc - 1.0).abs() < 1e-3, "integral {acc}");
+    }
+
+    #[test]
+    fn samples_live_on_simplex_and_match_mean() {
+        let d = Dirichlet::new(vec![4.0, 1.0, 3.0]);
+        let mut rng = seeded(23);
+        let n = 50_000;
+        let mut acc = [0.0; 3];
+        for _ in 0..n {
+            let s = d.sample(&mut rng);
+            assert!(is_probability_vector(&s, 1e-9));
+            for (a, b) in acc.iter_mut().zip(&s) {
+                *a += b;
+            }
+        }
+        let m = d.mean();
+        for (a, mu) in acc.iter().zip(&m) {
+            assert!((a / n as f64 - mu).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let d = Dirichlet::new(vec![1.5, 2.5, 0.7]);
+        assert!(d.kl_to(&d).abs() < 1e-10);
+        let e = Dirichlet::new(vec![2.5, 1.5, 0.7]);
+        assert!(d.kl_to(&e) > 0.0);
+    }
+
+    #[test]
+    fn entropy_symmetric_uniform_matches_closed_form() {
+        // Dir(1,1): uniform on [0,1], differential entropy 0.
+        let d = Dirichlet::symmetric(2, 1.0);
+        assert!(d.entropy().abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_alpha() {
+        Dirichlet::new(vec![1.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_and_mean_are_simplex(
+            a in proptest::collection::vec(0.05f64..20.0, 1..10),
+        ) {
+            let d = Dirichlet::new(a);
+            prop_assert!(is_probability_vector(&d.mean(), 1e-9));
+            prop_assert!(is_probability_vector(&d.map_estimate(), 1e-9));
+        }
+
+        #[test]
+        fn prop_kl_nonnegative(
+            a in proptest::collection::vec(0.1f64..10.0, 2..8),
+            b in proptest::collection::vec(0.1f64..10.0, 2..8),
+        ) {
+            let k = a.len().min(b.len());
+            let d1 = Dirichlet::new(a[..k].to_vec());
+            let d2 = Dirichlet::new(b[..k].to_vec());
+            prop_assert!(d1.kl_to(&d2) >= -1e-9);
+        }
+    }
+}

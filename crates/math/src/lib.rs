@@ -1,0 +1,43 @@
+//! Numerical substrate for the CPA crowd-consensus library.
+//!
+//! The CPA model (ICDE 2018, "Computing Crowd Consensus with Partial Agreement")
+//! is a Bayesian nonparametric graphical model. Its variational inference needs a
+//! small, well-tested statistical toolkit:
+//!
+//! - [`special`]: log-gamma, digamma, trigamma and friends, accurate to ~1e-12;
+//! - [`simplex`]: probability-simplex operations (normalisation, log-sum-exp,
+//!   entropy, KL/JS divergences);
+//! - [`dirichlet`], [`beta`], [`categorical`], [`multinomial`]: the distributions
+//!   appearing in the CPA generative process, with the variational expectations
+//!   (`E[ln ψ]`, `E[ln π']`, ...) the coordinate-ascent updates consume;
+//! - [`stick`]: stick-breaking representation of the (truncated) Chinese
+//!   Restaurant Process priors over worker communities and item clusters;
+//! - [`matrix`]: a minimal row-major dense matrix used for the variational
+//!   parameter blocks (`κ`, `ϕ`, `λ`, `ζ`);
+//! - [`rng`]: seeded random-number helpers (normal/gamma sampling) so every
+//!   experiment in the reproduction is deterministic given a seed;
+//! - [`stats`]: summary statistics used by the evaluation harness.
+//!
+//! Everything is implemented from scratch (no external stats crates) and
+//! exercised by unit and property tests; see `DESIGN.md` §6 for the rationale.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod beta;
+pub mod categorical;
+pub mod dirichlet;
+pub mod matrix;
+pub mod multinomial;
+pub mod rng;
+pub mod simplex;
+pub mod special;
+pub mod stats;
+pub mod stick;
+
+pub use beta::BetaDist;
+pub use categorical::Categorical;
+pub use dirichlet::Dirichlet;
+pub use matrix::Mat;
+pub use simplex::{log_normalize, log_sum_exp, normalize_in_place};
+pub use special::{digamma, ln_gamma, trigamma};

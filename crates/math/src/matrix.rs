@@ -1,0 +1,224 @@
+//! Minimal row-major dense matrix.
+//!
+//! The variational parameter blocks of CPA are small dense matrices indexed by
+//! (worker, community), (item, cluster) or (cluster·community, label):
+//! `κ ∈ R^{U×M}`, `ϕ ∈ R^{I×T}`, `λ ∈ R^{T·M×C}`, `ζ ∈ R^{T×C}`. A flat
+//! `Vec<f64>` with explicit strides keeps the hot loops allocation-free and
+//! cache-friendly (DESIGN.md §6 explains why no external array crate is used).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows.checked_mul(cols).expect("matrix size overflow")],
+        }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to element `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Immutable row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat immutable data access (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable data access (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Fills the whole matrix with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Sum of a column.
+    pub fn col_sum(&self, c: usize) -> f64 {
+        (0..self.rows).map(|r| self.get(r, c)).sum()
+    }
+
+    /// Sum of a row.
+    pub fn row_sum(&self, r: usize) -> f64 {
+        self.row(r).iter().sum()
+    }
+
+    /// Maximum absolute element-wise difference to another matrix of the same
+    /// shape — the convergence criterion of the paper's §5.3 ("all model
+    /// parameter differences in two consecutive iterations below 1e-3").
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// `self ← self * a + other * b` element-wise (same shape), the blended
+    /// update used by stochastic variational inference (paper Eqs. 18–20 with
+    /// `a = 1` and `b = ω_b`).
+    pub fn scaled_add(&mut self, a: f64, other: &Mat, b: f64) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x = *x * a + *y * b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Mat::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        m.add(1, 2, 1.5);
+        assert_eq!(m.get(1, 2), 6.5);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Mat::from_fn(3, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.row(1), &[10.0, 11.0]);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn from_vec_rejects_bad_length() {
+        Mat::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let m = Mat::from_fn(2, 3, |r, c| (r + c) as f64);
+        assert_eq!(m.row_sum(0), 3.0); // 0+1+2
+        assert_eq!(m.row_sum(1), 6.0); // 1+2+3
+        assert_eq!(m.col_sum(2), 5.0); // 2+3
+    }
+
+    #[test]
+    fn row_mut_in_place_normalisation() {
+        let mut m = Mat::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        crate::simplex::normalize_in_place(m.row_mut(0));
+        assert_eq!(m.row(0), &[0.25; 4]);
+    }
+
+    #[test]
+    fn max_abs_diff_convergence_metric() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set(1, 0, 3.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    fn scaled_add_svi_blend() {
+        let mut old = Mat::from_vec(1, 2, vec![10.0, 20.0]);
+        let grad = Mat::from_vec(1, 2, vec![1.0, 2.0]);
+        // λ ← λ + ω ∇, with ω = 0.5.
+        old.scaled_add(1.0, &grad, 0.5);
+        assert_eq!(old.as_slice(), &[10.5, 21.0]);
+    }
+
+    #[test]
+    fn zero_sized_matrices_are_fine() {
+        let m = Mat::zeros(0, 5);
+        assert_eq!(m.rows(), 0);
+        let m = Mat::zeros(5, 0);
+        assert_eq!(m.row(3), &[] as &[f64]);
+    }
+}

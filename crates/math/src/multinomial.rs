@@ -1,0 +1,143 @@
+//! Multinomial distribution over label vectors.
+//!
+//! In CPA both worker answers `x_iu` and item truths `y_i` are modelled as
+//! multinomial draws over the `C` labels (paper §3.2): the binary label vector
+//! is read as a count vector with total count = number of assigned labels.
+//! Prediction (paper §3.4) evaluates `p(y | φ^MAP)` and `p(x | ψ^MAP)` through
+//! [`ln_pmf_binary`]; the crowd simulator draws label sets via [`sample_counts`]
+//! / [`sample_distinct`].
+
+use crate::categorical::Categorical;
+use crate::special::{ln_gamma, ln_multinomial_coef};
+use rand::Rng;
+
+/// Log pmf of a multinomial with probability vector `p` evaluated at integer
+/// counts `counts` (total `n = Σ counts`).
+pub fn ln_pmf(p: &[f64], counts: &[u32]) -> f64 {
+    debug_assert_eq!(p.len(), counts.len());
+    let mut acc = ln_multinomial_coef(counts);
+    for (&pi, &k) in p.iter().zip(counts) {
+        if k > 0 {
+            if pi <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            acc += k as f64 * pi.ln();
+        }
+    }
+    acc
+}
+
+/// Log pmf of a multinomial at a *binary* count vector given as the indices of
+/// the set labels: `ln n! + Σ_{c∈set} ln p_c` (each count is 0/1).
+///
+/// This is the form CPA evaluates: answers/truths are label sets.
+pub fn ln_pmf_binary(p: &[f64], set: &[usize]) -> f64 {
+    let mut acc = ln_gamma(set.len() as f64 + 1.0);
+    for &c in set {
+        let pi = p[c];
+        if pi <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        acc += pi.ln();
+    }
+    acc
+}
+
+/// Draws multinomial counts for `n` trials over `p`.
+pub fn sample_counts<R: Rng + ?Sized>(rng: &mut R, p: &[f64], n: u32) -> Vec<u32> {
+    let cat = Categorical::new(p);
+    let mut counts = vec![0u32; p.len()];
+    for _ in 0..n {
+        counts[cat.sample(rng)] += 1;
+    }
+    counts
+}
+
+/// Draws `n` *distinct* labels according to `p` (sampling without replacement
+/// by successive renormalisation). Returns fewer than `n` labels if fewer have
+/// positive probability. Used to turn the multinomial story into label *sets*
+/// in the crowd simulator.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, p: &[f64], n: usize) -> Vec<usize> {
+    let mut weights = p.to_vec();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let cat = Categorical::new(&weights);
+        let c = cat.sample(rng);
+        out.push(c);
+        weights[c] = 0.0;
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn ln_pmf_binomial_case() {
+        // Multinomial with 2 categories = binomial. P(k=2 of n=3, p=0.4) =
+        // C(3,2) 0.4^2 0.6 = 0.288.
+        let p = [0.4, 0.6];
+        let lp = ln_pmf(&p, &[2, 1]);
+        assert!((lp.exp() - 0.288).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_pmf_zero_prob_support() {
+        assert_eq!(ln_pmf(&[0.0, 1.0], &[1, 0]), f64::NEG_INFINITY);
+        assert!((ln_pmf(&[0.0, 1.0], &[0, 3]).exp() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_pmf_binary_matches_general() {
+        let p = [0.1, 0.2, 0.3, 0.4];
+        let set = [1usize, 3];
+        let counts = [0u32, 1, 0, 1];
+        assert!((ln_pmf_binary(&p, &set) - ln_pmf(&p, &counts)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_pmf_binary_empty_set_is_one() {
+        assert!((ln_pmf_binary(&[0.5, 0.5], &[]).exp() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_counts_total_and_mean() {
+        let p = [0.2, 0.8];
+        let mut rng = seeded(51);
+        let n_trials = 10_000;
+        let mut first = 0u64;
+        for _ in 0..n_trials {
+            let counts = sample_counts(&mut rng, &p, 5);
+            assert_eq!(counts.iter().sum::<u32>(), 5);
+            first += counts[0] as u64;
+        }
+        let mean_first = first as f64 / n_trials as f64;
+        assert!((mean_first - 1.0).abs() < 0.05, "{mean_first}");
+    }
+
+    #[test]
+    fn sample_distinct_no_duplicates_and_sorted() {
+        let p = [0.1, 0.4, 0.2, 0.3];
+        let mut rng = seeded(53);
+        for _ in 0..1000 {
+            let s = sample_distinct(&mut rng, &p, 3);
+            assert_eq!(s.len(), 3);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_exhausts_support() {
+        let p = [0.5, 0.0, 0.5];
+        let mut rng = seeded(57);
+        let s = sample_distinct(&mut rng, &p, 3);
+        assert_eq!(s, vec![0, 2]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Seeded randomness helpers: standard-normal and gamma sampling.
+//!
+//! The offline crate set does not include `rand_distr`, so the samplers needed
+//! by the Dirichlet/Beta priors (gamma via Marsaglia–Tsang, normal via
+//! Box–Muller) are implemented here. Every consumer in the workspace threads an
+//! explicit [`rand::Rng`] so that datasets, initialisations and experiments are
+//! reproducible from a `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the workspace-standard deterministic RNG from a `u64` seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples from Gamma(shape, 1) using the Marsaglia–Tsang squeeze method,
+/// with the standard boost `Gamma(a) = Gamma(a+1) · U^{1/a}` for `shape < 1`.
+///
+/// # Panics
+/// Panics if `shape` is not finite and positive.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "gamma shape must be positive, got {shape}"
+    );
+    if shape < 1.0 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Samples from Gamma(shape, scale).
+pub fn sample_gamma_scaled<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    sample_gamma(rng, shape) * scale
+}
+
+/// Samples from Poisson(λ) using Knuth's product method (intended for the
+/// small rates used by the crowd simulator's false-positive counts; falls back
+/// to a normal approximation above λ = 30).
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "Poisson rate must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = lambda + lambda.sqrt() * sample_standard_normal(rng);
+        return x.round().max(0.0) as u32;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = seeded(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(7);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = sample_standard_normal(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut rng = seeded(11);
+        let shape = 4.5;
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = sample_gamma(&mut rng, shape);
+            assert!(x > 0.0);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - shape).abs() < 0.05, "mean {mean}");
+        assert!((var - shape).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut rng = seeded(13);
+        let shape = 0.3;
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = sample_gamma(&mut rng, shape);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - shape).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_scaled() {
+        let mut rng = seeded(17);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += sample_gamma_scaled(&mut rng, 2.0, 3.0);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_bad_shape() {
+        let mut rng = seeded(1);
+        sample_gamma(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn poisson_moments_small_rate() {
+        let mut rng = seeded(19);
+        let lambda = 2.5;
+        let n = 100_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let k = sample_poisson(&mut rng, lambda) as f64;
+            sum += k;
+            sumsq += k * k;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - lambda).abs() < 0.03, "mean {mean}");
+        assert!((var - lambda).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut rng = seeded(19);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_rate_normal_approx() {
+        let mut rng = seeded(29);
+        let lambda = 100.0;
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += sample_poisson(&mut rng, lambda) as f64;
+        }
+        assert!((sum / n as f64 - lambda).abs() < 0.5);
+    }
+}

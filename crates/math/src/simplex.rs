@@ -1,0 +1,233 @@
+//! Probability-simplex operations.
+//!
+//! The CPA coordinate-ascent updates (paper Eqs. 2–3) produce *unnormalised
+//! log*-responsibilities; [`log_normalize`] turns them into proper rows of the
+//! variational `κ` and `ϕ` matrices without overflow. The truth-estimation step
+//! (DESIGN.md §2) scores worker communities by an information-theoretic
+//! statistic built from [`kl_divergence`].
+
+/// Numerically stable `ln Σ_i exp(v_i)`.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice (the sum of zero terms).
+pub fn log_sum_exp(v: &[f64]) -> f64 {
+    let m = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() && m < 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let s: f64 = v.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Exponentiate-and-normalise a vector of log-weights in place, returning the
+/// log-normaliser. After the call the slice is a probability vector.
+///
+/// All `−∞` entries map to probability 0; if *every* entry is `−∞` the result
+/// is the uniform distribution (the caller supplied no evidence at all, which
+/// the inference treats as "no preference").
+pub fn log_normalize(v: &mut [f64]) -> f64 {
+    if v.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let z = log_sum_exp(v);
+    if z.is_infinite() && z < 0.0 {
+        let u = 1.0 / v.len() as f64;
+        v.fill(u);
+        return z;
+    }
+    for x in v.iter_mut() {
+        *x = (*x - z).exp();
+    }
+    z
+}
+
+/// Normalise a non-negative vector in place to sum to one. If the sum is zero
+/// the vector becomes uniform.
+pub fn normalize_in_place(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+    } else if !v.is_empty() {
+        let u = 1.0 / v.len() as f64;
+        v.fill(u);
+    }
+}
+
+/// Shannon entropy `−Σ p ln p` (nats) of a probability vector.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| -x * x.ln())
+        .sum()
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q) = Σ p ln(p/q)` in nats.
+///
+/// Conventions: terms with `p_i = 0` contribute 0; a term with `p_i > 0` and
+/// `q_i = 0` makes the divergence `+∞`.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return f64::INFINITY;
+            }
+            acc += pi * (pi / qi).ln();
+        }
+    }
+    acc
+}
+
+/// Jensen–Shannon divergence (symmetric, bounded by `ln 2`).
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// `Σ |p_i − q_i| / 2`, the total-variation distance between two probability
+/// vectors.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Checks that `p` is (approximately) a probability vector: non-negative and
+/// summing to one within `tol`.
+pub fn is_probability_vector(p: &[f64], tol: f64) -> bool {
+    !p.is_empty()
+        && p.iter().all(|&x| x >= -tol && x.is_finite())
+        && (p.iter().sum::<f64>() - 1.0).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn log_sum_exp_matches_direct() {
+        let v = [0.1f64, -2.0, 1.3];
+        let direct: f64 = v.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&v) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_huge_values_no_overflow() {
+        let v = [1000.0, 1000.0];
+        assert!((log_sum_exp(&v) - (1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+        let v = [-1000.0, -1000.0];
+        assert!((log_sum_exp(&v) - (-1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_normalize_produces_simplex() {
+        let mut v = [2.0, 2.0, 2.0 + std::f64::consts::LN_2];
+        log_normalize(&mut v);
+        assert!(is_probability_vector(&v, 1e-12));
+        assert!((v[2] / v[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_normalize_all_neg_inf_gives_uniform() {
+        let mut v = [f64::NEG_INFINITY; 4];
+        log_normalize(&mut v);
+        for &x in &v {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalize_zero_vector_gives_uniform() {
+        let mut v = [0.0; 5];
+        normalize_in_place(&mut v);
+        for &x in &v {
+            assert!((x - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_n() {
+        let p = [0.25; 4];
+        assert!((entropy(&p) - 4f64.ln()).abs() < 1e-12);
+        // Degenerate distribution has zero entropy.
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+        let q = [0.5, 0.3, 0.2];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_on_support_mismatch() {
+        assert!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).is_infinite());
+        // But q having extra support is fine.
+        assert!(kl_divergence(&[1.0, 0.0], &[0.5, 0.5]).is_finite());
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded() {
+        let p = [0.9, 0.1, 0.0];
+        let q = [0.0, 0.1, 0.9];
+        let d1 = js_divergence(&p, &q);
+        let d2 = js_divergence(&q, &p);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 <= std::f64::consts::LN_2 + 1e-12);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_log_normalize_sums_to_one(v in proptest::collection::vec(-50.0f64..50.0, 1..20)) {
+            let mut v = v;
+            log_normalize(&mut v);
+            prop_assert!(is_probability_vector(&v, 1e-9));
+        }
+
+        #[test]
+        fn prop_normalize_sums_to_one(v in proptest::collection::vec(0.0f64..100.0, 1..20)) {
+            let mut v = v;
+            normalize_in_place(&mut v);
+            prop_assert!(is_probability_vector(&v, 1e-9));
+        }
+
+        #[test]
+        fn prop_kl_nonnegative(
+            a in proptest::collection::vec(0.01f64..10.0, 2..12),
+        ) {
+            let mut p = a.clone();
+            let mut q: Vec<f64> = a.iter().rev().copied().collect();
+            normalize_in_place(&mut p);
+            normalize_in_place(&mut q);
+            prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        }
+
+        #[test]
+        fn prop_entropy_bounded_by_log_n(
+            a in proptest::collection::vec(0.01f64..10.0, 2..12),
+        ) {
+            let mut p = a;
+            normalize_in_place(&mut p);
+            let h = entropy(&p);
+            prop_assert!(h >= -1e-12);
+            prop_assert!(h <= (p.len() as f64).ln() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Special functions: log-gamma, digamma, trigamma, log-beta, multinomial
+//! coefficients.
+//!
+//! These drive every variational expectation in the CPA model: the Dirichlet
+//! expectations `E[ln ψ_tmc] = Ψ(λ_tmc) − Ψ(Σ_c λ_tmc)` (paper, Appendix B) and
+//! the Beta stick expectations `E[ln π'_m]`, `E[ln(1−π'_m)]` are all digamma
+//! differences, while the ELBO needs log-gamma terms of the Dirichlet
+//! normalisers.
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, n = 9 coefficients), which is
+/// accurate to roughly 1e-13 over the positive reals. Values `x <= 0` return
+/// `f64::INFINITY` (the gamma function has poles at non-positive integers and
+/// the CPA inference never evaluates it there).
+pub fn ln_gamma(x: f64) -> f64 {
+    if x <= 0.0 {
+        return f64::INFINITY;
+    }
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Digamma function `Ψ(x) = d/dx ln Γ(x)` for `x > 0`.
+///
+/// Uses the recurrence `Ψ(x) = Ψ(x+1) − 1/x` to push the argument above 6 and
+/// then the asymptotic expansion with Bernoulli-number coefficients. Accurate
+/// to about 1e-12 for `x > 1e-6`. Returns `f64::NEG_INFINITY` at `x == 0` and
+/// `f64::NAN` for negative arguments.
+pub fn digamma(x: f64) -> f64 {
+    if x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let mut x = x;
+    let mut result = 0.0;
+    // Recurrence to reach the asymptotic region.
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    // Asymptotic series: Ψ(x) ≈ ln x − 1/(2x) − Σ B_{2n} / (2n x^{2n}).
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result += x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2
+                    * (1.0 / 120.0
+                        - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 * (1.0 / 132.0)))));
+    result
+}
+
+/// Trigamma function `Ψ'(x)` for `x > 0` (second derivative of `ln Γ`).
+///
+/// Same recurrence/asymptotic strategy as [`digamma`]. Used by the ELBO
+/// diagnostics and by curvature-aware step-size checks in the stochastic
+/// optimiser tests.
+pub fn trigamma(x: f64) -> f64 {
+    if x <= 0.0 {
+        return f64::INFINITY;
+    }
+    let mut x = x;
+    let mut result = 0.0;
+    while x < 10.0 {
+        result += 1.0 / (x * x);
+        x += 1.0;
+    }
+    // Ψ'(x) ≈ 1/x + 1/(2x²) + 1/(6x³) − 1/(30x⁵) + 1/(42x⁷) − 1/(30x⁹).
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result
+        + inv
+            * (1.0
+                + inv
+                    * (0.5
+                        + inv
+                            * (1.0 / 6.0
+                                - inv2
+                                    * (1.0 / 30.0
+                                        - inv2 * (1.0 / 42.0 - inv2 * (1.0 / 30.0))))))
+}
+
+/// `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b)`, the log Beta function.
+pub fn ln_beta_fn(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Log multinomial coefficient `ln (n! / Π_c k_c!)` for counts `k`.
+///
+/// For CPA's binary label vectors every `k_c ∈ {0, 1}`, so this reduces to
+/// `ln n!`, but the general form is kept for the multinomial distribution API.
+pub fn ln_multinomial_coef(counts: &[u32]) -> f64 {
+    let n: u32 = counts.iter().sum();
+    let mut v = ln_gamma(n as f64 + 1.0);
+    for &k in counts {
+        if k > 1 {
+            v -= ln_gamma(k as f64 + 1.0);
+        }
+    }
+    v
+}
+
+/// `ln n!` via log-gamma.
+pub fn ln_factorial(n: u32) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, f) in facts.iter().enumerate() {
+            let x = (n + 1) as f64;
+            assert!(
+                (ln_gamma(x) - f64::ln(*f)).abs() < TOL,
+                "ln_gamma({x}) = {} expected {}",
+                ln_gamma(x),
+                f64::ln(*f)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        let expected = 0.5 * std::f64::consts::PI.ln();
+        assert!((ln_gamma(0.5) - expected).abs() < TOL);
+        // Γ(3/2) = sqrt(pi)/2
+        let expected = 0.5 * std::f64::consts::PI.ln() - std::f64::consts::LN_2;
+        assert!((ln_gamma(1.5) - expected).abs() < TOL);
+    }
+
+    #[test]
+    fn ln_gamma_large_argument_stirling() {
+        // Compare against Stirling with correction for a large value.
+        let x: f64 = 1234.5;
+        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
+            + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x * x * x);
+        assert!((ln_gamma(x) - stirling).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_nonpositive_is_infinite() {
+        assert!(ln_gamma(0.0).is_infinite());
+        assert!(ln_gamma(-3.2).is_infinite());
+    }
+
+    #[test]
+    fn digamma_known_values() {
+        // Ψ(1) = −γ (Euler–Mascheroni).
+        const EULER: f64 = 0.577_215_664_901_532_9;
+        assert!((digamma(1.0) + EULER).abs() < TOL);
+        // Ψ(1/2) = −γ − 2 ln 2.
+        assert!((digamma(0.5) + EULER + 2.0 * std::f64::consts::LN_2).abs() < TOL);
+        // Ψ(2) = 1 − γ.
+        assert!((digamma(2.0) - (1.0 - EULER)).abs() < TOL);
+    }
+
+    #[test]
+    fn digamma_recurrence_property() {
+        // Ψ(x+1) = Ψ(x) + 1/x for assorted x.
+        for &x in &[0.1, 0.7, 1.3, 2.9, 10.0, 123.4] {
+            assert!(
+                (digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-11,
+                "recurrence failed at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn digamma_is_derivative_of_ln_gamma() {
+        for &x in &[0.5, 1.5, 3.0, 8.0, 42.0] {
+            let h = 1e-6;
+            let numeric = (ln_gamma(x + h) - ln_gamma(x - h)) / (2.0 * h);
+            assert!(
+                (digamma(x) - numeric).abs() < 1e-6,
+                "derivative mismatch at {x}: {} vs {}",
+                digamma(x),
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn trigamma_known_values() {
+        // Ψ'(1) = π²/6.
+        let expected = std::f64::consts::PI.powi(2) / 6.0;
+        assert!((trigamma(1.0) - expected).abs() < TOL);
+        // Ψ'(1/2) = π²/2.
+        let expected = std::f64::consts::PI.powi(2) / 2.0;
+        assert!((trigamma(0.5) - expected).abs() < TOL);
+    }
+
+    #[test]
+    fn trigamma_is_derivative_of_digamma() {
+        for &x in &[0.5, 1.1, 4.2, 17.0] {
+            let h = 1e-5;
+            let numeric = (digamma(x + h) - digamma(x - h)) / (2.0 * h);
+            assert!((trigamma(x) - numeric).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ln_beta_symmetry() {
+        for &(a, b) in &[(0.5, 2.0), (1.0, 1.0), (3.3, 7.7)] {
+            assert!((ln_beta_fn(a, b) - ln_beta_fn(b, a)).abs() < TOL);
+        }
+        // B(1,1) = 1.
+        assert!(ln_beta_fn(1.0, 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn multinomial_coef_binary_counts() {
+        // Binary vector with n ones: coefficient = n!.
+        let counts = [1u32, 0, 1, 1, 0];
+        assert!((ln_multinomial_coef(&counts) - ln_factorial(3)).abs() < TOL);
+    }
+
+    #[test]
+    fn multinomial_coef_general() {
+        // (2,1,1): 4!/(2!·1!·1!) = 12.
+        let counts = [2u32, 1, 1];
+        assert!((ln_multinomial_coef(&counts) - 12f64.ln()).abs() < TOL);
+    }
+
+    #[test]
+    fn multinomial_coef_empty_is_zero() {
+        assert!(ln_multinomial_coef(&[]).abs() < 1e-12);
+        assert!(ln_multinomial_coef(&[0, 0]).abs() < 1e-12);
+    }
+}

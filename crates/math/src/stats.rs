@@ -1,0 +1,155 @@
+//! Summary statistics used by the evaluation harness: means, deviations,
+//! quantiles and an online (Welford) accumulator for the repeated-run
+//! experiment protocol (the paper averages 10–100 shuffled runs and reports
+//! `± deviation`, Table 5).
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample standard deviation; 0 for fewer than two observations.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Linear-interpolated quantile, `q ∈ [0, 1]`; `NaN` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Numerically stable online mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Population sd is 2; sample sd = sqrt(32/7).
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(mean(&[]).is_nan());
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!(quantile(&[], 0.5).is_nan());
+        assert_eq!(quantile(&[3.0], 0.99), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        // Order must not matter.
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        assert!((quantile(&shuffled, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [0.3, -1.2, 5.5, 2.2, 0.0, 9.1];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 6);
+        assert!((w.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_welford_equals_batch(xs in proptest::collection::vec(-1e3f64..1e3, 2..64)) {
+            let mut w = Welford::new();
+            for &x in &xs { w.push(x); }
+            prop_assert!((w.mean() - mean(&xs)).abs() < 1e-9);
+            prop_assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_quantiles_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..64)) {
+            let q25 = quantile(&xs, 0.25);
+            let q50 = quantile(&xs, 0.50);
+            let q75 = quantile(&xs, 0.75);
+            prop_assert!(q25 <= q50 + 1e-12);
+            prop_assert!(q50 <= q75 + 1e-12);
+        }
+    }
+}

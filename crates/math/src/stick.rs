@@ -1,0 +1,210 @@
+//! Stick-breaking representation of the truncated Chinese Restaurant Process.
+//!
+//! CPA places `π ~ CRP(α)` over worker communities and `τ ~ CRP(ε)` over item
+//! clusters, represented by sticks `π'_m ~ Beta(1, α)` with
+//! `π_m = π'_m Π_{j<m} (1 − π'_j)` (paper Eq. 1), truncated at `M` (resp. `T`)
+//! components for inference. This module converts between stick parameters and
+//! component weights and provides the variational stick expectations
+//! `E[ln π_m] = E[ln π'_m] + Σ_{k<m} E[ln (1−π'_k)]` (paper Appendix B).
+
+use crate::beta::BetaDist;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Variational Beta parameters for a truncated stick-breaking process with `K`
+/// components: sticks `1..K-1` carry a `Beta(a_k, b_k)` posterior and the final
+/// stick is pinned to 1 (absorbing the remaining mass), the standard truncation
+/// of Blei & Jordan (2006) the paper cites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StickPosterior {
+    /// `(a, b)` pairs for the first `K−1` sticks.
+    pub params: Vec<(f64, f64)>,
+}
+
+impl StickPosterior {
+    /// Builds the prior `Beta(1, concentration)` posterior for a truncation of
+    /// `k` components (so `k − 1` sticks).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the concentration is not positive.
+    pub fn prior(k: usize, concentration: f64) -> Self {
+        assert!(k >= 1, "truncation must have at least one component");
+        assert!(
+            concentration > 0.0 && concentration.is_finite(),
+            "CRP concentration must be positive"
+        );
+        Self {
+            params: vec![(1.0, concentration); k.saturating_sub(1)],
+        }
+    }
+
+    /// Number of mixture components `K` represented (sticks + 1).
+    pub fn components(&self) -> usize {
+        self.params.len() + 1
+    }
+
+    /// `E[ln w_k]` for each of the `K` component weights under the variational
+    /// Beta sticks (paper Appendix B):
+    /// `E[ln w_k] = E[ln v_k] + Σ_{j<k} E[ln (1−v_j)]`, with `v_K ≡ 1`.
+    pub fn expected_log_weights(&self) -> Vec<f64> {
+        let k = self.components();
+        let mut out = Vec::with_capacity(k);
+        let mut tail = 0.0; // running Σ E[ln (1−v_j)]
+        for &(a, b) in &self.params {
+            let beta = BetaDist::new(a, b);
+            out.push(beta.expected_log() + tail);
+            tail += beta.expected_log_complement();
+        }
+        // Final component: v_K = 1 so E[ln v_K] = 0.
+        out.push(tail);
+        out
+    }
+
+    /// Mean component weights `E[v_k] Π_{j<k} (1 − E[v_j])` — a convenient
+    /// point summary of the mixture proportions (exact for the mean-field
+    /// factorised posterior since sticks are independent).
+    pub fn mean_weights(&self) -> Vec<f64> {
+        let k = self.components();
+        let mut out = Vec::with_capacity(k);
+        let mut remaining = 1.0;
+        for &(a, b) in &self.params {
+            let m = a / (a + b);
+            out.push(m * remaining);
+            remaining *= 1.0 - m;
+        }
+        out.push(remaining);
+        out
+    }
+
+    /// Draws component weights by sampling each stick.
+    pub fn sample_weights<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let k = self.components();
+        let mut out = Vec::with_capacity(k);
+        let mut remaining = 1.0;
+        for &(a, b) in &self.params {
+            let v = BetaDist::new(a, b).sample(rng);
+            out.push(v * remaining);
+            remaining *= 1.0 - v;
+        }
+        out.push(remaining);
+        out
+    }
+}
+
+/// Converts raw stick fractions `v_k ∈ (0,1)` into component weights (last
+/// component takes the remainder). Inverse view of the stick-breaking
+/// construction; the generative simulator uses it directly.
+pub fn weights_from_sticks(sticks: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(sticks.len() + 1);
+    let mut remaining = 1.0;
+    for &v in sticks {
+        debug_assert!((0.0..=1.0).contains(&v));
+        out.push(v * remaining);
+        remaining *= 1.0 - v;
+    }
+    out.push(remaining);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::simplex::is_probability_vector;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prior_shape() {
+        let s = StickPosterior::prior(5, 2.0);
+        assert_eq!(s.components(), 5);
+        assert_eq!(s.params.len(), 4);
+        assert_eq!(s.params[0], (1.0, 2.0));
+    }
+
+    #[test]
+    fn single_component_truncation() {
+        let s = StickPosterior::prior(1, 1.0);
+        assert_eq!(s.components(), 1);
+        assert_eq!(s.mean_weights(), vec![1.0]);
+        assert_eq!(s.expected_log_weights(), vec![0.0]);
+    }
+
+    #[test]
+    fn mean_weights_form_simplex() {
+        let s = StickPosterior {
+            params: vec![(3.0, 1.0), (1.0, 5.0), (2.0, 2.0)],
+        };
+        let w = s.mean_weights();
+        assert!(is_probability_vector(&w, 1e-12));
+        // First stick mean 0.75 → first weight 0.75.
+        assert!((w[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_log_weights_below_log_mean_weights() {
+        // Jensen's inequality component-wise.
+        let s = StickPosterior::prior(6, 1.5);
+        let el = s.expected_log_weights();
+        let mw = s.mean_weights();
+        for (e, m) in el.iter().zip(&mw) {
+            assert!(*e <= m.ln() + 1e-9, "{e} vs {}", m.ln());
+        }
+    }
+
+    #[test]
+    fn sampled_weights_simplex_and_decay() {
+        let s = StickPosterior::prior(10, 1.0);
+        let mut rng = seeded(61);
+        let n = 20_000;
+        let mut acc = [0.0; 10];
+        for _ in 0..n {
+            let w = s.sample_weights(&mut rng);
+            assert!(is_probability_vector(&w, 1e-9));
+            for (a, b) in acc.iter_mut().zip(&w) {
+                *a += b;
+            }
+        }
+        // With Beta(1,1) sticks the mean weights decay geometrically: 1/2, 1/4...
+        assert!((acc[0] / n as f64 - 0.5).abs() < 0.01);
+        assert!((acc[1] / n as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn weights_from_sticks_remainder() {
+        let w = weights_from_sticks(&[0.5, 0.5]);
+        assert_eq!(w, vec![0.5, 0.25, 0.25]);
+        assert_eq!(weights_from_sticks(&[]), vec![1.0]);
+    }
+
+    #[test]
+    fn high_concentration_spreads_mass() {
+        // Large α → small sticks → later components retain more mass
+        // ("workers form many communities"); small α → first component hogs
+        // the mass ("all workers one community", paper §3.2 discussion).
+        let spread = StickPosterior::prior(20, 10.0).mean_weights();
+        let tight = StickPosterior::prior(20, 0.1).mean_weights();
+        assert!(tight[0] > 0.9);
+        assert!(spread[0] < 0.15);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_weights_simplex(
+            params in proptest::collection::vec((0.1f64..20.0, 0.1f64..20.0), 0..12),
+        ) {
+            let s = StickPosterior { params };
+            prop_assert!(is_probability_vector(&s.mean_weights(), 1e-9));
+        }
+
+        #[test]
+        fn prop_expected_log_weights_finite_and_negative(
+            params in proptest::collection::vec((0.1f64..20.0, 0.1f64..20.0), 1..12),
+        ) {
+            let s = StickPosterior { params };
+            for w in s.expected_log_weights() {
+                prop_assert!(w.is_finite());
+                prop_assert!(w <= 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Online aggregation: answers arrive in worker batches and intermediate
+//! consensus is available after every batch (the paper's §4.1 motivation —
+//! decide early whether a task is done or needs redesign).
+//!
+//! ```sh
+//! cargo run --release --example online_streaming
+//! ```
+
+use cpa::prelude::*;
+use cpa_math::rng::seeded;
+
+fn main() {
+    let profile = DatasetProfile::topic().scaled(0.15);
+    let sim = simulate(&profile, 11);
+    println!(
+        "topic-annotation crowd: {} tweets, {} workers, {} topics",
+        sim.dataset.num_items(),
+        sim.dataset.num_workers(),
+        sim.dataset.num_labels()
+    );
+
+    // Stream workers in batches of 10% of the population.
+    let active = (0..sim.dataset.num_workers())
+        .filter(|&w| !sim.dataset.answers.worker_answers(w).is_empty())
+        .count();
+    let mut rng = seeded(99);
+    let stream = WorkerStream::new(&sim.dataset, active.div_ceil(10).max(1), &mut rng);
+
+    // Incremental CPA with the paper's forgetting rate r = 0.875.
+    let mut online = OnlineCpa::new(
+        CpaConfig::default().with_seed(11),
+        sim.dataset.num_items(),
+        sim.dataset.num_workers(),
+        sim.dataset.num_labels(),
+        0.875,
+    );
+
+    println!("\narrival  answers  precision  recall   (intermediate consensus)");
+    let mut last_f1 = 0.0;
+    let total = stream.len();
+    for batch in stream.iter() {
+        online.partial_fit(&sim.dataset.answers, batch);
+        let preds = online.predict_all();
+        let m = evaluate(&preds, &sim.dataset.truth);
+        println!(
+            "{:>6}%  {:>7}  {:.3}      {:.3}",
+            batch.index * 100 / total,
+            online.seen_answers().num_answers(),
+            m.precision,
+            m.recall
+        );
+        // Early-termination policy: stop paying for answers once the
+        // consensus quality plateaus (here: F1 gain below half a point).
+        if batch.index > total / 2 && (m.f1 - last_f1).abs() < 0.005 {
+            println!("(quality plateaued — a real deployment could stop the task here)");
+        }
+        last_f1 = m.f1;
+    }
+
+    // Final comparison against refitting from scratch (the offline engine).
+    let offline = CpaModel::new(CpaConfig::default().with_seed(11)).fit(&sim.dataset.answers);
+    let m_off = evaluate(&offline.predict_all(&sim.dataset.answers), &sim.dataset.truth);
+    let m_on = evaluate(&online.predict_all(), &sim.dataset.truth);
+    println!(
+        "\nfinal: online P={:.3}/R={:.3} vs offline P={:.3}/R={:.3} (paper Table 5: online trails by a few points)",
+        m_on.precision, m_on.recall, m_off.precision, m_off.recall
+    );
+}

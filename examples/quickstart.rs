@@ -1,0 +1,60 @@
+//! Quickstart: simulate a small multi-label crowdsourcing task, aggregate it
+//! with CPA, and compare against majority voting.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cpa::prelude::*;
+
+fn main() {
+    // A small crowd over the paper's movie-genre profile (500 movies at full
+    // scale; 10% here): 22 genres, workers assign genre *sets* per movie.
+    let profile = DatasetProfile::movie().scaled(0.1);
+    let sim = simulate(&profile, 42);
+    println!(
+        "dataset `{}`: {} items, {} workers, {} labels, {} answers",
+        sim.dataset.name,
+        sim.dataset.num_items(),
+        sim.dataset.num_workers(),
+        sim.dataset.num_labels(),
+        sim.dataset.answers.num_answers()
+    );
+
+    // Fit CPA (unsupervised — no ground truth revealed) and predict.
+    let model = CpaModel::new(CpaConfig::default().with_seed(42));
+    let fitted = model.fit(&sim.dataset.answers);
+    let consensus = fitted.predict_all(&sim.dataset.answers);
+
+    // Compare against the majority-voting baseline.
+    let mv = MajorityVoting::new().aggregate(&sim.dataset.answers);
+    let m_cpa = evaluate(&consensus, &sim.dataset.truth);
+    let m_mv = evaluate(&mv, &sim.dataset.truth);
+    println!(
+        "CPA: P={:.3} R={:.3} F1={:.3}",
+        m_cpa.precision, m_cpa.recall, m_cpa.f1
+    );
+    println!(
+        "MV : P={:.3} R={:.3} F1={:.3}",
+        m_mv.precision, m_mv.recall, m_mv.f1
+    );
+
+    // What the model learned about the crowd.
+    println!(
+        "fit: {} iterations (converged: {}), {} effective communities, {} effective clusters",
+        fitted.report().iterations,
+        fitted.report().converged,
+        fitted.effective_communities(0.02),
+        fitted.effective_clusters(0.02)
+    );
+
+    // A few example consensus label sets.
+    for i in 0..3.min(consensus.len()) {
+        println!(
+            "item {i}: consensus {:?}, truth {:?}",
+            consensus[i].to_vec(),
+            sim.dataset.truth[i].to_vec()
+        );
+    }
+    assert!(m_cpa.f1 >= m_mv.f1 - 0.05, "CPA should be competitive with MV");
+}

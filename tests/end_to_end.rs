@@ -1,0 +1,190 @@
+//! End-to-end integration tests spanning the whole workspace: data
+//! simulation → inference → prediction → evaluation, covering the paper's
+//! headline claims at miniature scale.
+
+use cpa::prelude::*;
+
+fn f1_of(preds: &[LabelSet], truth: &[LabelSet]) -> f64 {
+    evaluate(preds, truth).f1
+}
+
+#[test]
+fn cpa_beats_majority_voting_on_correlated_data() {
+    // Paper Table 4, miniature: CPA > MV on the strongly correlated image
+    // profile across seeds.
+    let profile = DatasetProfile::image().scaled(0.06);
+    let mut wins = 0;
+    for seed in [1u64, 2, 3] {
+        let sim = simulate(&profile, seed);
+        let mv = MajorityVoting::new().aggregate(&sim.dataset.answers);
+        let cpa = CpaModel::new(CpaConfig::default().with_seed(seed))
+            .fit(&sim.dataset.answers)
+            .predict_all(&sim.dataset.answers);
+        if f1_of(&cpa, &sim.dataset.truth) > f1_of(&mv, &sim.dataset.truth) {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "CPA beat MV on only {wins}/3 seeds");
+}
+
+#[test]
+fn cpa_robust_to_spammer_injection() {
+    // Paper Fig. 4: CPA's accuracy barely moves when 40% of answers are spam.
+    let profile = DatasetProfile::image().scaled(0.06);
+    let sim = simulate(&profile, 9);
+    let mut rng = cpa::math::rng::seeded(10);
+    let (spammed, _) = inject_spammers(&sim.dataset, 0.4, &sim.affinity, &mut rng);
+
+    let clean = CpaModel::new(CpaConfig::default().with_seed(9))
+        .fit(&sim.dataset.answers)
+        .predict_all(&sim.dataset.answers);
+    let noisy = CpaModel::new(CpaConfig::default().with_seed(9))
+        .fit(&spammed.answers)
+        .predict_all(&spammed.answers);
+
+    let f_clean = f1_of(&clean, &sim.dataset.truth);
+    let f_noisy = f1_of(&noisy, &spammed.truth);
+    assert!(
+        f_noisy > 0.8 * f_clean,
+        "40% spam dropped F1 from {f_clean} to {f_noisy}"
+    );
+}
+
+#[test]
+fn cpa_degrades_gracefully_under_sparsity() {
+    // Paper Fig. 3: at 50% sparsity CPA retains most of its accuracy.
+    let profile = DatasetProfile::image().scaled(0.08);
+    let sim = simulate(&profile, 17);
+    let mut rng = cpa::math::rng::seeded(18);
+    let sparse = sparsify(&sim.dataset, 0.5, &mut rng);
+
+    let full = CpaModel::new(CpaConfig::default().with_seed(17))
+        .fit(&sim.dataset.answers)
+        .predict_all(&sim.dataset.answers);
+    let half = CpaModel::new(CpaConfig::default().with_seed(17))
+        .fit(&sparse.answers)
+        .predict_all(&sparse.answers);
+
+    let f_full = f1_of(&full, &sim.dataset.truth);
+    let f_half = f1_of(&half, &sparse.truth);
+    assert!(
+        f_half > 0.75 * f_full,
+        "50% sparsity dropped F1 from {f_full} to {f_half}"
+    );
+}
+
+#[test]
+fn online_and_offline_agree_at_full_arrival() {
+    // Paper Table 5: online trails offline by a bounded margin.
+    let profile = DatasetProfile::movie().scaled(0.08);
+    let sim = simulate(&profile, 31);
+    let mut online = OnlineCpa::new(
+        CpaConfig::default().with_seed(31),
+        sim.dataset.num_items(),
+        sim.dataset.num_workers(),
+        sim.dataset.num_labels(),
+        0.875,
+    );
+    let mut rng = cpa::math::rng::seeded(32);
+    let stream = WorkerStream::new(&sim.dataset, 10, &mut rng);
+    for batch in stream.iter() {
+        online.partial_fit(&sim.dataset.answers, batch);
+    }
+    let offline = CpaModel::new(CpaConfig::default().with_seed(31))
+        .fit(&sim.dataset.answers)
+        .predict_all(&sim.dataset.answers);
+
+    let f_on = f1_of(&online.predict_all(), &sim.dataset.truth);
+    let f_off = f1_of(&offline, &sim.dataset.truth);
+    assert!(
+        f_on > f_off - 0.2,
+        "online F1 {f_on} too far below offline {f_off}"
+    );
+}
+
+#[test]
+fn spammers_receive_low_inferred_weights() {
+    // The worker-community machinery must identify planted spammers without
+    // ground truth (paper §5.2 "Robustness to Spammers").
+    let profile = DatasetProfile::image().scaled(0.08);
+    let sim = simulate(&profile, 41);
+    let fitted = CpaModel::new(CpaConfig::default().with_seed(41)).fit(&sim.dataset.answers);
+    let weights = fitted.worker_weights();
+
+    let mean_for = |pred: &dyn Fn(WorkerType) -> bool| -> f64 {
+        let v: Vec<f64> = sim
+            .worker_types
+            .iter()
+            .enumerate()
+            .filter(|(u, t)| pred(**t) && !sim.dataset.answers.worker_answers(*u).is_empty())
+            .map(|(u, _)| weights[u])
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let honest = mean_for(&|t: WorkerType| t == WorkerType::Reliable);
+    let spam = mean_for(&|t: WorkerType| t.is_spammer());
+    assert!(
+        honest > 3.0 * spam,
+        "reliable mean weight {honest} vs spammer {spam}"
+    );
+}
+
+#[test]
+fn semi_supervision_anchors_known_items() {
+    let profile = DatasetProfile::topic().scaled(0.06);
+    let sim = simulate(&profile, 51);
+    let known = KnownLabels::from_pairs(
+        sim.dataset.num_items(),
+        (0..sim.dataset.num_items())
+            .step_by(4)
+            .map(|i| (i, sim.dataset.truth[i].clone())),
+    );
+    let fitted = CpaModel::new(CpaConfig::default().with_seed(51))
+        .fit_semi_supervised(&sim.dataset.answers, &known);
+    let preds = fitted.predict_all(&sim.dataset.answers);
+    // Known items should be recovered near-perfectly.
+    let mut f1 = 0.0;
+    let mut n = 0;
+    for i in (0..sim.dataset.num_items()).step_by(4) {
+        let m = evaluate(
+            std::slice::from_ref(&preds[i]),
+            std::slice::from_ref(&sim.dataset.truth[i]),
+        );
+        f1 += m.f1;
+        n += 1;
+    }
+    f1 /= n as f64;
+    assert!(f1 > 0.8, "known items only reach F1 {f1}");
+}
+
+#[test]
+fn dataset_roundtrips_through_json() {
+    let profile = DatasetProfile::movie().scaled(0.04);
+    let sim = simulate(&profile, 61);
+    let json = sim.dataset.to_json();
+    let loaded = Dataset::from_json(&json).expect("roundtrip");
+    assert_eq!(loaded.num_items(), sim.dataset.num_items());
+    // Aggregation on the roundtripped dataset is identical.
+    let a = MajorityVoting::new().aggregate(&sim.dataset.answers);
+    let b = MajorityVoting::new().aggregate(&loaded.answers);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn full_pipeline_on_every_paper_profile() {
+    // Smoke coverage: all five Table 3 profiles run end-to-end at tiny scale.
+    for profile in DatasetProfile::all_five() {
+        let scaled = profile.clone().scaled(0.03);
+        let sim = simulate(&scaled, 71);
+        let fitted = CpaModel::new(CpaConfig::default().with_truncation(8, 10).with_seed(71))
+            .fit(&sim.dataset.answers);
+        let preds = fitted.predict_all(&sim.dataset.answers);
+        let m = evaluate(&preds, &sim.dataset.truth);
+        assert!(
+            m.f1 > 0.25,
+            "{}: implausibly low F1 {} at tiny scale",
+            profile.name,
+            m.f1
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! randomly generated crowd, not just the paper profiles.
+
+use cpa::prelude::*;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Generates a random small answer matrix with consistent truth.
+fn arbitrary_crowd(
+    items: usize,
+    workers: usize,
+    labels: usize,
+    seed: u64,
+) -> (AnswerMatrix, Vec<LabelSet>) {
+    let mut rng = cpa::math::rng::seeded(seed);
+    let mut truth = Vec::with_capacity(items);
+    for _ in 0..items {
+        let n = 1 + rng.random_range(0..labels.min(3));
+        let mut t = LabelSet::empty(labels);
+        for _ in 0..n {
+            t.insert(rng.random_range(0..labels));
+        }
+        truth.push(t);
+    }
+    let mut m = AnswerMatrix::new(items, workers, labels);
+    for i in 0..items {
+        for u in 0..workers {
+            if rng.random::<f64>() < 0.7 {
+                // Noisy copy of the truth.
+                let mut a = LabelSet::empty(labels);
+                for c in truth[i].iter() {
+                    if rng.random::<f64>() < 0.8 {
+                        a.insert(c);
+                    }
+                }
+                if rng.random::<f64>() < 0.3 {
+                    a.insert(rng.random_range(0..labels));
+                }
+                if a.is_empty() {
+                    a.insert(rng.random_range(0..labels));
+                }
+                m.insert(i, u, a);
+            }
+        }
+    }
+    (m, truth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cpa_predictions_always_well_formed(
+        items in 2usize..12,
+        workers in 2usize..10,
+        labels in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let (answers, _) = arbitrary_crowd(items, workers, labels, seed);
+        let fitted = CpaModel::new(
+            CpaConfig::default().with_truncation(4, 5).with_seed(seed),
+        )
+        .fit(&answers);
+        let preds = fitted.predict_all(&answers);
+        prop_assert_eq!(preds.len(), items);
+        for (i, p) in preds.iter().enumerate() {
+            prop_assert!(p.universe() == labels);
+            // Non-empty whenever the item has any answers.
+            if !answers.item_answers(i).is_empty() {
+                prop_assert!(!p.is_empty(), "empty prediction for answered item {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregators_agree_on_unanimous_crowds(
+        items in 1usize..8,
+        workers in 3usize..8,
+        labels in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        // When every worker gives exactly the true labels, every method must
+        // return the truth.
+        let mut rng = cpa::math::rng::seeded(seed);
+        let mut truth = Vec::new();
+        let mut m = AnswerMatrix::new(items, workers, labels);
+        for i in 0..items {
+            let mut t = LabelSet::empty(labels);
+            t.insert(rng.random_range(0..labels));
+            if rng.random::<f64>() < 0.5 {
+                t.insert(rng.random_range(0..labels));
+            }
+            for u in 0..workers {
+                m.insert(i, u, t.clone());
+            }
+            truth.push(t);
+        }
+        let mv = MajorityVoting::new().aggregate(&m);
+        let em = DawidSkene::new().aggregate(&m);
+        prop_assert_eq!(&mv, &truth);
+        prop_assert_eq!(&em, &truth);
+        let cpa = CpaModel::new(CpaConfig::default().with_truncation(3, 4).with_seed(seed))
+            .fit(&m)
+            .predict_all(&m);
+        let f1 = evaluate(&cpa, &truth).f1;
+        prop_assert!(f1 > 0.9, "CPA f1 {} on unanimous crowd", f1);
+    }
+
+    #[test]
+    fn metrics_are_permutation_invariant(
+        seed in 0u64..500,
+    ) {
+        let (answers, truth) = arbitrary_crowd(8, 6, 5, seed);
+        let preds = MajorityVoting::new().aggregate(&answers);
+        let m1 = evaluate(&preds, &truth);
+        // Permute items consistently.
+        let perm: Vec<usize> = (0..8).rev().collect();
+        let preds_p: Vec<LabelSet> = perm.iter().map(|&i| preds[i].clone()).collect();
+        let truth_p: Vec<LabelSet> = perm.iter().map(|&i| truth[i].clone()).collect();
+        let m2 = evaluate(&preds_p, &truth_p);
+        prop_assert!((m1.precision - m2.precision).abs() < 1e-12);
+        prop_assert!((m1.recall - m2.recall).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_ingestion_never_panics_and_tracks_answers(
+        items in 2usize..10,
+        workers in 2usize..8,
+        labels in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let (answers, _) = arbitrary_crowd(items, workers, labels, seed);
+        let dataset = Dataset::new(
+            "prop",
+            answers.clone(),
+            vec![LabelSet::empty(labels); items],
+        );
+        let mut online = OnlineCpa::new(
+            CpaConfig::default().with_truncation(3, 4).with_seed(seed),
+            items,
+            workers,
+            labels,
+            0.875,
+        );
+        let mut rng = cpa::math::rng::seeded(seed ^ 1);
+        let stream = WorkerStream::new(&dataset, 2, &mut rng);
+        for batch in stream.iter() {
+            online.partial_fit(&answers, batch);
+        }
+        prop_assert_eq!(online.seen_answers().num_answers(), answers.num_answers());
+        let preds = online.predict_all();
+        prop_assert_eq!(preds.len(), items);
+    }
+}
