@@ -21,6 +21,11 @@ use cpa_math::simplex::log_normalize;
 const PRIOR_POS: f64 = 2.0;
 const PRIOR_NEG: f64 = 1.0;
 
+/// Result of [`CommunityBcc::fit_instance`]: per-item positive-class
+/// posteriors, per-community `(sensitivity, specificity)`, and per-worker
+/// community responsibilities.
+pub type InstanceFit = (Vec<f64>, Vec<(f64, f64)>, Vec<Vec<f64>>);
+
 /// Community-based BCC over binary label instances.
 #[derive(Debug, Clone)]
 pub struct CommunityBcc {
@@ -54,11 +59,7 @@ impl CommunityBcc {
 
     /// Fits one binary instance. Returns per-item posteriors, per-community
     /// `(sens, spec)`, and per-worker community responsibilities.
-    pub fn fit_instance(
-        &self,
-        inst: &LabelInstance,
-        num_workers: usize,
-    ) -> (Vec<f64>, Vec<(f64, f64)>, Vec<Vec<f64>>) {
+    pub fn fit_instance(&self, inst: &LabelInstance, num_workers: usize) -> InstanceFit {
         let m = self.communities;
         let n = inst.items.len();
         let mut q: Vec<f64> = inst

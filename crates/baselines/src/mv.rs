@@ -21,7 +21,10 @@ impl MajorityVoting {
 
     /// Custom threshold variant (used by ablation benches).
     pub fn with_threshold(threshold: f64) -> Self {
-        assert!((0.0..1.0).contains(&threshold), "threshold must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&threshold),
+            "threshold must be in [0,1)"
+        );
         Self { threshold }
     }
 }

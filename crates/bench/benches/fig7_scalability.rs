@@ -27,26 +27,23 @@ fn bench(c: &mut Criterion) {
         })
     });
     for threads in [0usize, 4] {
-        g.bench_function(
-            if threads == 0 { "online" } else { "online-4" },
-            |b| {
-                b.iter(|| {
-                    let mut online = OnlineCpa::new(
-                        bench_cpa_config(12).with_threads(threads),
-                        d.num_items(),
-                        d.num_workers(),
-                        d.num_labels(),
-                        0.875,
-                    );
-                    let mut rng = seeded(13);
-                    let stream = WorkerStream::new(d, 100, &mut rng);
-                    for batch in stream.iter() {
-                        online.partial_fit(&d.answers, batch);
-                    }
-                    black_box(online.predict_all())
-                })
-            },
-        );
+        g.bench_function(if threads == 0 { "online" } else { "online-4" }, |b| {
+            b.iter(|| {
+                let mut online = OnlineCpa::new(
+                    bench_cpa_config(12).with_threads(threads),
+                    d.num_items(),
+                    d.num_workers(),
+                    d.num_labels(),
+                    0.875,
+                );
+                let mut rng = seeded(13);
+                let stream = WorkerStream::new(d, 100, &mut rng);
+                for batch in stream.iter() {
+                    online.partial_fit(&d.answers, batch);
+                }
+                black_box(online.predict_all())
+            })
+        });
     }
     g.bench_function("mv", |b| {
         b.iter(|| black_box(MajorityVoting::new().aggregate(black_box(&d.answers))))

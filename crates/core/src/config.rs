@@ -76,8 +76,14 @@ impl CpaConfig {
     pub fn validate(&self) {
         assert!(self.max_communities >= 1, "need at least one community");
         assert!(self.max_clusters >= 1, "need at least one cluster");
-        assert!(self.alpha > 0.0 && self.alpha.is_finite(), "alpha must be positive");
-        assert!(self.epsilon > 0.0 && self.epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            self.alpha > 0.0 && self.alpha.is_finite(),
+            "alpha must be positive"
+        );
+        assert!(
+            self.epsilon > 0.0 && self.epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         assert!(self.gamma0 > 0.0, "gamma0 must be positive");
         assert!(self.eta0 > 0.0, "eta0 must be positive");
         assert!(self.max_iters >= 1, "need at least one iteration");
@@ -129,16 +135,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha must be positive")]
     fn rejects_bad_alpha() {
-        let mut c = CpaConfig::default();
-        c.alpha = -1.0;
+        let c = CpaConfig {
+            alpha: -1.0,
+            ..CpaConfig::default()
+        };
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "at least one cluster")]
     fn rejects_zero_clusters() {
-        let mut c = CpaConfig::default();
-        c.max_clusters = 0;
+        let c = CpaConfig {
+            max_clusters: 0,
+            ..CpaConfig::default()
+        };
         c.validate();
     }
 }

@@ -56,12 +56,8 @@ pub fn cluster_summaries(fitted: &FittedCpa) -> Vec<ClusterSummary> {
     let phi_map = p.phi_truth_map();
     let mut out: Vec<ClusterSummary> = (0..p.t)
         .map(|t| {
-            let mut labels: Vec<(usize, f64)> = phi_map
-                .row(t)
-                .iter()
-                .copied()
-                .enumerate()
-                .collect();
+            let mut labels: Vec<(usize, f64)> =
+                phi_map.row(t).iter().copied().enumerate().collect();
             labels.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
             ClusterSummary {
                 cluster: t,
@@ -85,8 +81,8 @@ mod tests {
 
     fn fitted() -> (FittedCpa, cpa_data::simulate::SimulatedDataset) {
         let sim = simulate(&DatasetProfile::movie().scaled(0.06), 121);
-        let fitted = CpaModel::new(CpaConfig::default().with_truncation(8, 10))
-            .fit(&sim.dataset.answers);
+        let fitted =
+            CpaModel::new(CpaConfig::default().with_truncation(8, 10)).fit(&sim.dataset.answers);
         (fitted, sim)
     }
 

@@ -86,8 +86,7 @@ pub fn fit_gibbs(cfg: &CpaConfig, schedule: GibbsSchedule, answers: &AnswerMatri
     for sweep in 0..schedule.sweeps {
         // --- Conjugate draws of ψ, π, τ given assignments -----------------
         let mut counts = Mat::filled(tt * mm, cc, cfg.gamma0);
-        for i in 0..items {
-            let t = l[i];
+        for (i, &t) in l.iter().enumerate() {
             for (w, labels) in answers.item_answers(i) {
                 let row = t * mm + z[*w as usize];
                 for c in labels.iter() {
@@ -100,7 +99,7 @@ pub fn fit_gibbs(cfg: &CpaConfig, schedule: GibbsSchedule, answers: &AnswerMatri
         let log_tau = sample_log_weights(&l, tt, cfg.epsilon, &mut rng);
 
         // --- Sample worker communities -------------------------------------
-        for u in 0..workers {
+        for (u, z_u) in z.iter_mut().enumerate().take(workers) {
             let mut logits = log_pi.clone();
             for (item, labels) in answers.worker_answers(u) {
                 let base = l[*item as usize] * mm;
@@ -110,11 +109,11 @@ pub fn fit_gibbs(cfg: &CpaConfig, schedule: GibbsSchedule, answers: &AnswerMatri
                 }
             }
             log_normalize(&mut logits);
-            z[u] = Categorical::new(&logits).sample(&mut rng);
+            *z_u = Categorical::new(&logits).sample(&mut rng);
         }
 
         // --- Sample item clusters -------------------------------------------
-        for i in 0..items {
+        for (i, l_i) in l.iter_mut().enumerate().take(items) {
             let mut logits = log_tau.clone();
             for (w, labels) in answers.item_answers(i) {
                 let m = z[*w as usize];
@@ -124,7 +123,7 @@ pub fn fit_gibbs(cfg: &CpaConfig, schedule: GibbsSchedule, answers: &AnswerMatri
                 }
             }
             log_normalize(&mut logits);
-            l[i] = Categorical::new(&logits).sample(&mut rng);
+            *l_i = Categorical::new(&logits).sample(&mut rng);
         }
 
         if sweep >= schedule.burn_in {
@@ -261,15 +260,9 @@ mod tests {
         let sim = simulate(&DatasetProfile::image().scaled(0.05), 405);
         let cfg = CpaConfig::default().with_truncation(10, 12).with_seed(405);
         let vi = crate::model::CpaModel::new(cfg.clone()).fit(&sim.dataset.answers);
-        let vi_j = jaccard_score(
-            &vi.predict_all(&sim.dataset.answers),
-            &sim.dataset.truth,
-        );
+        let vi_j = jaccard_score(&vi.predict_all(&sim.dataset.answers), &sim.dataset.truth);
         let gibbs = fit_gibbs(&cfg, GibbsSchedule::default(), &sim.dataset.answers);
-        let gibbs_j = jaccard_score(
-            &gibbs.predict_all(&sim.dataset.answers),
-            &sim.dataset.truth,
-        );
+        let gibbs_j = jaccard_score(&gibbs.predict_all(&sim.dataset.answers), &sim.dataset.truth);
         assert!(
             vi_j >= gibbs_j - 0.05,
             "VI {vi_j} fell behind Gibbs {gibbs_j}"

@@ -216,8 +216,8 @@ mod tests {
     #[should_panic(expected = "label count mismatch")]
     fn rejects_wrong_size_hierarchy() {
         let sim = simulate(&DatasetProfile::movie().scaled(0.04), 233);
-        let mut fitted = CpaModel::new(CpaConfig::default().with_truncation(5, 6))
-            .fit(&sim.dataset.answers);
+        let mut fitted =
+            CpaModel::new(CpaConfig::default().with_truncation(5, 6)).fit(&sim.dataset.answers);
         let h = LabelHierarchy::new(vec![0, 0, 1]); // wrong C
         apply_hierarchy(&mut fitted, &h, 0.2);
     }

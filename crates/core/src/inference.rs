@@ -42,9 +42,21 @@ pub fn run_batch_vi(
 ) -> (FitReport, TruthEstimate) {
     cfg.validate();
     assert_eq!(params.num_items, answers.num_items(), "item count mismatch");
-    assert_eq!(params.num_workers, answers.num_workers(), "worker count mismatch");
-    assert_eq!(params.num_labels, answers.num_labels(), "label count mismatch");
-    assert_eq!(known.len(), answers.num_items(), "known-label vector mismatch");
+    assert_eq!(
+        params.num_workers,
+        answers.num_workers(),
+        "worker count mismatch"
+    );
+    assert_eq!(
+        params.num_labels,
+        answers.num_labels(),
+        "label count mismatch"
+    );
+    assert_eq!(
+        known.len(),
+        answers.num_items(),
+        "known-label vector mismatch"
+    );
 
     let pool = build_pool(cfg.threads);
     let mut delta_trace = Vec::with_capacity(cfg.max_iters);
@@ -248,8 +260,7 @@ fn update_phi_parallel(
     let rows: Vec<Vec<f64>> = (0..params.num_items)
         .into_par_iter()
         .map(|i| {
-            let mut logits =
-                phi_logits(params, answers, eln_psi, eln_tau, eln_phi_truth, known, i);
+            let mut logits = phi_logits(params, answers, eln_psi, eln_tau, eln_phi_truth, known, i);
             log_normalize(&mut logits);
             logits
         })

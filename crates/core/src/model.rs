@@ -161,8 +161,12 @@ mod tests {
     fn deterministic_given_seed() {
         let sim = simulate(&DatasetProfile::movie().scaled(0.05), 53);
         let model = CpaModel::new(CpaConfig::default().with_seed(99).with_truncation(6, 8));
-        let a = model.fit(&sim.dataset.answers).predict_all(&sim.dataset.answers);
-        let b = model.fit(&sim.dataset.answers).predict_all(&sim.dataset.answers);
+        let a = model
+            .fit(&sim.dataset.answers)
+            .predict_all(&sim.dataset.answers);
+        let b = model
+            .fit(&sim.dataset.answers)
+            .predict_all(&sim.dataset.answers);
         assert_eq!(a, b);
     }
 

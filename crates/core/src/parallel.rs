@@ -69,13 +69,12 @@ pub fn map_worker(
         let i = *item as usize;
         let phi_row = params.phi.row(i);
         let mut table = vec![0.0; tt * mm];
-        for t in 0..tt {
+        for (t, &p) in phi_row.iter().enumerate().take(tt) {
             let base = t * mm;
             for m in 0..mm {
                 let row = eln_psi.row(base + m);
                 let s: f64 = labels.iter().map(|c| row[c]).sum();
                 table[base + m] = s;
-                let p = phi_row[t];
                 if p > 1e-12 {
                     kappa[m] += p * s;
                 }
@@ -160,7 +159,10 @@ mod tests {
         let eln_pi = params.rho.expected_log_weights();
         let workers: Vec<usize> = (0..params.num_workers).collect();
         let serial = map_phase(&params, &answers, &eln_psi, &eln_pi, &workers, None);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let parallel = map_phase(&params, &answers, &eln_psi, &eln_pi, &workers, Some(&pool));
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {

@@ -137,9 +137,7 @@ impl<'a> Predictor<'a> {
         const FLOOR: f64 = 0.3;
         let k = n_hat.round().max(1.0) as usize;
         let mut order: Vec<usize> = (0..c).collect();
-        order.sort_unstable_by(|&a, &b| {
-            blended[b].partial_cmp(&blended[a]).expect("finite")
-        });
+        order.sort_unstable_by(|&a, &b| blended[b].partial_cmp(&blended[a]).expect("finite"));
         let mut out = LabelSet::empty(c);
         for (rank, &lbl) in order.iter().enumerate() {
             let b = blended[lbl];
@@ -187,11 +185,7 @@ impl<'a> Predictor<'a> {
                 }
             }
             let Some((lbl, gain)) = best else { break };
-            let current: f64 = r
-                .iter()
-                .zip(&pt)
-                .map(|(&rt, &p)| rt * p)
-                .sum();
+            let current: f64 = r.iter().zip(&pt).map(|(&rt, &p)| rt * p).sum();
             // Accept the first label unconditionally (p(∅)=1 dominates every
             // singleton under a multinomial pmf — DESIGN.md deviation #3),
             // afterwards only while the paper's score increases.
@@ -282,7 +276,10 @@ mod tests {
     #[test]
     fn both_modes_nonempty_and_bounded() {
         let (params, est, sim, _) = fitted();
-        for mode in [PredictionMode::SizeAdaptive, PredictionMode::GreedyMultinomial] {
+        for mode in [
+            PredictionMode::SizeAdaptive,
+            PredictionMode::GreedyMultinomial,
+        ] {
             let p = Predictor::new(&params, &est, mode);
             for i in 0..sim.dataset.num_items() {
                 let y = p.predict_item(&sim.dataset.answers, i);

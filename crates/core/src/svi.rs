@@ -148,8 +148,7 @@ impl OnlineCpa {
         let scale_i = i_total / i_batch;
 
         // λ target (Eq. 9): γ0 + scale_u Σ_{u∈Ub} Σ_i ϕ_it κ_um x_iuc.
-        let mut lambda_hat =
-            cpa_math::matrix::Mat::filled(tt * mm, p.num_labels, self.cfg.gamma0);
+        let mut lambda_hat = cpa_math::matrix::Mat::filled(tt * mm, p.num_labels, self.cfg.gamma0);
         for msg in messages {
             for (item, labels) in self.seen.worker_answers(msg.worker) {
                 let i = *item as usize;
@@ -196,7 +195,8 @@ impl OnlineCpa {
 
         // µ target (Eq. 15): E[ln τ_t] − E[ln τ_T] + scale_u (A_it − A_iT),
         // then ϕ via softmax (Eqs. 16–17).
-        let mut a_acc: std::collections::HashMap<usize, Vec<f64>> = std::collections::HashMap::new();
+        let mut a_acc: std::collections::HashMap<usize, Vec<f64>> =
+            std::collections::HashMap::new();
         for msg in messages {
             for (item, a) in &msg.a_contrib {
                 let e = a_acc.entry(*item).or_insert_with(|| vec![0.0; tt]);
@@ -207,8 +207,7 @@ impl OnlineCpa {
         }
         for (&i, a) in &a_acc {
             for t in 0..tt.saturating_sub(1) {
-                let mu_hat =
-                    eln_tau[t] - eln_tau[tt - 1] + scale_u * (a[t] - a[tt - 1]);
+                let mu_hat = eln_tau[t] - eln_tau[tt - 1] + scale_u * (a[t] - a[tt - 1]);
                 let old = p.mu.get(i, t);
                 p.mu.set(i, t, (1.0 - omega) * old + omega * mu_hat);
             }
@@ -347,9 +346,8 @@ mod tests {
         // Paper Table 5: online accuracy is a few points below offline.
         let (online, sim) = run_online(0, 87);
         let online_preds = online.predict_all();
-        let model = crate::model::CpaModel::new(
-            CpaConfig::default().with_truncation(8, 10).with_seed(87),
-        );
+        let model =
+            crate::model::CpaModel::new(CpaConfig::default().with_truncation(8, 10).with_seed(87));
         let offline_preds = model
             .fit(&sim.dataset.answers)
             .predict_all(&sim.dataset.answers);
@@ -363,10 +361,7 @@ mod tests {
         };
         let on = score(&online_preds);
         let off = score(&offline_preds);
-        assert!(
-            on > off - 0.15,
-            "online {on} too far below offline {off}"
-        );
+        assert!(on > off - 0.15, "online {on} too far below offline {off}");
     }
 
     #[test]

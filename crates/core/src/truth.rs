@@ -38,7 +38,10 @@ impl KnownLabels {
     }
 
     /// Builds from explicit `(item, labels)` pairs.
-    pub fn from_pairs(num_items: usize, pairs: impl IntoIterator<Item = (usize, LabelSet)>) -> Self {
+    pub fn from_pairs(
+        num_items: usize,
+        pairs: impl IntoIterator<Item = (usize, LabelSet)>,
+    ) -> Self {
         let mut known = vec![None; num_items];
         for (i, l) in pairs {
             assert!(i < num_items, "item {i} out of range");
@@ -421,8 +424,7 @@ mod tests {
         let est = estimate_truth(&p, &ans, &KnownLabels::none(4));
         // Item 2's true-ish labels are {2,3} (voted by informative workers);
         // the spammer voted {0}.
-        let soft: std::collections::HashMap<usize, f64> =
-            est.soft[2].iter().copied().collect();
+        let soft: std::collections::HashMap<usize, f64> = est.soft[2].iter().copied().collect();
         assert!(soft[&2] > 0.85);
         assert!(soft[&3] > 0.85);
         assert!(soft.get(&0).copied().unwrap_or(0.0) < 0.3);
@@ -473,9 +475,7 @@ mod tests {
 
     #[test]
     fn known_labels_out_of_range_rejected() {
-        let r = std::panic::catch_unwind(|| {
-            KnownLabels::from_pairs(2, [(5, LabelSet::empty(3))])
-        });
+        let r = std::panic::catch_unwind(|| KnownLabels::from_pairs(2, [(5, LabelSet::empty(3))]));
         assert!(r.is_err());
     }
 }

@@ -86,7 +86,11 @@ impl AnswerMatrix {
     pub fn insert(&mut self, item: usize, worker: usize, labels: LabelSet) {
         assert!(item < self.num_items, "item {item} out of range");
         assert!(worker < self.num_workers, "worker {worker} out of range");
-        assert_eq!(labels.universe(), self.num_labels, "label universe mismatch");
+        assert_eq!(
+            labels.universe(),
+            self.num_labels,
+            "label universe mismatch"
+        );
         assert!(!labels.is_empty(), "empty answers are encoded by absence");
         let iv = &mut self.by_item[item];
         match iv.binary_search_by_key(&(worker as u32), |e| e.0) {
@@ -186,9 +190,7 @@ impl AnswerMatrix {
         for (i, v) in self.by_item.iter().enumerate() {
             for (w, l) in v {
                 n += 1;
-                match self.by_worker[*w as usize]
-                    .binary_search_by_key(&(i as u32), |e| e.0)
-                {
+                match self.by_worker[*w as usize].binary_search_by_key(&(i as u32), |e| e.0) {
                     Ok(pos) => {
                         if self.by_worker[*w as usize][pos].1 != *l {
                             return false;

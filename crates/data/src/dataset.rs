@@ -28,7 +28,11 @@ impl Dataset {
     pub fn new(name: impl Into<String>, answers: AnswerMatrix, truth: Vec<LabelSet>) -> Self {
         assert_eq!(truth.len(), answers.num_items(), "truth/items mismatch");
         for t in &truth {
-            assert_eq!(t.universe(), answers.num_labels(), "label universe mismatch");
+            assert_eq!(
+                t.universe(),
+                answers.num_labels(),
+                "label universe mismatch"
+            );
         }
         Self {
             name: name.into(),

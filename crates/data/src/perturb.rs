@@ -20,11 +20,7 @@ use rand::Rng;
 /// had any, so no item becomes completely unanswerable.
 pub fn sparsify<R: Rng + ?Sized>(dataset: &Dataset, fraction: f64, rng: &mut R) -> Dataset {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
-    let mut pairs: Vec<(u32, u32)> = dataset
-        .answers
-        .iter()
-        .map(|a| (a.item, a.worker))
-        .collect();
+    let mut pairs: Vec<(u32, u32)> = dataset.answers.iter().map(|a| (a.item, a.worker)).collect();
     pairs.shuffle(rng);
     let remove_target = (pairs.len() as f64 * fraction).round() as usize;
     let mut out = dataset.clone();
@@ -61,7 +57,9 @@ pub fn inject_spammers<R: Rng + ?Sized>(
         return (out, Vec::new());
     }
     // Same answering intensity as the average honest worker.
-    let per_worker = (honest / dataset.num_workers().max(1) as f64).ceil().max(1.0) as usize;
+    let per_worker = (honest / dataset.num_workers().max(1) as f64)
+        .ceil()
+        .max(1.0) as usize;
     let num_spammers = spam_total.div_ceil(per_worker);
     let first_new = out.num_workers();
     out.answers.grow_workers(first_new + num_spammers);
@@ -78,7 +76,9 @@ pub fn inject_spammers<R: Rng + ?Sized>(
         new_types.push(kind);
         let profile = WorkerProfile::sample(rng, kind, 1.0, dataset.num_labels());
         let worker = first_new + s;
-        let quota = per_worker.min(spam_total - emitted).min(dataset.num_items());
+        let quota = per_worker
+            .min(spam_total - emitted)
+            .min(dataset.num_items());
         // Answer `quota` distinct random items.
         let mut items: Vec<usize> = (0..dataset.num_items()).collect();
         items.shuffle(rng);
@@ -106,12 +106,7 @@ pub fn inject_spammers_sim<R: Rng + ?Sized>(
     let mut worker_profiles = sim.worker_profiles.clone();
     for t in new_types {
         worker_types.push(t);
-        worker_profiles.push(WorkerProfile::sample(
-            rng,
-            t,
-            1.0,
-            sim.dataset.num_labels(),
-        ));
+        worker_profiles.push(WorkerProfile::sample(rng, t, 1.0, sim.dataset.num_labels()));
     }
     SimulatedDataset {
         dataset,
@@ -227,7 +222,11 @@ mod tests {
         assert_eq!(d.answers.num_answers(), s.dataset.answers.num_answers());
         let mut added = 0usize;
         for a in d.answers.iter() {
-            let before = s.dataset.answers.get(a.item as usize, a.worker as usize).unwrap();
+            let before = s
+                .dataset
+                .answers
+                .get(a.item as usize, a.worker as usize)
+                .unwrap();
             let new_labels = a.labels.difference(before);
             for c in new_labels.iter() {
                 assert!(
@@ -248,7 +247,11 @@ mod tests {
             let d = inject_dependencies(&s.dataset, frac, &mut rng);
             let mut added = 0usize;
             for a in d.answers.iter() {
-                let before = s.dataset.answers.get(a.item as usize, a.worker as usize).unwrap();
+                let before = s
+                    .dataset
+                    .answers
+                    .get(a.item as usize, a.worker as usize)
+                    .unwrap();
                 added += a.labels.difference(before).len();
             }
             added

@@ -127,12 +127,12 @@ fn sample_distinct_workers<R: Rng + ?Sized>(
         guard += 1;
         if guard > 100 * k + 1000 {
             // Pathologically concentrated activity: fill deterministically.
-            for w in 0..num_workers {
+            for (w, seen_w) in seen.iter_mut().enumerate() {
                 if chosen.len() == k {
                     break;
                 }
-                if !seen[w] {
-                    seen[w] = true;
+                if !*seen_w {
+                    *seen_w = true;
                     chosen.push(w);
                 }
             }
@@ -226,25 +226,30 @@ mod tests {
     #[test]
     fn reliable_majority_signal_present() {
         // Sanity: with the default mix, per-item majority vote over answers
-        // should correlate with the truth far better than chance.
+        // should correlate with the truth far better than chance. A single
+        // seed at this tiny scale is high-variance, so average a few.
         let p = small_image();
-        let sim = simulate(&p, 13);
-        let d = &sim.dataset;
-        let mut jaccard_sum = 0.0;
-        for i in 0..d.num_items() {
-            let (votes, n) = d.answers.item_vote_counts(i);
-            if n == 0 {
-                continue;
-            }
-            let mut mv = LabelSet::empty(d.num_labels());
-            for (c, &v) in votes.iter().enumerate() {
-                if v as f64 > 0.5 * n as f64 {
-                    mv.insert(c);
+        let mut mean_j = 0.0;
+        let seeds = [13u64, 14, 15, 16, 17];
+        for &seed in &seeds {
+            let sim = simulate(&p, seed);
+            let d = &sim.dataset;
+            let mut jaccard_sum = 0.0;
+            for i in 0..d.num_items() {
+                let (votes, n) = d.answers.item_vote_counts(i);
+                if n == 0 {
+                    continue;
                 }
+                let mut mv = LabelSet::empty(d.num_labels());
+                for (c, &v) in votes.iter().enumerate() {
+                    if v as f64 > 0.5 * n as f64 {
+                        mv.insert(c);
+                    }
+                }
+                jaccard_sum += mv.jaccard(&d.truth[i]);
             }
-            jaccard_sum += mv.jaccard(&d.truth[i]);
+            mean_j += jaccard_sum / d.num_items() as f64 / seeds.len() as f64;
         }
-        let mean_j = jaccard_sum / d.num_items() as f64;
         assert!(mean_j > 0.3, "majority voting jaccard {mean_j}");
     }
 

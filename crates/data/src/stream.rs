@@ -119,9 +119,9 @@ mod tests {
             assert!(!b.items.is_empty());
             assert!(b.items.windows(2).all(|w| w[0] < w[1]));
         }
-        for w in 0..sim.dataset.num_workers() {
+        for (w, &was_seen) in seen.iter().enumerate() {
             let active = !sim.dataset.answers.worker_answers(w).is_empty();
-            assert_eq!(seen[w], active);
+            assert_eq!(was_seen, active);
         }
     }
 

@@ -77,9 +77,10 @@ impl TruthGen {
         assert!(self.mean_labels >= 1.0, "mean labels must be >= 1");
         assert!(self.max_labels >= 1, "max labels must be >= 1");
         match self.model {
-            CorrelationModel::Clustered { groups, within_prob } => {
-                self.generate_clustered(num_items, groups.max(1), within_prob, rng)
-            }
+            CorrelationModel::Clustered {
+                groups,
+                within_prob,
+            } => self.generate_clustered(num_items, groups.max(1), within_prob, rng),
             CorrelationModel::Independent { s } => self.generate_independent(num_items, s, rng),
         }
     }

@@ -184,9 +184,18 @@ impl WorkerProfile {
         let d = difficulty.max(1.0);
         // Base (recall, fp_mean) bands align with Fig. 10's regions.
         let (recall, fp_mean) = match kind {
-            WorkerType::Reliable => (0.88 + 0.08 * rng.random::<f64>(), 0.15 + 0.15 * rng.random::<f64>()),
-            WorkerType::Normal => (0.72 + 0.12 * rng.random::<f64>(), 0.4 + 0.3 * rng.random::<f64>()),
-            WorkerType::Sloppy => (0.40 + 0.18 * rng.random::<f64>(), 0.9 + 0.6 * rng.random::<f64>()),
+            WorkerType::Reliable => (
+                0.88 + 0.08 * rng.random::<f64>(),
+                0.15 + 0.15 * rng.random::<f64>(),
+            ),
+            WorkerType::Normal => (
+                0.72 + 0.12 * rng.random::<f64>(),
+                0.4 + 0.3 * rng.random::<f64>(),
+            ),
+            WorkerType::Sloppy => (
+                0.40 + 0.18 * rng.random::<f64>(),
+                0.9 + 0.6 * rng.random::<f64>(),
+            ),
             WorkerType::UniformSpammer | WorkerType::RandomSpammer => (0.0, 0.0),
         };
         // Difficulty dampens recall and inflates false positives.

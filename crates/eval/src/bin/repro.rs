@@ -52,7 +52,9 @@ fn main() {
                 cfg.reps = 10;
             }
             "--help" | "-h" => {
-                println!("repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR] [--full]");
+                println!(
+                    "repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR] [--full]"
+                );
                 println!("experiments: {} all", experiments::ALL.join(" "));
                 return;
             }

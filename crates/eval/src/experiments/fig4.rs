@@ -38,13 +38,10 @@ pub fn run(cfg: &EvalConfig) -> Report {
                 let seed = cfg.seed.wrapping_add(1000 * rep as u64);
                 let sim = simulate(&scaled, seed);
                 let mut rng = seeded(seed ^ 0xbeef);
-                let (spammed, _) =
-                    inject_spammers(&sim.dataset, ratio, &sim.affinity, &mut rng);
+                let (spammed, _) = inject_spammers(&sim.dataset, ratio, &sim.affinity, &mut rng);
                 for (slot, method) in [Method::Cbcc, Method::Cpa].into_iter().enumerate() {
-                    let clean = evaluate(
-                        &run_method(method, &sim.dataset, seed),
-                        &sim.dataset.truth,
-                    );
+                    let clean =
+                        evaluate(&run_method(method, &sim.dataset, seed), &sim.dataset.truth);
                     let noisy = evaluate(&run_method(method, &spammed, seed), &spammed.truth);
                     dp[slot].push(noisy.precision / clean.precision.max(1e-9));
                     dr[slot].push(noisy.recall / clean.recall.max(1e-9));

@@ -37,10 +37,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
             let mut rng = seeded(seed ^ 0xdead);
             let enriched = inject_dependencies(&sim.dataset, level, &mut rng);
             for (slot, method) in [Method::Cbcc, Method::Cpa].into_iter().enumerate() {
-                let orig = evaluate(
-                    &run_method(method, &sim.dataset, seed),
-                    &sim.dataset.truth,
-                );
+                let orig = evaluate(&run_method(method, &sim.dataset, seed), &sim.dataset.truth);
                 let rich = evaluate(&run_method(method, &enriched, seed), &enriched.truth);
                 dp[slot].push(orig.precision / rich.precision.max(1e-9));
                 dr[slot].push(orig.recall / rich.recall.max(1e-9));

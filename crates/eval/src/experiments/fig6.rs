@@ -20,7 +20,11 @@ pub const FORGETTING_RATE: f64 = 0.875;
 pub const ARRIVAL_STEPS: usize = 10;
 
 /// Per-arrival-step accuracy of both engines for one dataset and seed.
-fn arrival_curve(dataset: &Dataset, seed: u64, offline_each_step: bool) -> Vec<(PrMetrics, Option<PrMetrics>)> {
+fn arrival_curve(
+    dataset: &Dataset,
+    seed: u64,
+    offline_each_step: bool,
+) -> Vec<(PrMetrics, Option<PrMetrics>)> {
     let active = (0..dataset.num_workers())
         .filter(|&w| !dataset.answers.worker_answers(w).is_empty())
         .count();
@@ -72,7 +76,13 @@ pub fn run(cfg: &EvalConfig) -> Vec<Report> {
     let mut fig6 = Report::new(
         "fig6",
         "Effects of data arrival (paper Fig. 6), image dataset: online vs offline",
-        &["arrival", "P[online]", "P[offline]", "R[online]", "R[offline]"],
+        &[
+            "arrival",
+            "P[online]",
+            "P[offline]",
+            "R[online]",
+            "R[offline]",
+        ],
     );
     for (i, (on, off)) in curve.iter().enumerate() {
         let off = off.expect("offline evaluated each step for fig6");
@@ -84,14 +94,22 @@ pub fn run(cfg: &EvalConfig) -> Vec<Report> {
             f3(off.recall),
         ]);
     }
-    fig6.note(format!("forgetting rate r = {FORGETTING_RATE}, {ARRIVAL_STEPS} worker batches"));
+    fig6.note(format!(
+        "forgetting rate r = {FORGETTING_RATE}, {ARRIVAL_STEPS} worker batches"
+    ));
     fig6.note("paper: online trails offline by a few points throughout but beats all baselines");
 
     // --- Table 5: final accuracy for all datasets --------------------------
     let mut table5 = Report::new(
         "table5",
         "Effects of data arrival at 100% (paper Table 5): online ±std vs offline",
-        &["dataset", "P[online]", "P[offline]", "R[online]", "R[offline]"],
+        &[
+            "dataset",
+            "P[online]",
+            "P[offline]",
+            "R[online]",
+            "R[offline]",
+        ],
     );
     for profile in DatasetProfile::all_five() {
         let scaled = profile.clone().scaled(cfg.scale);

@@ -115,8 +115,13 @@ pub fn run(cfg: &EvalConfig) -> Report {
             format!("{t_cbcc:.2}"),
         ]);
     }
-    r.note(format!("synthetic crowd at scale {} (paper: 10⁴ items/workers, answers 100K–1M)", cfg.scale));
-    r.note("paper: online inference is up to 32× faster than offline; MV is the only faster method");
+    r.note(format!(
+        "synthetic crowd at scale {} (paper: 10⁴ items/workers, answers 100K–1M)",
+        cfg.scale
+    ));
+    r.note(
+        "paper: online inference is up to 32× faster than offline; MV is the only faster method",
+    );
     r
 }
 

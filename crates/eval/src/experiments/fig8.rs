@@ -16,13 +16,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
         "fig8",
         "Effects of model aspects (paper Fig. 8): CPA vs No Z vs No L",
         &[
-            "dataset",
-            "P[CPA]",
-            "P[NoZ]",
-            "P[NoL]",
-            "R[CPA]",
-            "R[NoZ]",
-            "R[NoL]",
+            "dataset", "P[CPA]", "P[NoZ]", "P[NoL]", "R[CPA]", "R[NoZ]", "R[NoL]",
         ],
     );
     for profile in DatasetProfile::all_five() {
@@ -45,7 +39,8 @@ pub fn run(cfg: &EvalConfig) -> Report {
         } else {
             None
         };
-        let cell = |m: Option<crate::metrics::PrMetrics>, f: fn(crate::metrics::PrMetrics) -> f64| {
+        let cell = |m: Option<crate::metrics::PrMetrics>,
+                    f: fn(crate::metrics::PrMetrics) -> f64| {
             m.map(|x| f3(f(x))).unwrap_or_else(|| "—".to_string())
         };
         r.push_row(vec![

@@ -33,8 +33,8 @@ use crate::runner::EvalConfig;
 
 /// All experiment ids in paper order.
 pub const ALL: [&str; 13] = [
-    "table1", "fig1", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "table5", "fig7",
-    "fig8", "fig9", "fig10",
+    "table1", "fig1", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "table5", "fig7", "fig8",
+    "fig9", "fig10",
 ];
 
 /// Runs one experiment by id. `table5` is produced by the fig6 runner.

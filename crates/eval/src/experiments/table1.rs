@@ -21,11 +21,7 @@ pub fn run(_cfg: &EvalConfig) -> Report {
     let (answers, truth) = table1();
     let mv = MajorityVoting::new().aggregate(&answers);
     // CPA on four items: tiny truncations, full agreement machinery.
-    let model = CpaModel::new(
-        CpaConfig::default()
-            .with_truncation(5, 4)
-            .with_seed(1),
-    );
+    let model = CpaModel::new(CpaConfig::default().with_truncation(5, 4).with_seed(1));
     let cpa = model.fit(&answers).predict_all(&answers);
 
     let mut r = Report::new(

@@ -60,7 +60,7 @@ mod tests {
         assert_eq!(r.rows[0][0], "image");
         assert_eq!(r.rows[0][2], "2000"); // paper's image question count
         assert_eq!(r.rows[3][1], "1450"); // entity label count
-        // Simulated counts reflect the scale.
+                                          // Simulated counts reflect the scale.
         let sim_items: usize = r.rows[0][3].parse().unwrap();
         assert_eq!(sim_items, 100);
     }

@@ -62,18 +62,29 @@ mod tests {
         let r = run(&cfg);
         assert_eq!(r.rows.len(), 5);
         // Parse "mean ±std" cells: P[MV] is column 1, P[CPA] column 4.
-        let parse = |cell: &str| -> f64 { cell.split_whitespace().next().unwrap().parse().unwrap() };
+        let parse =
+            |cell: &str| -> f64 { cell.split_whitespace().next().unwrap().parse().unwrap() };
         let mut cpa_wins = 0;
         for row in &r.rows {
             let p_mv = parse(&row[1]);
             let p_cpa = parse(&row[4]);
             let r_mv = parse(&row[5]);
             let r_cpa = parse(&row[8]);
-            let f = |p: f64, rr: f64| if p + rr > 0.0 { 2.0 * p * rr / (p + rr) } else { 0.0 };
+            let f = |p: f64, rr: f64| {
+                if p + rr > 0.0 {
+                    2.0 * p * rr / (p + rr)
+                } else {
+                    0.0
+                }
+            };
             if f(p_cpa, r_cpa) >= f(p_mv, r_mv) - 1e-9 {
                 cpa_wins += 1;
             }
         }
-        assert!(cpa_wins >= 4, "CPA only won {cpa_wins}/5 datasets\n{}", r.render());
+        assert!(
+            cpa_wins >= 4,
+            "CPA only won {cpa_wins}/5 datasets\n{}",
+            r.render()
+        );
     }
 }

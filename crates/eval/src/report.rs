@@ -62,7 +62,11 @@ impl Report {
             .map(|(c, w)| format!("{c:<w$}"))
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
@@ -81,7 +85,10 @@ impl Report {
     pub fn save_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serialisable"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("serialisable"),
+        )?;
         Ok(path)
     }
 }

@@ -70,9 +70,7 @@ impl Method {
 
 /// A CPA configuration sized for evaluation runs.
 pub fn cpa_config(seed: u64) -> CpaConfig {
-    CpaConfig::default()
-        .with_truncation(15, 20)
-        .with_seed(seed)
+    CpaConfig::default().with_truncation(15, 20).with_seed(seed)
 }
 
 /// Runs one method on one dataset (unsupervised, as in all paper
@@ -160,8 +158,9 @@ mod tests {
     fn repeat_aggregates() {
         let sim = simulate(&DatasetProfile::movie().scaled(0.04), 167);
         let r = repeat(3, 5, |seed| score_method(Method::Mv, &sim.dataset, seed));
-        // MV is deterministic given the dataset: zero variance across seeds.
-        assert_eq!(r.precision_std, 0.0);
+        // MV is deterministic given the dataset: zero variance across seeds
+        // (up to the 1-ulp residue of mean() on identical samples).
+        assert!(r.precision_std < 1e-12, "std {}", r.precision_std);
         assert!((0.0..=1.0).contains(&r.precision_mean));
     }
 }

@@ -24,7 +24,10 @@ impl Categorical {
     /// Panics if `weights` is empty, contains a negative/non-finite entry, or
     /// sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "categorical needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "categorical needs at least one outcome"
+        );
         assert!(
             weights.iter().all(|&w| w.is_finite() && w >= 0.0),
             "categorical weights must be non-negative and finite"
@@ -85,7 +88,10 @@ impl AliasTable {
     /// Builds an alias table from non-negative weights (same contract as
     /// [`Categorical::new`]).
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         let total: f64 = weights.iter().sum();
         assert!(
             total > 0.0 && weights.iter().all(|&w| w.is_finite() && w >= 0.0),

@@ -117,11 +117,7 @@ impl Dirichlet {
 
     /// Draws a sample from the Dirichlet via normalised gamma variates.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
-        let mut v: Vec<f64> = self
-            .alpha
-            .iter()
-            .map(|&a| sample_gamma(rng, a))
-            .collect();
+        let mut v: Vec<f64> = self.alpha.iter().map(|&a| sample_gamma(rng, a)).collect();
         let s: f64 = v.iter().sum();
         if s > 0.0 {
             for x in v.iter_mut() {

@@ -64,7 +64,10 @@ pub fn sample_gamma_scaled<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64)
 /// small rates used by the crowd simulator's false-positive counts; falls back
 /// to a normal approximation above λ = 30).
 pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "Poisson rate must be non-negative");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "Poisson rate must be non-negative"
+    );
     if lambda == 0.0 {
         return 0;
     }

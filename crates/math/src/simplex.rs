@@ -56,10 +56,7 @@ pub fn normalize_in_place(v: &mut [f64]) {
 
 /// Shannon entropy `−Σ p ln p` (nats) of a probability vector.
 pub fn entropy(p: &[f64]) -> f64 {
-    p.iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| -x * x.ln())
-        .sum()
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum()
 }
 
 /// Kullback–Leibler divergence `KL(p ‖ q) = Σ p ln(p/q)` in nats.

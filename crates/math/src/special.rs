@@ -67,7 +67,8 @@ pub fn digamma(x: f64) -> f64 {
     // Asymptotic series: Ψ(x) ≈ ln x − 1/(2x) − Σ B_{2n} / (2n x^{2n}).
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result += x.ln() - 0.5 * inv
+    result += x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2
@@ -101,9 +102,7 @@ pub fn trigamma(x: f64) -> f64 {
                     * (0.5
                         + inv
                             * (1.0 / 6.0
-                                - inv2
-                                    * (1.0 / 30.0
-                                        - inv2 * (1.0 / 42.0 - inv2 * (1.0 / 30.0))))))
+                                - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 * (1.0 / 30.0))))))
 }
 
 /// `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b)`, the log Beta function.
@@ -166,9 +165,9 @@ mod tests {
     fn ln_gamma_large_argument_stirling() {
         // Compare against Stirling with correction for a large value.
         let x: f64 = 1234.5;
-        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
-            + 1.0 / (12.0 * x)
-            - 1.0 / (360.0 * x * x * x);
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+                - 1.0 / (360.0 * x * x * x);
         assert!((ln_gamma(x) - stirling).abs() < 1e-9);
     }
 

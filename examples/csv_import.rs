@@ -38,13 +38,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter_map(|i| item_difficulty(&dataset.answers, i).map(|d| (i, d)))
         .collect();
     hard.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    println!("hardest items (most disagreement): {:?}", &hard[..3.min(hard.len())]);
+    println!(
+        "hardest items (most disagreement): {:?}",
+        &hard[..3.min(hard.len())]
+    );
 
     // Aggregate and score against the imported truth.
     let fitted = CpaModel::new(CpaConfig::default().with_seed(55)).fit(&dataset.answers);
     let preds = fitted.predict_all(&dataset.answers);
     let m = evaluate(&preds, &dataset.truth);
-    println!("CPA on imported data: P={:.3} R={:.3} F1={:.3}", m.precision, m.recall, m.f1);
+    println!(
+        "CPA on imported data: P={:.3} R={:.3} F1={:.3}",
+        m.precision, m.recall, m.f1
+    );
 
     std::fs::remove_dir_all(&dir)?;
     Ok(())

@@ -21,21 +21,36 @@ fn main() {
     // Plain CPA, no prior knowledge.
     let plain = model.fit(&sim.dataset.answers);
     let m0 = evaluate(&plain.predict_all(&sim.dataset.answers), &sim.dataset.truth);
-    println!("plain CPA            P={:.3} R={:.3} F1={:.3}", m0.precision, m0.recall, m0.f1);
+    println!(
+        "plain CPA            P={:.3} R={:.3} F1={:.3}",
+        m0.precision, m0.recall, m0.f1
+    );
 
     // Inject the true taxonomy (the simulator's planted label groups).
     let mut with_true = model.fit(&sim.dataset.answers);
     let taxonomy = LabelHierarchy::from_affinity(&sim.affinity);
     apply_hierarchy(&mut with_true, &taxonomy, 0.2);
-    let m1 = evaluate(&with_true.predict_all(&sim.dataset.answers), &sim.dataset.truth);
-    println!("with true hierarchy  P={:.3} R={:.3} F1={:.3}", m1.precision, m1.recall, m1.f1);
+    let m1 = evaluate(
+        &with_true.predict_all(&sim.dataset.answers),
+        &sim.dataset.truth,
+    );
+    println!(
+        "with true hierarchy  P={:.3} R={:.3} F1={:.3}",
+        m1.precision, m1.recall, m1.f1
+    );
 
     // Inject a wrong taxonomy (labels grouped by parity — pure noise).
     let mut with_wrong = model.fit(&sim.dataset.answers);
     let wrong = LabelHierarchy::new((0..sim.dataset.num_labels()).map(|c| c % 2).collect());
     apply_hierarchy(&mut with_wrong, &wrong, 0.2);
-    let m2 = evaluate(&with_wrong.predict_all(&sim.dataset.answers), &sim.dataset.truth);
-    println!("with wrong hierarchy P={:.3} R={:.3} F1={:.3}", m2.precision, m2.recall, m2.f1);
+    let m2 = evaluate(
+        &with_wrong.predict_all(&sim.dataset.answers),
+        &sim.dataset.truth,
+    );
+    println!(
+        "with wrong hierarchy P={:.3} R={:.3} F1={:.3}",
+        m2.precision, m2.recall, m2.f1
+    );
 
     println!(
         "\ntakeaway: a correct taxonomy is a free nudge ({:+.3} F1); even a wrong one is \

@@ -36,10 +36,16 @@ fn main() {
     println!("\nmethod   precision  recall  F1");
     for (name, preds) in &methods {
         let m = evaluate(preds, &sim.dataset.truth);
-        println!("{name:<8} {:.3}      {:.3}   {:.3}", m.precision, m.recall, m.f1);
+        println!(
+            "{name:<8} {:.3}      {:.3}   {:.3}",
+            m.precision, m.recall, m.f1
+        );
     }
     let m = evaluate(&cpa_preds, &sim.dataset.truth);
-    println!("CPA      {:.3}      {:.3}   {:.3}", m.precision, m.recall, m.f1);
+    println!(
+        "CPA      {:.3}      {:.3}   {:.3}",
+        m.precision, m.recall, m.f1
+    );
 
     // Inspect the learned structure: item clusters should align with the
     // planted tag co-occurrence groups.

@@ -59,7 +59,10 @@ fn main() {
 
     // Final comparison against refitting from scratch (the offline engine).
     let offline = CpaModel::new(CpaConfig::default().with_seed(11)).fit(&sim.dataset.answers);
-    let m_off = evaluate(&offline.predict_all(&sim.dataset.answers), &sim.dataset.truth);
+    let m_off = evaluate(
+        &offline.predict_all(&sim.dataset.answers),
+        &sim.dataset.truth,
+    );
     let m_on = evaluate(&online.predict_all(), &sim.dataset.truth);
     println!(
         "\nfinal: online P={:.3}/R={:.3} vs offline P={:.3}/R={:.3} (paper Table 5: online trails by a few points)",

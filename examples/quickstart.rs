@@ -49,12 +49,15 @@ fn main() {
     );
 
     // A few example consensus label sets.
-    for i in 0..3.min(consensus.len()) {
+    for (i, labels) in consensus.iter().take(3).enumerate() {
         println!(
             "item {i}: consensus {:?}, truth {:?}",
-            consensus[i].to_vec(),
+            labels.to_vec(),
             sim.dataset.truth[i].to_vec()
         );
     }
-    assert!(m_cpa.f1 >= m_mv.f1 - 0.05, "CPA should be competitive with MV");
+    assert!(
+        m_cpa.f1 >= m_mv.f1 - 0.05,
+        "CPA should be competitive with MV"
+    );
 }

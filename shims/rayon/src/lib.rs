@@ -1,0 +1,150 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points used by
+//! this workspace, executed **sequentially** on the calling thread. The
+//! abstraction boundary is preserved (code written against this shim is
+//! written against rayon's API), but no threads are spawned. See
+//! `shims/README.md`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Re-exports that `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`: yields a
+/// plain [`Iterator`], so the usual `map`/`filter`/`collect` chains apply.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+
+    /// Converts `self` into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`
+/// (`.par_iter()` on slices and collections).
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: 'a;
+
+    /// Borrowing (sequential) "parallel" iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    type Item = <&'a C as IntoIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Stand-in thread pool: [`ThreadPool::install`] simply runs the closure on
+/// the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` "inside" the pool (here: inline) and returns its result.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The configured thread count (informational only in this shim).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+    _not_send: PhantomData<()>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `num_threads` worker threads (recorded, not spawned).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// Error type kept for signature compatibility; never constructed.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

@@ -1,0 +1,320 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim. `syn`/`quote` are not available in this environment,
+//! so the item is parsed directly from the [`proc_macro::TokenStream`] and the
+//! impls are emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - structs with named fields (including empty `{}` and unit structs);
+//! - enums whose variants are unit or struct-like.
+//!
+//! Unsupported shapes (tuple structs, tuple enum variants, generics) fail the
+//! build with an explicit message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim): renders the item into `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push(({f:?}.to_string(), \
+                         ::serde::Serialize::serialize(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} ::serde::Value::Object(entries)"
+            )
+        }
+        Shape::Unit => "::serde::Value::Object(::std::vec::Vec::new())".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push(({f:?}.to_string(), \
+                                     ::serde::Serialize::serialize({f})));"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{ \
+                             let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new(); {pushes} \
+                             ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Object(inner))]) }}",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ {body} }} }}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (shim): rebuilds the item from `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(value.get({f:?})\
+                         .ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "value.as_object().ok_or_else(|| ::serde::Error::mismatch(\"object\", value))?; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Unit => format!(
+            "value.as_object().ok_or_else(|| ::serde::Error::mismatch(\"object\", value))?; \
+             ::std::result::Result::Ok({name})"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::deserialize(inner.get({f:?})\
+                                 .ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(tag) = value.as_str() {{ \
+                     return match tag {{ {unit_arms} \
+                         other => ::std::result::Result::Err(::serde::Error::unknown_variant(other)), }}; \
+                 }} \
+                 if let ::std::option::Option::Some(entries) = value.as_object() {{ \
+                     if entries.len() == 1 {{ \
+                         let (tag, inner) = &entries[0]; \
+                         return match tag.as_str() {{ {tagged_arms} \
+                             other => ::std::result::Result::Err(::serde::Error::unknown_variant(other)), }}; \
+                     }} \
+                 }} \
+                 ::std::result::Result::Err(::serde::Error::mismatch(\"enum {name}\", value))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---- item parsing ----------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// `struct Name { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct Name;`
+    Unit,
+    /// `enum Name { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct-like variants.
+    fields: Option<Vec<String>>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple struct `{name}` is not supported")
+            }
+            other => panic!("serde_derive shim: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive shim: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive shim: `{other} {name}` is not supported"),
+    };
+    Item { name, shape }
+}
+
+/// Advances past any `#[...]` (incl. doc comments, which arrive as `#[doc]`).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1; // inner attribute '!'
+        }
+        *i += 1; // the [...] group
+    }
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` field names, skipping types (angle-bracket aware:
+/// commas inside `<...>` do not terminate a field; parenthesised/bracketed
+/// types arrive as atomic groups).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after `{name}`, found {other}"),
+        }
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parses enum variants: `Unit, StructLike { a: T }, ...`.
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde_derive shim: expected variant name in `{enum_name}`, found {other}")
+            }
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple variant `{enum_name}::{name}` is not supported")
+            }
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

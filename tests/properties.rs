@@ -23,12 +23,12 @@ fn arbitrary_crowd(
         truth.push(t);
     }
     let mut m = AnswerMatrix::new(items, workers, labels);
-    for i in 0..items {
+    for (i, truth_i) in truth.iter().enumerate() {
         for u in 0..workers {
             if rng.random::<f64>() < 0.7 {
                 // Noisy copy of the truth.
                 let mut a = LabelSet::empty(labels);
-                for c in truth[i].iter() {
+                for c in truth_i.iter() {
                     if rng.random::<f64>() < 0.8 {
                         a.insert(c);
                     }

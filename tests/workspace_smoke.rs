@@ -1,0 +1,73 @@
+//! Workspace smoke test: the quick-start from `src/lib.rs` as a real test.
+//! Exercises the facade `prelude` end-to-end — simulate a profile, fit the
+//! CPA model, and compare against majority voting — so a broken re-export or
+//! a regression anywhere in the simulate → fit → predict → evaluate pipeline
+//! fails fast.
+
+use cpa::prelude::*;
+// Resolution check for the prelude's free functions (generic, so they can't
+// be named as values without type annotations below).
+#[allow(unused_imports)]
+use cpa::prelude::{inject_dependencies as _, inject_spammers as _, sparsify as _};
+
+#[test]
+fn quickstart_pipeline_runs_end_to_end() {
+    // Simulate a small crowd over the paper's movie-dataset profile.
+    let profile = DatasetProfile::movie().scaled(0.05);
+    let sim = simulate(&profile, 42);
+    assert!(sim.dataset.num_items() > 0);
+    assert!(sim.dataset.answers.num_answers() > 0);
+
+    // Aggregate with CPA and compare against majority voting.
+    let fitted = CpaModel::new(CpaConfig::default()).fit(&sim.dataset.answers);
+    let cpa = fitted.predict_all(&sim.dataset.answers);
+    let mv = MajorityVoting::new().aggregate(&sim.dataset.answers);
+    assert_eq!(cpa.len(), sim.dataset.num_items());
+    assert_eq!(mv.len(), sim.dataset.num_items());
+
+    let m_cpa = evaluate(&cpa, &sim.dataset.truth);
+    let m_mv = evaluate(&mv, &sim.dataset.truth);
+    for m in [&m_cpa, &m_mv] {
+        assert!(
+            (0.0..=1.0).contains(&m.precision),
+            "precision {}",
+            m.precision
+        );
+        assert!((0.0..=1.0).contains(&m.recall), "recall {}", m.recall);
+        assert!((0.0..=1.0).contains(&m.f1), "f1 {}", m.f1);
+    }
+
+    // The paper's headline claim at smoke-test scale: CPA should at least be
+    // competitive with majority voting on its own simulated profiles.
+    assert!(
+        m_cpa.f1 >= m_mv.f1 - 0.05,
+        "CPA f1 {} fell behind MV f1 {}",
+        m_cpa.f1,
+        m_mv.f1
+    );
+}
+
+#[test]
+fn prelude_covers_the_advertised_surface() {
+    // Compile-time re-export check for the names the facade promises.
+    fn assert_exists<T>() {}
+    assert_exists::<CpaConfig>();
+    assert_exists::<CpaModel>();
+    assert_exists::<FittedCpa>();
+    assert_exists::<OnlineCpa>();
+    assert_exists::<PredictionMode>();
+    assert_exists::<KnownLabels>();
+    assert_exists::<AnswerMatrix>();
+    assert_exists::<Dataset>();
+    assert_exists::<DatasetProfile>();
+    assert_exists::<LabelSet>();
+    assert_exists::<SimulatedDataset>();
+    assert_exists::<WorkerStream>();
+    assert_exists::<WorkerMix>();
+    assert_exists::<WorkerType>();
+    assert_exists::<PrMetrics>();
+    assert_exists::<MajorityVoting>();
+    assert_exists::<DawidSkene>();
+    assert_exists::<Bcc>();
+    assert_exists::<CommunityBcc>();
+}
