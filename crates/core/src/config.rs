@@ -47,8 +47,21 @@ pub struct CpaConfig {
     /// deviation #2). Disable only for diagnostics (e.g. exact ELBO ascent
     /// tests); without it the unsupervised model cannot learn `φ`.
     pub estimate_truth: bool,
-    /// Worker threads for the parallelised engines (0 or 1 = serial).
+    /// Worker threads for the parallelised engines (0 or 1 = serial). The
+    /// default reads the `CPA_TEST_THREADS` environment variable (falling
+    /// back to serial), which is how CI drives every default-configured test
+    /// through the threaded code paths. Thread count never changes results:
+    /// the parallel schedules are bit-deterministic.
     pub threads: usize,
+}
+
+/// Default thread count: `CPA_TEST_THREADS` when set to a parseable number,
+/// serial otherwise.
+fn default_threads() -> usize {
+    std::env::var("CPA_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 impl Default for CpaConfig {
@@ -65,7 +78,7 @@ impl Default for CpaConfig {
             seed: 0,
             prediction: PredictionMode::SizeAdaptive,
             estimate_truth: true,
-            threads: 0,
+            threads: default_threads(),
         }
     }
 }

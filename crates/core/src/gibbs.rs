@@ -83,6 +83,9 @@ pub fn fit_gibbs(cfg: &CpaConfig, schedule: GibbsSchedule, answers: &AnswerMatri
     let mut retained = 0usize;
 
     let mut log_psi = Mat::zeros(tt * mm, cc);
+    // Reused per-draw logit buffers (the sweeps' only transient state).
+    let mut worker_logits = vec![0.0; mm];
+    let mut item_logits = vec![0.0; tt];
     for sweep in 0..schedule.sweeps {
         // --- Conjugate draws of ψ, π, τ given assignments -----------------
         let mut counts = Mat::filled(tt * mm, cc, cfg.gamma0);
@@ -100,30 +103,30 @@ pub fn fit_gibbs(cfg: &CpaConfig, schedule: GibbsSchedule, answers: &AnswerMatri
 
         // --- Sample worker communities -------------------------------------
         for (u, z_u) in z.iter_mut().enumerate().take(workers) {
-            let mut logits = log_pi.clone();
+            worker_logits.copy_from_slice(&log_pi);
             for (item, labels) in answers.worker_answers(u) {
                 let base = l[*item as usize] * mm;
-                for (m, logit) in logits.iter_mut().enumerate() {
+                for (m, logit) in worker_logits.iter_mut().enumerate() {
                     let row = log_psi.row(base + m);
                     *logit += labels.iter().map(|c| row[c]).sum::<f64>();
                 }
             }
-            log_normalize(&mut logits);
-            *z_u = Categorical::new(&logits).sample(&mut rng);
+            log_normalize(&mut worker_logits);
+            *z_u = Categorical::new(&worker_logits).sample(&mut rng);
         }
 
         // --- Sample item clusters -------------------------------------------
         for (i, l_i) in l.iter_mut().enumerate().take(items) {
-            let mut logits = log_tau.clone();
+            item_logits.copy_from_slice(&log_tau);
             for (w, labels) in answers.item_answers(i) {
                 let m = z[*w as usize];
-                for (t, logit) in logits.iter_mut().enumerate() {
+                for (t, logit) in item_logits.iter_mut().enumerate() {
                     let row = log_psi.row(t * mm + m);
                     *logit += labels.iter().map(|c| row[c]).sum::<f64>();
                 }
             }
-            log_normalize(&mut logits);
-            *l_i = Categorical::new(&logits).sample(&mut rng);
+            log_normalize(&mut item_logits);
+            *l_i = Categorical::new(&item_logits).sample(&mut rng);
         }
 
         if sweep >= schedule.burn_in {

@@ -13,7 +13,7 @@
 
 use crate::config::CpaConfig;
 use crate::params::VariationalParams;
-use crate::truth::{estimate_truth, update_zeta, KnownLabels, TruthEstimate};
+use crate::truth::{estimate_truth_with, update_zeta, KnownLabels, TruthEstimate};
 use cpa_data::answers::AnswerMatrix;
 use cpa_math::matrix::Mat;
 use cpa_math::simplex::log_normalize;
@@ -61,7 +61,7 @@ pub fn run_batch_vi(
     let pool = build_pool(cfg.threads);
     let mut delta_trace = Vec::with_capacity(cfg.max_iters);
     let mut converged = false;
-    let mut estimate = estimate_truth(params, answers, known);
+    let mut estimate = estimate_truth_with(params, answers, known, pool.as_ref());
     let mut iterations = 0;
 
     for _ in 0..cfg.max_iters {
@@ -90,7 +90,7 @@ pub fn run_batch_vi(
         update_sticks(params, cfg);
         update_lambda(params, answers, cfg.gamma0);
         if cfg.estimate_truth || !known.is_empty() {
-            estimate = estimate_truth(params, answers, known);
+            estimate = estimate_truth_with(params, answers, known, pool.as_ref());
             update_zeta(params, &estimate, cfg.eta0);
         }
 
@@ -292,15 +292,19 @@ pub(crate) fn update_sticks(params: &mut VariationalParams, cfg: &CpaConfig) {
     }
 }
 
-/// Eq. 6: `λ_tmc = γ_0 + Σ_i ϕ_it Σ_u κ_um x_iuc`.
+/// Eq. 6: `λ_tmc = γ_0 + Σ_i ϕ_it Σ_u κ_um x_iuc`. Splits the parameter
+/// borrows so the ϕ and κ rows are read in place (no per-row copies in what
+/// is an O(answers · T · M) loop).
 pub(crate) fn update_lambda(params: &mut VariationalParams, answers: &AnswerMatrix, gamma0: f64) {
-    params.lambda.fill(gamma0);
     let mm = params.m;
     let tt = params.t;
-    for i in 0..params.num_items {
-        let phi_row: Vec<f64> = params.phi.row(i).to_vec();
+    let num_items = params.num_items;
+    let (lambda, phi, kappa) = (&mut params.lambda, &params.phi, &params.kappa);
+    lambda.fill(gamma0);
+    for i in 0..num_items {
+        let phi_row = phi.row(i);
         for (worker, labels) in answers.item_answers(i) {
-            let kappa_row: Vec<f64> = params.kappa.row(*worker as usize).to_vec();
+            let kappa_row = kappa.row(*worker as usize);
             for (t, &phi_it) in phi_row.iter().enumerate().take(tt) {
                 if phi_it <= 1e-12 {
                     continue;
@@ -312,7 +316,7 @@ pub(crate) fn update_lambda(params: &mut VariationalParams, answers: &AnswerMatr
                         continue;
                     }
                     for c in labels.iter() {
-                        params.lambda.add(base + m, c, w);
+                        lambda.add(base + m, c, w);
                     }
                 }
             }

@@ -11,13 +11,18 @@
 //!
 //! Parallelism is realised with a `rayon` pool whose size is
 //! `CpaConfig::threads`, so the Fig. 7 series (online / online-4 / online-16)
-//! is a single parameter away.
+//! is a single parameter away. Each worker's transient state — the flattened
+//! per-answer score table and the κ working vector — lives in a
+//! [`WorkerScratch`] drawn from a [`ScratchPool`], so the steady-state MAP
+//! phase performs no allocation beyond its emitted messages: threads scan the
+//! CSR answer slices and write into reused, contiguous buffers.
 
 use crate::params::VariationalParams;
 use cpa_data::answers::AnswerMatrix;
 use cpa_math::matrix::Mat;
 use cpa_math::simplex::log_normalize;
 use rayon::prelude::*;
+use std::sync::Mutex;
 
 /// The MAP-phase output for one worker (the `emit {κ_um, a_it}` of
 /// Algorithm 3).
@@ -32,7 +37,68 @@ pub struct WorkerMessage {
     pub a_contrib: Vec<(usize, Vec<f64>)>,
 }
 
-/// Runs the MAP phase for a batch of workers, serially or on `pool`.
+/// Reusable per-thread workspace for [`map_worker`]: the flattened score
+/// table (`table[a · T·M + t·M + m]`, one `T × M` block per answer of the
+/// worker) and the κ logit vector. Buffers only grow, so after the first few
+/// workers a thread's MAP iterations allocate nothing.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    table: Vec<f64>,
+    kappa: Vec<f64>,
+}
+
+impl WorkerScratch {
+    /// Fresh, empty scratch; buffers are sized lazily by the first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the buffers for a worker with `num_answers` answers under a
+    /// `T × M` truncation, reusing capacity from previous workers.
+    fn prepare(&mut self, num_answers: usize, stride: usize, m: usize) {
+        self.table.clear();
+        self.table.resize(num_answers * stride, 0.0);
+        self.kappa.clear();
+        self.kappa.resize(m, 0.0);
+    }
+}
+
+/// A shared pool of [`WorkerScratch`] buffers: each map task borrows one for
+/// the duration of a worker, so a pool running `k` threads stabilises at `k`
+/// scratches regardless of batch size. The mutex is held only for the
+/// pop/push, never during the MAP computation itself.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<WorkerScratch>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with a scratch checked out of the pool (allocating a fresh
+    /// one only when every scratch is in use), returning it afterwards.
+    pub fn with<R>(&self, f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
+        let mut scratch = self
+            .free
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let out = f(&mut scratch);
+        self.free
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+        out
+    }
+}
+
+/// Runs the MAP phase for a batch of workers, serially or on `pool`, with
+/// per-thread scratch buffers drawn from `scratch`. Message order follows
+/// `workers` in both modes, so the downstream REDUCE is deterministic.
 pub fn map_phase(
     params: &VariationalParams,
     answers: &AnswerMatrix,
@@ -40,35 +106,47 @@ pub fn map_phase(
     eln_pi: &[f64],
     workers: &[usize],
     pool: Option<&rayon::ThreadPool>,
+    scratch: &ScratchPool,
 ) -> Vec<WorkerMessage> {
-    let run = |u: usize| map_worker(params, answers, eln_psi, eln_pi, u);
+    let run = |u: usize, s: &mut WorkerScratch| map_worker(params, answers, eln_psi, eln_pi, u, s);
     match pool {
-        Some(pool) => pool.install(|| workers.par_iter().map(|&u| run(u)).collect()),
-        None => workers.iter().map(|&u| run(u)).collect(),
+        Some(pool) => pool.install(|| {
+            workers
+                .par_iter()
+                .map(|&u| scratch.with(|s| run(u, s)))
+                .collect()
+        }),
+        None => scratch.with(|s| workers.iter().map(|&u| run(u, s)).collect()),
     }
 }
 
 /// The MAP computation for a single worker: Eq. 2 for `κ_u`, then the
 /// `a_it` evidence of each of the worker's answers under the *new* `κ_u`.
+/// The worker's answers arrive as one contiguous CSR slice; all transient
+/// state lives in `scratch`.
 pub fn map_worker(
     params: &VariationalParams,
     answers: &AnswerMatrix,
     eln_psi: &Mat,
     eln_pi: &[f64],
     u: usize,
+    scratch: &mut WorkerScratch,
 ) -> WorkerMessage {
     let mm = params.m;
     let tt = params.t;
+    let stride = tt * mm;
     let worker_answers = answers.worker_answers(u);
+    scratch.prepare(worker_answers.len(), stride, mm);
 
     // Eq. 2: κ_um ∝ exp(Σ_i Σ_t ϕ_it E[ln p(x_iu|ψ_tm)] + E[ln π_m]).
-    let mut kappa = eln_pi.to_vec();
-    // Cache the per-answer score table s[t][m] — reused for the a_it pass.
-    let mut score_tables: Vec<Vec<f64>> = Vec::with_capacity(worker_answers.len());
-    for (item, labels) in worker_answers {
+    // The per-answer score table s[t·M + m] is filled in the same pass and
+    // reused for the a_it computation below.
+    let kappa = &mut scratch.kappa;
+    kappa.copy_from_slice(eln_pi);
+    for (a_idx, (item, labels)) in worker_answers.iter().enumerate() {
         let i = *item as usize;
         let phi_row = params.phi.row(i);
-        let mut table = vec![0.0; tt * mm];
+        let table = &mut scratch.table[a_idx * stride..(a_idx + 1) * stride];
         for (t, &p) in phi_row.iter().enumerate().take(tt) {
             let base = t * mm;
             for m in 0..mm {
@@ -80,15 +158,15 @@ pub fn map_worker(
                 }
             }
         }
-        score_tables.push(table);
     }
-    log_normalize(&mut kappa);
+    log_normalize(kappa);
 
     // a_it = Σ_m κ_um E[ln p(x_iu | ψ_tm)] for each answered item.
     let a_contrib = worker_answers
         .iter()
-        .zip(&score_tables)
-        .map(|((item, _), table)| {
+        .enumerate()
+        .map(|(a_idx, (item, _))| {
+            let table = &scratch.table[a_idx * stride..(a_idx + 1) * stride];
             let mut a = vec![0.0; tt];
             for (t, at) in a.iter_mut().enumerate() {
                 let base = t * mm;
@@ -106,7 +184,7 @@ pub fn map_worker(
 
     WorkerMessage {
         worker: u,
-        kappa,
+        kappa: kappa.clone(),
         a_contrib,
     }
 }
@@ -142,7 +220,8 @@ mod tests {
         let u = (0..params.num_workers)
             .find(|&u| !answers.worker_answers(u).is_empty())
             .expect("some active worker");
-        let msg = map_worker(&params, &answers, &eln_psi, &eln_pi, u);
+        let mut scratch = WorkerScratch::new();
+        let msg = map_worker(&params, &answers, &eln_psi, &eln_pi, u, &mut scratch);
         assert_eq!(msg.worker, u);
         assert!(is_probability_vector(&msg.kappa, 1e-9));
         assert_eq!(msg.a_contrib.len(), answers.worker_answers(u).len());
@@ -153,17 +232,49 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_transparent() {
+        // Running two different workers through the same scratch must give
+        // bit-identical messages to running each through a fresh scratch.
+        let (params, answers) = setup();
+        let eln_psi = params.expected_log_psi();
+        let eln_pi = params.rho.expected_log_weights();
+        let active: Vec<usize> = (0..params.num_workers)
+            .filter(|&u| !answers.worker_answers(u).is_empty())
+            .take(4)
+            .collect();
+        let mut shared = WorkerScratch::new();
+        for &u in &active {
+            let reused = map_worker(&params, &answers, &eln_psi, &eln_pi, u, &mut shared);
+            let mut fresh_scratch = WorkerScratch::new();
+            let fresh = map_worker(&params, &answers, &eln_psi, &eln_pi, u, &mut fresh_scratch);
+            assert_eq!(reused.kappa, fresh.kappa);
+            assert_eq!(reused.a_contrib, fresh.a_contrib);
+        }
+    }
+
+    #[test]
     fn parallel_map_equals_serial_map() {
         let (params, answers) = setup();
         let eln_psi = params.expected_log_psi();
         let eln_pi = params.rho.expected_log_weights();
         let workers: Vec<usize> = (0..params.num_workers).collect();
-        let serial = map_phase(&params, &answers, &eln_psi, &eln_pi, &workers, None);
+        let scratch = ScratchPool::new();
+        let serial = map_phase(
+            &params, &answers, &eln_psi, &eln_pi, &workers, None, &scratch,
+        );
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(4)
             .build()
             .unwrap();
-        let parallel = map_phase(&params, &answers, &eln_psi, &eln_pi, &workers, Some(&pool));
+        let parallel = map_phase(
+            &params,
+            &answers,
+            &eln_psi,
+            &eln_pi,
+            &workers,
+            Some(&pool),
+            &scratch,
+        );
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.worker, p.worker);
@@ -186,7 +297,8 @@ mod tests {
         }
         let eln_psi = params.expected_log_psi();
         let eln_pi = params.rho.expected_log_weights();
-        let msg = map_worker(&params, &answers, &eln_psi, &eln_pi, u);
+        let mut scratch = WorkerScratch::new();
+        let msg = map_worker(&params, &answers, &eln_psi, &eln_pi, u, &mut scratch);
         // κ equals the normalised prior stick weights.
         let mut expect = eln_pi.clone();
         log_normalize(&mut expect);

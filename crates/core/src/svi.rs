@@ -17,14 +17,22 @@
 //! globals — the most recent parameter values summarise all data so far.
 
 use crate::config::CpaConfig;
-use crate::parallel::{map_phase, WorkerMessage};
+use crate::parallel::{map_phase, ScratchPool, WorkerMessage};
 use crate::params::VariationalParams;
 use crate::predict::Predictor;
-use crate::truth::{estimate_truth, KnownLabels, TruthEstimate};
+use crate::truth::{estimate_truth_with, KnownLabels, TruthEstimate};
 use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
 use cpa_data::stream::{learning_rate, WorkerBatch};
+use cpa_math::matrix::Mat;
 use cpa_math::rng::seeded;
+use rayon::prelude::*;
+
+/// Fixed width of the message chunks the REDUCE-side λ target is assembled
+/// from. The chunking does not depend on the thread count and the partials
+/// are merged in chunk order, so every pool width produces bit-identical
+/// results to the serial path.
+const REDUCE_CHUNK: usize = 32;
 
 /// Incremental CPA model for the online setting.
 #[derive(Debug)]
@@ -38,6 +46,8 @@ pub struct OnlineCpa {
     known: KnownLabels,
     batch_count: usize,
     pool: Option<rayon::ThreadPool>,
+    /// Reusable per-thread MAP-phase buffers (steady state allocates none).
+    scratch: ScratchPool,
 }
 
 impl OnlineCpa {
@@ -52,8 +62,9 @@ impl OnlineCpa {
         forgetting_rate: f64,
     ) -> Self {
         cfg.validate();
+        // Exclusive lower bound, as in `cpa_data::stream::learning_rate`.
         assert!(
-            (0.5..=1.0).contains(&forgetting_rate) && forgetting_rate > 0.5,
+            forgetting_rate > 0.5 && forgetting_rate <= 1.0,
             "forgetting rate must lie in (0.5, 1]"
         );
         let mut rng = seeded(cfg.seed);
@@ -67,6 +78,7 @@ impl OnlineCpa {
             known: KnownLabels::none(num_items),
             batch_count: 0,
             pool,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -96,12 +108,13 @@ impl OnlineCpa {
     pub fn partial_fit(&mut self, answers: &AnswerMatrix, batch: &WorkerBatch) {
         assert_eq!(answers.num_items(), self.params.num_items);
         assert_eq!(answers.num_workers(), self.params.num_workers);
-        // Ingest the batch's answers.
-        for &u in &batch.workers {
-            for (item, labels) in answers.worker_answers(u) {
-                self.seen.insert(*item as usize, u, labels.clone());
-            }
-        }
+        // Ingest the batch's answers in one merge pass over the CSR arrays.
+        self.seen.extend_bulk(batch.workers.iter().flat_map(|&u| {
+            answers
+                .worker_answers(u)
+                .iter()
+                .map(move |(item, labels)| (*item as usize, u, labels.clone()))
+        }));
         self.batch_count += 1;
         let omega = learning_rate(self.batch_count, self.forgetting_rate);
 
@@ -117,6 +130,7 @@ impl OnlineCpa {
             &eln_pi,
             &batch.workers,
             self.pool.as_ref(),
+            &self.scratch,
         );
         for msg in &messages {
             self.params
@@ -129,6 +143,49 @@ impl OnlineCpa {
         self.reduce_globals(&messages, batch, &eln_tau, omega);
     }
 
+    /// λ target (Eq. 9): `γ0 + scale_u Σ_{u∈Ub} Σ_i ϕ_it κ_um x_iuc`,
+    /// assembled from fixed-width message chunks computed on the pool and
+    /// merged in chunk order (bit-identical for every thread count).
+    fn lambda_target(&self, messages: &[WorkerMessage], scale_u: f64) -> Mat {
+        let p = &self.params;
+        let (tt, mm) = (p.t, p.m);
+        let partial = |chunk: &[WorkerMessage]| -> Mat {
+            let mut acc = Mat::zeros(tt * mm, p.num_labels);
+            for msg in chunk {
+                for (item, labels) in self.seen.worker_answers(msg.worker) {
+                    let i = *item as usize;
+                    for t in 0..tt {
+                        let phi_it = p.phi.get(i, t);
+                        if phi_it <= 1e-12 {
+                            continue;
+                        }
+                        let base = t * mm;
+                        for (m, &k) in msg.kappa.iter().enumerate() {
+                            let w = scale_u * phi_it * k;
+                            if w <= 1e-12 {
+                                continue;
+                            }
+                            for c in labels.iter() {
+                                acc.add(base + m, c, w);
+                            }
+                        }
+                    }
+                }
+            }
+            acc
+        };
+        let chunks: Vec<&[WorkerMessage]> = messages.chunks(REDUCE_CHUNK).collect();
+        let partials: Vec<Mat> = match &self.pool {
+            Some(pool) => pool.install(|| chunks.par_iter().map(|c| partial(c)).collect()),
+            None => chunks.iter().map(|c| partial(c)).collect(),
+        };
+        let mut lambda_hat = Mat::filled(tt * mm, p.num_labels, self.cfg.gamma0);
+        for part in &partials {
+            lambda_hat.scaled_add(1.0, part, 1.0);
+        }
+        lambda_hat
+    }
+
     /// REDUCE: accumulate messages into natural-gradient targets and blend.
     fn reduce_globals(
         &mut self,
@@ -137,39 +194,17 @@ impl OnlineCpa {
         eln_tau: &[f64],
         omega: f64,
     ) {
-        let p = &mut self.params;
-        let mm = p.m;
-        let tt = p.t;
-        let u_total = p.num_workers as f64;
+        let u_total = self.params.num_workers as f64;
         let u_batch = batch.workers.len().max(1) as f64;
         let scale_u = u_total / u_batch;
-        let i_total = p.num_items as f64;
+        let i_total = self.params.num_items as f64;
         let i_batch = batch.items.len().max(1) as f64;
         let scale_i = i_total / i_batch;
 
-        // λ target (Eq. 9): γ0 + scale_u Σ_{u∈Ub} Σ_i ϕ_it κ_um x_iuc.
-        let mut lambda_hat = cpa_math::matrix::Mat::filled(tt * mm, p.num_labels, self.cfg.gamma0);
-        for msg in messages {
-            for (item, labels) in self.seen.worker_answers(msg.worker) {
-                let i = *item as usize;
-                for t in 0..tt {
-                    let phi_it = p.phi.get(i, t);
-                    if phi_it <= 1e-12 {
-                        continue;
-                    }
-                    let base = t * mm;
-                    for (m, &k) in msg.kappa.iter().enumerate() {
-                        let w = scale_u * phi_it * k;
-                        if w <= 1e-12 {
-                            continue;
-                        }
-                        for c in labels.iter() {
-                            lambda_hat.add(base + m, c, w);
-                        }
-                    }
-                }
-            }
-        }
+        let lambda_hat = self.lambda_target(messages, scale_u);
+        let p = &mut self.params;
+        let mm = p.m;
+        let tt = p.t;
         p.lambda.scaled_add(1.0 - omega, &lambda_hat, omega);
 
         // ρ target (Eqs. 11–12): 1 + scale_u Σ κ_um ; α + scale_u Σ tails.
@@ -237,8 +272,8 @@ impl OnlineCpa {
 
         // ζ target (Eq. 10) from the current soft-truth estimate restricted
         // to the batch items.
-        let estimate = estimate_truth(p, &self.seen, &self.known);
-        let mut zeta_hat = cpa_math::matrix::Mat::filled(tt, p.num_labels, self.cfg.eta0);
+        let estimate = estimate_truth_with(p, &self.seen, &self.known, self.pool.as_ref());
+        let mut zeta_hat = Mat::filled(tt, p.num_labels, self.cfg.eta0);
         for &i in &batch.items {
             for &(c, v) in &estimate.soft[i] {
                 for t in 0..tt {
@@ -265,7 +300,7 @@ impl OnlineCpa {
 
     /// The soft-truth estimate under the current posterior and seen answers.
     pub fn current_estimate(&self) -> TruthEstimate {
-        estimate_truth(&self.params, &self.seen, &self.known)
+        estimate_truth_with(&self.params, &self.seen, &self.known, self.pool.as_ref())
     }
 }
 

@@ -20,7 +20,9 @@
 use crate::params::VariationalParams;
 use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// Optional per-item known truths (`ȳ ⊆ y` of the paper).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -126,6 +128,32 @@ pub fn community_reliability(params: &VariationalParams) -> Vec<f64> {
 /// voting.
 const AGREEMENT_ROUNDS: usize = 2;
 
+/// Fixed chunk width for the parallel per-item / per-worker passes. The
+/// chunking is independent of the thread count, and every chunk's outputs are
+/// written to disjoint output positions, so serial and parallel runs of any
+/// width produce bit-identical results.
+const CHUNK: usize = 128;
+
+/// Runs `f` over `0..n` in fixed [`CHUNK`]-wide ranges — on `pool` when one
+/// is given, serially otherwise — and concatenates the per-chunk outputs in
+/// range order. `f` must return one output per index of its range.
+fn chunked_map<R, F>(pool: Option<&rayon::ThreadPool>, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> Vec<R> + Sync,
+{
+    match pool {
+        Some(pool) if n > CHUNK => {
+            let ranges: Vec<Range<usize>> = (0..n.div_ceil(CHUNK))
+                .map(|k| k * CHUNK..((k + 1) * CHUNK).min(n))
+                .collect();
+            let parts: Vec<Vec<R>> = pool.install(|| ranges.into_par_iter().map(&f).collect());
+            parts.into_iter().flatten().collect()
+        }
+        _ => f(0..n),
+    }
+}
+
 /// Produces the soft truth estimate given the current variational posterior.
 ///
 /// Worker weights combine two signals:
@@ -140,6 +168,19 @@ pub fn estimate_truth(
     answers: &AnswerMatrix,
     known: &KnownLabels,
 ) -> TruthEstimate {
+    estimate_truth_with(params, answers, known, None)
+}
+
+/// [`estimate_truth`] with the per-item and per-worker passes fanned out over
+/// `pool` (serial when `None`). The parallel schedule is chunked with
+/// thread-count-independent boundaries, so results are bit-identical to the
+/// serial path.
+pub fn estimate_truth_with(
+    params: &VariationalParams,
+    answers: &AnswerMatrix,
+    known: &KnownLabels,
+    pool: Option<&rayon::ThreadPool>,
+) -> TruthEstimate {
     let rel = community_reliability(params);
     let max_rel = rel.iter().copied().fold(0.0, f64::max);
     // Weight floor: even a zero-MI community retains a sliver of influence so
@@ -153,7 +194,7 @@ pub fn estimate_truth(
     // community's score — exactly the sparse-data robustness the paper
     // attributes to community modelling (R1).
     const SHRINKAGE: f64 = 12.0;
-    let indiv = per_worker_informativeness(params, answers);
+    let indiv = per_worker_informativeness(params, answers, pool);
     let community_weight: Vec<f64> = (0..params.num_workers)
         .map(|u| {
             let kappa = params.kappa.row(u);
@@ -167,25 +208,32 @@ pub fn estimate_truth(
     let mut soft: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut expected_size: Vec<f64> = Vec::new();
     for round in 0..=AGREEMENT_ROUNDS {
-        (soft, expected_size) = weighted_votes(params, answers, known, &worker_weight);
+        (soft, expected_size) = weighted_votes(params, answers, known, &worker_weight, pool);
         if round == AGREEMENT_ROUNDS {
             break;
         }
-        // Label-level agreement of each worker with the current consensus.
-        for u in 0..params.num_workers {
-            let wa = answers.worker_answers(u);
-            if wa.is_empty() {
-                continue;
-            }
-            let mut acc = 0.0;
-            for (item, labels) in wa {
-                acc += soft_jaccard(labels, &soft[*item as usize]);
-            }
-            let agreement = acc / wa.len() as f64;
-            // Quadratic sharpening separates near-random answerers from
-            // consistent ones; the small offset keeps weights positive.
-            worker_weight[u] = community_weight[u] * (agreement * agreement + 0.01);
-        }
+        // Label-level agreement of each worker with the current consensus;
+        // each worker's new weight depends only on the frozen `soft` and
+        // `community_weight`, so the workers fan out independently.
+        worker_weight = chunked_map(pool, params.num_workers, |range| {
+            range
+                .map(|u| {
+                    let wa = answers.worker_answers(u);
+                    if wa.is_empty() {
+                        return worker_weight[u];
+                    }
+                    let mut acc = 0.0;
+                    for (item, labels) in wa {
+                        acc += soft_jaccard(labels, &soft[*item as usize]);
+                    }
+                    let agreement = acc / wa.len() as f64;
+                    // Quadratic sharpening separates near-random answerers
+                    // from consistent ones; the small offset keeps weights
+                    // positive.
+                    community_weight[u] * (agreement * agreement + 0.01)
+                })
+                .collect()
+        });
     }
 
     TruthEstimate {
@@ -200,17 +248,46 @@ pub fn estimate_truth(
 /// applied to the worker's *own* empirical answer distribution across item
 /// clusters (additively smoothed by one pseudo-answer spread over the labels
 /// to temper small-sample inflation).
-fn per_worker_informativeness(params: &VariationalParams, answers: &AnswerMatrix) -> Vec<f64> {
+fn per_worker_informativeness(
+    params: &VariationalParams,
+    answers: &AnswerMatrix,
+    pool: Option<&rayon::ThreadPool>,
+) -> Vec<f64> {
     let tt = params.t;
     let c = params.num_labels;
     let smooth = 1.0 / c as f64;
-    let mut out = Vec::with_capacity(params.num_workers);
-    let mut counts = vec![0.0f64; tt * c];
-    for u in 0..params.num_workers {
+    chunked_map(pool, params.num_workers, |range| {
+        // One counts buffer per chunk: zeroed between workers, allocated once.
+        let mut out = Vec::with_capacity(range.len());
+        let mut counts = vec![0.0f64; tt * c];
+        for u in range {
+            out.push(one_worker_informativeness(
+                params,
+                answers,
+                u,
+                smooth,
+                &mut counts,
+            ));
+        }
+        out
+    })
+}
+
+/// The MI statistic for a single worker; `counts` is a caller-provided
+/// `T × C` scratch buffer.
+fn one_worker_informativeness(
+    params: &VariationalParams,
+    answers: &AnswerMatrix,
+    u: usize,
+    smooth: f64,
+    counts: &mut [f64],
+) -> f64 {
+    let tt = params.t;
+    let c = params.num_labels;
+    {
         let wa = answers.worker_answers(u);
         if wa.is_empty() {
-            out.push(0.0);
-            continue;
+            return 0.0;
         }
         counts.fill(0.0);
         for (item, labels) in wa {
@@ -231,8 +308,7 @@ fn per_worker_informativeness(params: &VariationalParams, answers: &AnswerMatrix
         }
         let total: f64 = mass.iter().sum();
         if total <= 0.0 {
-            out.push(0.0);
-            continue;
+            return 0.0;
         }
         // Marginal answer distribution (smoothed).
         let mut marginal = vec![0.0; c];
@@ -259,9 +335,8 @@ fn per_worker_informativeness(params: &VariationalParams, answers: &AnswerMatrix
                 }
             }
         }
-        out.push(mi.max(0.0));
+        mi.max(0.0)
     }
-    out
 }
 
 /// Soft Jaccard overlap between a crisp answer and a sparse soft label vector.
@@ -288,44 +363,42 @@ fn weighted_votes(
     answers: &AnswerMatrix,
     known: &KnownLabels,
     worker_weight: &[f64],
+    pool: Option<&rayon::ThreadPool>,
 ) -> (Vec<Vec<(usize, f64)>>, Vec<f64>) {
-    let mut soft = Vec::with_capacity(params.num_items);
-    let mut expected_size = Vec::with_capacity(params.num_items);
-    for i in 0..params.num_items {
-        if let Some(truth) = known.get(i) {
-            soft.push(truth.iter().map(|c| (c, 1.0)).collect());
-            expected_size.push(truth.len() as f64);
-            continue;
-        }
-        let item_answers = answers.item_answers(i);
-        if item_answers.is_empty() {
-            soft.push(Vec::new());
-            expected_size.push(0.0);
-            continue;
-        }
-        let mut total_w = 0.0;
-        let mut size_acc = 0.0;
-        let mut votes: Vec<(usize, f64)> = Vec::new();
-        for (w, labels) in item_answers {
-            let wu = worker_weight[*w as usize];
-            total_w += wu;
-            size_acc += wu * labels.len() as f64;
-            for c in labels.iter() {
-                match votes.iter_mut().find(|(lc, _)| *lc == c) {
-                    Some((_, v)) => *v += wu,
-                    None => votes.push((c, wu)),
+    let per_item = chunked_map(pool, params.num_items, |range| {
+        range
+            .map(|i| {
+                if let Some(truth) = known.get(i) {
+                    return (truth.iter().map(|c| (c, 1.0)).collect(), truth.len() as f64);
                 }
-            }
-        }
-        for (_, v) in votes.iter_mut() {
-            *v /= total_w;
-        }
-        votes.retain(|&(_, v)| v > 1e-9);
-        votes.sort_unstable_by_key(|&(c, _)| c);
-        soft.push(votes);
-        expected_size.push(size_acc / total_w);
-    }
-    (soft, expected_size)
+                let item_answers = answers.item_answers(i);
+                if item_answers.is_empty() {
+                    return (Vec::new(), 0.0);
+                }
+                let mut total_w = 0.0;
+                let mut size_acc = 0.0;
+                let mut votes: Vec<(usize, f64)> = Vec::new();
+                for (w, labels) in item_answers {
+                    let wu = worker_weight[*w as usize];
+                    total_w += wu;
+                    size_acc += wu * labels.len() as f64;
+                    for c in labels.iter() {
+                        match votes.iter_mut().find(|(lc, _)| *lc == c) {
+                            Some((_, v)) => *v += wu,
+                            None => votes.push((c, wu)),
+                        }
+                    }
+                }
+                for (_, v) in votes.iter_mut() {
+                    *v /= total_w;
+                }
+                votes.retain(|&(_, v)| v > 1e-9);
+                votes.sort_unstable_by_key(|&(c, _)| c);
+                (votes, size_acc / total_w)
+            })
+            .collect()
+    });
+    per_item.into_iter().unzip()
 }
 
 /// Eq. 7 with the soft estimate: `ζ_tc = ζ_0 + Σ_i ϕ_it E[y_ic]`.

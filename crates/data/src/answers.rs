@@ -1,10 +1,45 @@
-//! The sparse answer matrix `M` (paper §2.2).
+//! The sparse answer matrix `M` (paper §2.2), stored in CSR layout.
 //!
 //! Crowdsourcing matrices are extremely sparse — each item is answered by a
-//! handful of workers — so the matrix is stored as adjacency lists in *both*
-//! orientations: by item (needed by per-item updates, prediction and the
-//! baselines) and by worker (needed by the per-worker community updates and by
-//! SVI's worker batches). The two views are kept consistent by construction.
+//! handful of workers — so the matrix is stored in *compressed sparse row*
+//! (CSR) form in **both** orientations: by item (needed by per-item updates,
+//! prediction and the baselines) and by worker (needed by the per-worker
+//! community updates and by SVI's worker batches). Each orientation is a flat
+//! `offsets` array plus one contiguous entry array, so per-item and
+//! per-worker iteration — the inner loops of every inference engine — is a
+//! single contiguous scan with no pointer chasing.
+//!
+//! # CSR invariants
+//!
+//! The two orientations are kept consistent by construction. For the
+//! item-major orientation (`item_offsets`, `item_entries`); the worker-major
+//! one (`worker_offsets`, `worker_entries`) mirrors each rule with the roles
+//! of item and worker swapped:
+//!
+//! 1. `item_offsets.len() == num_items + 1`, `item_offsets[0] == 0`, and the
+//!    offsets are non-decreasing with
+//!    `item_offsets[num_items] == item_entries.len()`;
+//! 2. item `i`'s answers are exactly
+//!    `item_entries[item_offsets[i]..item_offsets[i + 1]]`, as `(worker,
+//!    labels)` pairs **sorted by worker index** with no duplicate worker;
+//! 3. every entry's label set is non-empty and has universe `num_labels`
+//!    (an empty set means "did not answer", which is represented by
+//!    *absence* from the matrix);
+//! 4. both orientations contain the same `(item, worker, labels)` triples,
+//!    and `num_answers == item_entries.len() == worker_entries.len()`.
+//!
+//! [`AnswerMatrix::check_consistency`] verifies all four invariants and is
+//! exercised by the test suite.
+//!
+//! # Construction and mutation
+//!
+//! Bulk construction goes through [`AnswerMatrixBuilder`] (adjacency lists,
+//! flattened once at [`AnswerMatrixBuilder::build`]) and bulk ingestion of a
+//! streaming batch through [`AnswerMatrix::extend_bulk`] (one ordered merge
+//! pass). Point mutations ([`AnswerMatrix::insert`] /
+//! [`AnswerMatrix::remove`]) remain available for perturbations and tests
+//! but splice the flat arrays — O(answers) per call — so hot paths should
+//! prefer the bulk APIs.
 
 use crate::labels::LabelSet;
 use serde::{Deserialize, Serialize};
@@ -21,16 +56,21 @@ pub struct Answer {
     pub labels: LabelSet,
 }
 
-/// Sparse `I × U` answer matrix over `C` labels.
+/// Sparse `I × U` answer matrix over `C` labels in dual-orientation CSR
+/// layout (see the module docs for the invariants).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnswerMatrix {
     num_items: usize,
     num_workers: usize,
     num_labels: usize,
-    /// For each item, `(worker, labels)` pairs sorted by worker.
-    by_item: Vec<Vec<(u32, LabelSet)>>,
-    /// For each worker, `(item, labels)` pairs sorted by item.
-    by_worker: Vec<Vec<(u32, LabelSet)>>,
+    /// CSR offsets into `item_entries`; length `num_items + 1`.
+    item_offsets: Vec<usize>,
+    /// Item-major `(worker, labels)` entries, sorted by worker within item.
+    item_entries: Vec<(u32, LabelSet)>,
+    /// CSR offsets into `worker_entries`; length `num_workers + 1`.
+    worker_offsets: Vec<usize>,
+    /// Worker-major `(item, labels)` entries, sorted by item within worker.
+    worker_entries: Vec<(u32, LabelSet)>,
     num_answers: usize,
 }
 
@@ -41,8 +81,10 @@ impl AnswerMatrix {
             num_items,
             num_workers,
             num_labels,
-            by_item: vec![Vec::new(); num_items],
-            by_worker: vec![Vec::new(); num_workers],
+            item_offsets: vec![0; num_items + 1],
+            item_entries: Vec::new(),
+            worker_offsets: vec![0; num_workers + 1],
+            worker_entries: Vec::new(),
             num_answers: 0,
         }
     }
@@ -76,9 +118,35 @@ impl AnswerMatrix {
         1.0 - self.num_answers as f64 / total as f64
     }
 
+    /// All `(worker, labels)` answers for an item, sorted by worker index —
+    /// one contiguous CSR slice.
+    #[inline]
+    pub fn item_answers(&self, item: usize) -> &[(u32, LabelSet)] {
+        &self.item_entries[self.item_offsets[item]..self.item_offsets[item + 1]]
+    }
+
+    /// All `(item, labels)` answers of a worker, sorted by item index — one
+    /// contiguous CSR slice.
+    #[inline]
+    pub fn worker_answers(&self, worker: usize) -> &[(u32, LabelSet)] {
+        &self.worker_entries[self.worker_offsets[worker]..self.worker_offsets[worker + 1]]
+    }
+
+    /// The answer of `worker` for `item`, if any.
+    pub fn get(&self, item: usize, worker: usize) -> Option<&LabelSet> {
+        let row = self.item_answers(item);
+        row.binary_search_by_key(&(worker as u32), |e| e.0)
+            .ok()
+            .map(|pos| &row[pos].1)
+    }
+
     /// Inserts an answer. Replaces any previous answer by the same worker for
     /// the same item. Empty label sets are rejected — absence encodes
     /// "no answer".
+    ///
+    /// This is a point mutation on the flat CSR arrays — O(answers) per call;
+    /// prefer [`AnswerMatrixBuilder`] or [`AnswerMatrix::extend_bulk`] for
+    /// anything bulk.
     ///
     /// # Panics
     /// Panics on out-of-range indices, a label universe mismatch, or an empty
@@ -92,41 +160,61 @@ impl AnswerMatrix {
             "label universe mismatch"
         );
         assert!(!labels.is_empty(), "empty answers are encoded by absence");
-        let iv = &mut self.by_item[item];
-        match iv.binary_search_by_key(&(worker as u32), |e| e.0) {
+        let istart = self.item_offsets[item];
+        let row = &self.item_entries[istart..self.item_offsets[item + 1]];
+        match row.binary_search_by_key(&(worker as u32), |e| e.0) {
             Ok(pos) => {
-                iv[pos].1 = labels.clone();
-                let wv = &mut self.by_worker[worker];
-                let wpos = wv
+                self.item_entries[istart + pos].1 = labels.clone();
+                let wstart = self.worker_offsets[worker];
+                let wrow = &self.worker_entries[wstart..self.worker_offsets[worker + 1]];
+                let wpos = wrow
                     .binary_search_by_key(&(item as u32), |e| e.0)
-                    .expect("views out of sync");
-                wv[wpos].1 = labels;
+                    .expect("orientations out of sync");
+                self.worker_entries[wstart + wpos].1 = labels;
             }
             Err(pos) => {
-                iv.insert(pos, (worker as u32, labels.clone()));
-                let wv = &mut self.by_worker[worker];
-                let wpos = wv
+                self.item_entries
+                    .insert(istart + pos, (worker as u32, labels.clone()));
+                for off in &mut self.item_offsets[item + 1..] {
+                    *off += 1;
+                }
+                let wstart = self.worker_offsets[worker];
+                let wrow = &self.worker_entries[wstart..self.worker_offsets[worker + 1]];
+                let wpos = wrow
                     .binary_search_by_key(&(item as u32), |e| e.0)
-                    .expect_err("views out of sync");
-                wv.insert(wpos, (item as u32, labels));
+                    .expect_err("orientations out of sync");
+                self.worker_entries
+                    .insert(wstart + wpos, (item as u32, labels));
+                for off in &mut self.worker_offsets[worker + 1..] {
+                    *off += 1;
+                }
                 self.num_answers += 1;
             }
         }
     }
 
-    /// Removes the answer of `worker` for `item`; returns whether one existed.
+    /// Removes the answer of `worker` for `item`; returns whether one
+    /// existed. Point mutation, O(answers) — see [`AnswerMatrix::insert`].
     pub fn remove(&mut self, item: usize, worker: usize) -> bool {
         if item >= self.num_items || worker >= self.num_workers {
             return false;
         }
-        let iv = &mut self.by_item[item];
-        if let Ok(pos) = iv.binary_search_by_key(&(worker as u32), |e| e.0) {
-            iv.remove(pos);
-            let wv = &mut self.by_worker[worker];
-            let wpos = wv
+        let istart = self.item_offsets[item];
+        let row = &self.item_entries[istart..self.item_offsets[item + 1]];
+        if let Ok(pos) = row.binary_search_by_key(&(worker as u32), |e| e.0) {
+            self.item_entries.remove(istart + pos);
+            for off in &mut self.item_offsets[item + 1..] {
+                *off -= 1;
+            }
+            let wstart = self.worker_offsets[worker];
+            let wrow = &self.worker_entries[wstart..self.worker_offsets[worker + 1]];
+            let wpos = wrow
                 .binary_search_by_key(&(item as u32), |e| e.0)
-                .expect("views out of sync");
-            wv.remove(wpos);
+                .expect("orientations out of sync");
+            self.worker_entries.remove(wstart + wpos);
+            for off in &mut self.worker_offsets[worker + 1..] {
+                *off -= 1;
+            }
             self.num_answers -= 1;
             true
         } else {
@@ -134,28 +222,122 @@ impl AnswerMatrix {
         }
     }
 
-    /// The answer of `worker` for `item`, if any.
-    pub fn get(&self, item: usize, worker: usize) -> Option<&LabelSet> {
-        self.by_item[item]
-            .binary_search_by_key(&(worker as u32), |e| e.0)
-            .ok()
-            .map(|pos| &self.by_item[item][pos].1)
+    /// Merges a batch of answers in one pass: O(answers + batch·log batch)
+    /// instead of O(answers) *per answer* as repeated [`AnswerMatrix::insert`]
+    /// calls would cost. Later duplicates (within the batch or against
+    /// existing answers) replace earlier ones, exactly like `insert`.
+    ///
+    /// # Panics
+    /// Same conditions as [`AnswerMatrix::insert`].
+    pub fn extend_bulk<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (usize, usize, LabelSet)>,
+    {
+        let mut incoming: Vec<(u32, u32, LabelSet)> = batch
+            .into_iter()
+            .map(|(item, worker, labels)| {
+                assert!(item < self.num_items, "item {item} out of range");
+                assert!(worker < self.num_workers, "worker {worker} out of range");
+                assert_eq!(
+                    labels.universe(),
+                    self.num_labels,
+                    "label universe mismatch"
+                );
+                assert!(!labels.is_empty(), "empty answers are encoded by absence");
+                (item as u32, worker as u32, labels)
+            })
+            .collect();
+        if incoming.is_empty() {
+            return;
+        }
+        // Stable sort keeps arrival order among duplicates; keep the last.
+        incoming.sort_by_key(|&(i, w, _)| (i, w));
+        let mut deduped: Vec<(u32, u32, LabelSet)> = Vec::with_capacity(incoming.len());
+        for e in incoming {
+            match deduped.last_mut() {
+                Some(last) if last.0 == e.0 && last.1 == e.1 => *last = e,
+                _ => deduped.push(e),
+            }
+        }
+
+        // Ordered merge of the existing item-major stream with the batch.
+        let mut merged: Vec<(u32, u32, LabelSet)> =
+            Vec::with_capacity(self.item_entries.len() + deduped.len());
+        let mut new_iter = deduped.into_iter().peekable();
+        for item in 0..self.num_items {
+            let row = self.item_offsets[item]..self.item_offsets[item + 1];
+            let mut old_iter = self.item_entries[row].iter().peekable();
+            loop {
+                // The batch is (item, worker)-sorted, so only its head can
+                // belong to the current item.
+                let new_worker = new_iter
+                    .peek()
+                    .filter(|&&(ni, _, _)| ni as usize == item)
+                    .map(|&(_, nw, _)| nw);
+                match (old_iter.peek(), new_worker) {
+                    (None, None) => break,
+                    (Some(_), None) => {
+                        let (w, l) = old_iter.next().expect("peeked");
+                        merged.push((item as u32, *w, l.clone()));
+                    }
+                    (old, Some(nw)) => {
+                        match old {
+                            Some(&&(ow, _)) if ow < nw => {
+                                let (w, l) = old_iter.next().expect("peeked");
+                                merged.push((item as u32, *w, l.clone()));
+                                continue;
+                            }
+                            Some(&&(ow, _)) if ow == nw => {
+                                old_iter.next(); // replaced by the batch entry
+                            }
+                            _ => {}
+                        }
+                        let (i, w, l) = new_iter.next().expect("peeked");
+                        merged.push((i, w, l));
+                    }
+                }
+            }
+        }
+        debug_assert!(new_iter.peek().is_none(), "batch items exhausted in merge");
+        self.rebuild_from_item_major(merged);
     }
 
-    /// All `(worker, labels)` answers for an item, sorted by worker index.
-    pub fn item_answers(&self, item: usize) -> &[(u32, LabelSet)] {
-        &self.by_item[item]
-    }
+    /// Rebuilds both CSR orientations from item-major `(item, worker,
+    /// labels)` triples that are already sorted by `(item, worker)` and
+    /// duplicate-free.
+    fn rebuild_from_item_major(&mut self, triples: Vec<(u32, u32, LabelSet)>) {
+        self.num_answers = triples.len();
+        // Item orientation: counting pass then a linear fill.
+        let mut item_counts = vec![0usize; self.num_items];
+        let mut worker_counts = vec![0usize; self.num_workers];
+        for &(i, w, _) in &triples {
+            item_counts[i as usize] += 1;
+            worker_counts[w as usize] += 1;
+        }
+        self.item_offsets = prefix_sum(&item_counts);
+        self.worker_offsets = prefix_sum(&worker_counts);
 
-    /// All `(item, labels)` answers of a worker, sorted by item index.
-    pub fn worker_answers(&self, worker: usize) -> &[(u32, LabelSet)] {
-        &self.by_worker[worker]
+        // Worker orientation via counting sort: scanning item-major order
+        // yields increasing item indices within each worker automatically.
+        let mut cursor = self.worker_offsets.clone();
+        let mut worker_slots: Vec<Option<(u32, LabelSet)>> = vec![None; triples.len()];
+        let mut item_entries = Vec::with_capacity(triples.len());
+        for (i, w, l) in triples {
+            worker_slots[cursor[w as usize]] = Some((i, l.clone()));
+            cursor[w as usize] += 1;
+            item_entries.push((w, l));
+        }
+        self.item_entries = item_entries;
+        self.worker_entries = worker_slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled by the counting sort"))
+            .collect();
     }
 
     /// Iterates all answers in item-major order.
     pub fn iter(&self) -> impl Iterator<Item = Answer> + '_ {
-        self.by_item.iter().enumerate().flat_map(|(i, v)| {
-            v.iter().map(move |(w, l)| Answer {
+        (0..self.num_items).flat_map(move |i| {
+            self.item_answers(i).iter().map(move |(w, l)| Answer {
                 item: i as u32,
                 worker: *w,
                 labels: l.clone(),
@@ -166,7 +348,8 @@ impl AnswerMatrix {
     /// Grows the worker dimension (used by spammer injection).
     pub fn grow_workers(&mut self, new_num_workers: usize) {
         assert!(new_num_workers >= self.num_workers);
-        self.by_worker.resize(new_num_workers, Vec::new());
+        let end = *self.worker_offsets.last().expect("offsets non-empty");
+        self.worker_offsets.resize(new_num_workers + 1, end);
         self.num_workers = new_num_workers;
     }
 
@@ -175,7 +358,7 @@ impl AnswerMatrix {
     /// majority voting and of the per-label baseline decomposition.
     pub fn item_vote_counts(&self, item: usize) -> (Vec<u32>, u32) {
         let mut votes = vec![0u32; self.num_labels];
-        let answers = &self.by_item[item];
+        let answers = self.item_answers(item);
         for (_, labels) in answers {
             for c in labels.iter() {
                 votes[c] += 1;
@@ -184,15 +367,48 @@ impl AnswerMatrix {
         (votes, answers.len() as u32)
     }
 
-    /// Debug-checks the two orientations agree. Exposed for tests.
+    /// Debug-checks the CSR invariants (module docs) including the agreement
+    /// of the two orientations. Exposed for tests.
     pub fn check_consistency(&self) -> bool {
+        // Offset shape (invariant 1, both orientations).
+        let offsets_ok = |offsets: &[usize], rows: usize, entries: usize| {
+            offsets.len() == rows + 1
+                && offsets[0] == 0
+                && offsets.windows(2).all(|w| w[0] <= w[1])
+                && offsets[rows] == entries
+        };
+        if !offsets_ok(&self.item_offsets, self.num_items, self.item_entries.len())
+            || !offsets_ok(
+                &self.worker_offsets,
+                self.num_workers,
+                self.worker_entries.len(),
+            )
+        {
+            return false;
+        }
+        if self.num_answers != self.item_entries.len()
+            || self.num_answers != self.worker_entries.len()
+        {
+            return false;
+        }
         let mut n = 0;
-        for (i, v) in self.by_item.iter().enumerate() {
-            for (w, l) in v {
+        for i in 0..self.num_items {
+            let row = self.item_answers(i);
+            // Strictly increasing worker indices (invariant 2) and non-empty
+            // label sets of the right universe (invariant 3).
+            if !row.windows(2).all(|w| w[0].0 < w[1].0) {
+                return false;
+            }
+            for (w, l) in row {
+                if l.is_empty() || l.universe() != self.num_labels {
+                    return false;
+                }
                 n += 1;
-                match self.by_worker[*w as usize].binary_search_by_key(&(i as u32), |e| e.0) {
+                // Orientation agreement (invariant 4).
+                let wrow = self.worker_answers(*w as usize);
+                match wrow.binary_search_by_key(&(i as u32), |e| e.0) {
                     Ok(pos) => {
-                        if self.by_worker[*w as usize][pos].1 != *l {
+                        if wrow[pos].1 != *l {
                             return false;
                         }
                     }
@@ -201,6 +417,83 @@ impl AnswerMatrix {
             }
         }
         n == self.num_answers
+    }
+}
+
+/// `counts` → CSR offsets (exclusive prefix sum with a trailing total).
+fn prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// Mutable accumulation buffer for building an [`AnswerMatrix`] without
+/// paying CSR splice costs: answers land in per-item adjacency lists and are
+/// flattened into both CSR orientations once, at [`AnswerMatrixBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct AnswerMatrixBuilder {
+    num_items: usize,
+    num_workers: usize,
+    num_labels: usize,
+    /// Per item, `(worker, labels)` in arrival order, possibly with duplicate
+    /// workers (resolved last-wins at build time).
+    by_item: Vec<Vec<(u32, LabelSet)>>,
+}
+
+impl AnswerMatrixBuilder {
+    /// Starts an empty builder of the given shape.
+    pub fn new(num_items: usize, num_workers: usize, num_labels: usize) -> Self {
+        Self {
+            num_items,
+            num_workers,
+            num_labels,
+            by_item: vec![Vec::new(); num_items],
+        }
+    }
+
+    /// Records an answer in O(1) amortised. Replace semantics against an
+    /// earlier answer by the same worker for the same item are applied at
+    /// [`AnswerMatrixBuilder::build`] (last insert wins).
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices, a label universe mismatch, or an empty
+    /// label set.
+    pub fn insert(&mut self, item: usize, worker: usize, labels: LabelSet) {
+        assert!(item < self.num_items, "item {item} out of range");
+        assert!(worker < self.num_workers, "worker {worker} out of range");
+        assert_eq!(
+            labels.universe(),
+            self.num_labels,
+            "label universe mismatch"
+        );
+        assert!(!labels.is_empty(), "empty answers are encoded by absence");
+        self.by_item[item].push((worker as u32, labels));
+    }
+
+    /// Flattens into the dual-orientation CSR matrix.
+    pub fn build(self) -> AnswerMatrix {
+        let mut out = AnswerMatrix::new(self.num_items, self.num_workers, self.num_labels);
+        let mut triples: Vec<(u32, u32, LabelSet)> = Vec::new();
+        for (item, mut row) in self.by_item.into_iter().enumerate() {
+            // Stable sort: equal workers stay in arrival order, so keeping
+            // the last duplicate implements replace semantics.
+            row.sort_by_key(|e| e.0);
+            let mut deduped: Vec<(u32, LabelSet)> = Vec::with_capacity(row.len());
+            for e in row {
+                match deduped.last_mut() {
+                    Some(last) if last.0 == e.0 => *last = e,
+                    _ => deduped.push(e),
+                }
+            }
+            triples.extend(deduped.into_iter().map(|(w, l)| (item as u32, w, l)));
+        }
+        out.rebuild_from_item_major(triples);
+        out
     }
 }
 
@@ -289,5 +582,79 @@ mod tests {
         assert_eq!(all.len(), 3);
         assert_eq!(all[0].item, 0);
         assert_eq!(all[0].worker, 2);
+    }
+
+    #[test]
+    fn builder_matches_point_inserts() {
+        let mut b = AnswerMatrixBuilder::new(3, 3, 4);
+        let mut m = AnswerMatrix::new(3, 3, 4);
+        for &(i, w, ref labels) in &[
+            (2usize, 1usize, vec![0usize]),
+            (0, 2, vec![1, 3]),
+            (0, 0, vec![2]),
+            (1, 1, vec![0, 1]),
+            (0, 2, vec![0]), // replaces (0, 2)
+        ] {
+            b.insert(i, w, ls(4, labels));
+            m.insert(i, w, ls(4, labels));
+        }
+        let built = b.build();
+        assert!(built.check_consistency());
+        assert_eq!(built.num_answers(), m.num_answers());
+        for i in 0..3 {
+            assert_eq!(built.item_answers(i), m.item_answers(i));
+        }
+        for w in 0..3 {
+            assert_eq!(built.worker_answers(w), m.worker_answers(w));
+        }
+        assert_eq!(built.get(0, 2).unwrap().to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn extend_bulk_matches_point_inserts() {
+        let base = |m: &mut AnswerMatrix| {
+            m.insert(0, 0, ls(3, &[0]));
+            m.insert(2, 1, ls(3, &[1, 2]));
+        };
+        let batch = vec![
+            (1usize, 1usize, ls(3, &[2])),
+            (0, 0, ls(3, &[1])), // replaces existing (0, 0)
+            (2, 0, ls(3, &[0])),
+            (1, 1, ls(3, &[0])), // replaces earlier batch entry (1, 1)
+        ];
+        let mut bulk = AnswerMatrix::new(3, 2, 3);
+        base(&mut bulk);
+        bulk.extend_bulk(batch.clone());
+        let mut point = AnswerMatrix::new(3, 2, 3);
+        base(&mut point);
+        for (i, w, l) in batch {
+            point.insert(i, w, l);
+        }
+        assert!(bulk.check_consistency());
+        assert_eq!(bulk.num_answers(), point.num_answers());
+        for i in 0..3 {
+            assert_eq!(bulk.item_answers(i), point.item_answers(i));
+        }
+        for w in 0..2 {
+            assert_eq!(bulk.worker_answers(w), point.worker_answers(w));
+        }
+    }
+
+    #[test]
+    fn extend_bulk_empty_is_noop() {
+        let mut m = AnswerMatrix::new(2, 2, 3);
+        m.insert(0, 0, ls(3, &[0]));
+        m.extend_bulk(Vec::new());
+        assert_eq!(m.num_answers(), 1);
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    fn builder_empty_rows_ok() {
+        let built = AnswerMatrixBuilder::new(4, 4, 2).build();
+        assert_eq!(built.num_answers(), 0);
+        assert!(built.check_consistency());
+        assert!(built.item_answers(3).is_empty());
+        assert!(built.worker_answers(0).is_empty());
     }
 }

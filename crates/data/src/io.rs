@@ -7,7 +7,7 @@
 //! `(item, label)` pairs. JSON round-tripping of whole datasets lives on
 //! [`crate::dataset::Dataset`] itself.
 
-use crate::answers::AnswerMatrix;
+use crate::answers::{AnswerMatrix, AnswerMatrixBuilder};
 use crate::dataset::Dataset;
 use crate::labels::LabelSet;
 use std::collections::BTreeMap;
@@ -111,11 +111,11 @@ pub fn answers_from_csv(
     for (i, w, c) in triples {
         grouped.entry((i, w)).or_default().push(c);
     }
-    let mut m = AnswerMatrix::new(items, workers, labels);
+    let mut m = AnswerMatrixBuilder::new(items, workers, labels);
     for ((i, w), cs) in grouped {
         m.insert(i, w, LabelSet::from_labels(labels, cs));
     }
-    Ok(m)
+    Ok(m.build())
 }
 
 /// Writes ground truth as `item,label` CSV rows.

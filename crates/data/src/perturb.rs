@@ -8,12 +8,14 @@
 //!   the ground truth to worker answers that contain at least one correct
 //!   label".
 
+use crate::answers::AnswerMatrixBuilder;
 use crate::dataset::Dataset;
 use crate::labels::LabelSet;
 use crate::simulate::SimulatedDataset;
 use crate::workers::{LabelAffinity, WorkerProfile, WorkerType};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::collections::HashSet;
 
 /// Removes `fraction` of the answers uniformly at random (Fig. 3's sparsity
 /// axis). Guarantees at least one answer per item remains whenever the item
@@ -23,18 +25,35 @@ pub fn sparsify<R: Rng + ?Sized>(dataset: &Dataset, fraction: f64, rng: &mut R) 
     let mut pairs: Vec<(u32, u32)> = dataset.answers.iter().map(|a| (a.item, a.worker)).collect();
     pairs.shuffle(rng);
     let remove_target = (pairs.len() as f64 * fraction).round() as usize;
-    let mut out = dataset.clone();
-    let mut removed = 0usize;
+    // Decide removals against per-item countdowns, then rebuild the CSR
+    // matrix once — point `remove` calls splice the flat arrays and would
+    // make this loop quadratic in the answer count.
+    let mut remaining: Vec<usize> = (0..dataset.num_items())
+        .map(|i| dataset.answers.item_answers(i).len())
+        .collect();
+    let mut dropped: HashSet<(u32, u32)> = HashSet::with_capacity(remove_target);
     for (item, worker) in pairs {
-        if removed >= remove_target {
+        if dropped.len() >= remove_target {
             break;
         }
-        if out.answers.item_answers(item as usize).len() <= 1 {
+        if remaining[item as usize] <= 1 {
             continue; // keep the last answer of an item
         }
-        out.answers.remove(item as usize, worker as usize);
-        removed += 1;
+        remaining[item as usize] -= 1;
+        dropped.insert((item, worker));
     }
+    let mut kept = AnswerMatrixBuilder::new(
+        dataset.num_items(),
+        dataset.num_workers(),
+        dataset.num_labels(),
+    );
+    for a in dataset.answers.iter() {
+        if !dropped.contains(&(a.item, a.worker)) {
+            kept.insert(a.item as usize, a.worker as usize, a.labels);
+        }
+    }
+    let mut out = dataset.clone();
+    out.answers = kept.build();
     out
 }
 
@@ -66,6 +85,9 @@ pub fn inject_spammers<R: Rng + ?Sized>(
 
     let typical = dataset.mean_truth_labels().max(1.0);
     let mut new_types = Vec::with_capacity(num_spammers);
+    // Collect the spam answers and merge them in one bulk pass (point
+    // inserts splice the CSR arrays — O(answers) each).
+    let mut spam: Vec<(usize, usize, LabelSet)> = Vec::with_capacity(spam_total);
     let mut emitted = 0usize;
     for s in 0..num_spammers {
         let kind = if s % 2 == 0 {
@@ -84,13 +106,14 @@ pub fn inject_spammers<R: Rng + ?Sized>(
         items.shuffle(rng);
         for &item in items.iter().take(quota) {
             let ans = profile.answer(rng, &dataset.truth[item], affinity, typical);
-            out.answers.insert(item, worker, ans);
+            spam.push((item, worker, ans));
             emitted += 1;
         }
         if emitted >= spam_total {
             break;
         }
     }
+    out.answers.extend_bulk(spam);
     (out, new_types)
 }
 

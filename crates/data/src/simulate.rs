@@ -7,7 +7,7 @@
 //! comes from the profile's correlation model ("the ground truth is generated
 //! based on a multinomial distribution", §5.1).
 
-use crate::answers::AnswerMatrix;
+use crate::answers::AnswerMatrixBuilder;
 use crate::dataset::Dataset;
 use crate::profile::DatasetProfile;
 use crate::workers::{LabelAffinity, WorkerProfile, WorkerType};
@@ -72,7 +72,7 @@ pub fn simulate_with_rng<R: Rng + ?Sized>(
     // Spread the answer budget over items as evenly as possible.
     let base = profile.answers / profile.items;
     let remainder = profile.answers % profile.items;
-    let mut answers = AnswerMatrix::new(profile.items, profile.workers, profile.labels);
+    let mut answers = AnswerMatrixBuilder::new(profile.items, profile.workers, profile.labels);
     for item in 0..profile.items {
         let k = (base + usize::from(item < remainder)).min(profile.workers);
         let workers = sample_distinct_workers(rng, &worker_sampler, profile.workers, k);
@@ -88,7 +88,7 @@ pub fn simulate_with_rng<R: Rng + ?Sized>(
     }
 
     SimulatedDataset {
-        dataset: Dataset::new(profile.name.clone(), answers, truth.labels),
+        dataset: Dataset::new(profile.name.clone(), answers.build(), truth.labels),
         worker_types,
         worker_profiles,
         affinity: truth.affinity,

@@ -91,8 +91,10 @@ impl WorkerStream {
 /// forgetting rate `r ∈ (0.5, 1]` for provable convergence; the paper finds
 /// `r ∈ [0.85, 0.9]` works best and fixes 0.875 for its experiments.
 pub fn learning_rate(batch_index: usize, forgetting_rate: f64) -> f64 {
+    // The lower bound is exclusive: r = 0.5 makes Σ ω_b² diverge, voiding the
+    // Robbins–Monro convergence guarantee the paper relies on.
     assert!(
-        (0.5..=1.0).contains(&forgetting_rate),
+        forgetting_rate > 0.5 && forgetting_rate <= 1.0,
         "forgetting rate must lie in (0.5, 1] for convergence"
     );
     (1.0 + batch_index as f64).powf(-forgetting_rate)
@@ -169,5 +171,17 @@ mod tests {
     #[should_panic(expected = "forgetting rate")]
     fn learning_rate_rejects_bad_r() {
         learning_rate(1, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting rate")]
+    fn learning_rate_lower_bound_is_exclusive() {
+        // r ∈ (0.5, 1]: exactly 0.5 must be rejected.
+        learning_rate(1, 0.5);
+    }
+
+    #[test]
+    fn learning_rate_accepts_boundary_one() {
+        assert!((learning_rate(1, 1.0) - 0.5).abs() < 1e-12);
     }
 }

@@ -1,7 +1,9 @@
 //! Offline stand-in for `criterion`: enough API for this workspace's bench
-//! targets to compile (`cargo bench --no-run`) and smoke-run (`cargo bench`
-//! executes each body once and prints wall-clock time). Not a statistically
-//! sound measurement harness. See `shims/README.md`.
+//! targets to compile (`cargo bench --no-run`) and run (`cargo bench` runs
+//! each body through one warmup iteration plus `CRITERION_SHIM_SAMPLES`
+//! timed iterations — default 3 — and prints the min and median wall-clock
+//! times). Minimally trustworthy numbers, not criterion's full statistical
+//! machinery. See `shims/README.md`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -78,30 +80,57 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Timed samples per benchmark (after one warmup iteration). Overridable via
+/// the `CRITERION_SHIM_SAMPLES` environment variable; kept small because
+/// several targets run whole model fits per iteration.
+fn sample_count() -> usize {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
+
 fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
-    let mut bencher = Bencher { elapsed_ns: 0 };
+    let mut bencher = Bencher {
+        samples_ns: Vec::new(),
+    };
     f(&mut bencher);
+    let (min, median, n) = bencher.summary();
     println!(
-        "bench {label}: {} ns/iter (criterion shim, 1 iter)",
-        bencher.elapsed_ns
+        "bench {label}: min {min} ns, median {median} ns ({n} iters + 1 warmup, criterion shim)"
     );
 }
 
 /// Timing handle passed to benchmark bodies.
 #[derive(Debug)]
 pub struct Bencher {
-    elapsed_ns: u128,
+    samples_ns: Vec<u128>,
 }
 
 impl Bencher {
-    /// Runs the routine once and records its wall-clock time.
+    /// Runs the routine through one (untimed) warmup iteration, then
+    /// [`sample_count`] timed iterations, recording each wall-clock sample.
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,
     {
-        let start = Instant::now();
-        let _keep = routine();
-        self.elapsed_ns = start.elapsed().as_nanos();
+        let _warmup = routine();
+        self.samples_ns.clear();
+        for _ in 0..sample_count() {
+            let start = Instant::now();
+            let _keep = routine();
+            self.samples_ns.push(start.elapsed().as_nanos());
+        }
+    }
+
+    /// `(min, median, samples)` of the recorded iterations.
+    fn summary(&self) -> (u128, u128, usize) {
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let min = sorted.first().copied().unwrap_or(0);
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        (min, median, sorted.len())
     }
 }
 
@@ -198,6 +227,16 @@ mod tests {
         });
         g.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| b.iter(|| x * 2));
         g.finish();
-        assert_eq!(ran, 1);
+        // One warmup iteration plus the timed samples.
+        assert_eq!(ran, 1 + sample_count());
+    }
+
+    #[test]
+    fn summary_reports_min_and_median() {
+        let b = Bencher {
+            samples_ns: vec![30, 10, 20],
+        };
+        let (min, median, n) = b.summary();
+        assert_eq!((min, median, n), (10, 20, 3));
     }
 }

@@ -1,82 +1,284 @@
 //! Offline stand-in for `rayon`: the parallel-iterator entry points used by
-//! this workspace, executed **sequentially** on the calling thread. The
-//! abstraction boundary is preserved (code written against this shim is
-//! written against rayon's API), but no threads are spawned. See
-//! `shims/README.md`.
+//! this workspace, executed on a **real `std::thread` pool**. Work is
+//! distributed over scoped threads in fixed chunks claimed through an atomic
+//! index; results are written to per-chunk slots and reassembled in input
+//! order, so `par_iter().map(f).collect()` returns exactly what the
+//! sequential equivalent would — just faster on multi-core hardware. No
+//! `unsafe` anywhere (see `#![deny(unsafe_code)]`).
+//!
+//! Deviations from the real crate, by design of this workspace (see
+//! `shims/README.md`):
+//!
+//! - outside [`ThreadPool::install`] the shim runs **sequentially** (real
+//!   rayon would use its implicit global pool). This workspace routes all
+//!   parallelism through explicit `ThreadPool`s sized by `CpaConfig::threads`,
+//!   so "no pool installed" deliberately means "serial".
+//! - the combinator surface is exactly what the workspace uses: `map`,
+//!   `collect`, `sum`, `for_each`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+use std::cell::Cell;
 use std::fmt;
-use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
 
 /// Re-exports that `use rayon::prelude::*` is expected to bring in scope.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelIterator`: yields a
-/// plain [`Iterator`], so the usual `map`/`filter`/`collect` chains apply.
-pub trait IntoParallelIterator {
-    /// The iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item;
-
-    /// Converts `self` into a (sequential) "parallel" iterator.
-    fn into_par_iter(self) -> Self::Iter;
+thread_local! {
+    /// Thread count installed by the innermost [`ThreadPool::install`] on
+    /// this thread; 1 (serial) when no pool is installed.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(1) };
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
+/// Number of worker threads the current scope should use.
+fn current_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).max(1)
+}
 
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+/// How many chunks each worker thread gets on average; >1 so that uneven
+/// per-item costs are load-balanced through the shared atomic index.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Applies `f` to every item of `items`, in parallel over the currently
+/// installed thread count, returning outputs in input order.
+///
+/// Items are split into fixed chunks up front; worker threads (scoped, so
+/// borrowed state needs no `'static`) claim chunks via an atomic counter,
+/// compute into per-chunk result slots, and the caller thread participates
+/// too. A panic inside `f` propagates when the scope joins.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_threads();
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let num_chunks = (threads * CHUNKS_PER_THREAD).min(n);
+    let chunk_size = n.div_ceil(num_chunks);
+
+    // Per-chunk input and output slots. Mutexes are uncontended (each chunk
+    // is claimed by exactly one thread through the atomic index); they exist
+    // to give the scoped threads shared, safe access to the slots.
+    let mut inputs: Vec<Mutex<Vec<T>>> = Vec::with_capacity(num_chunks);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        inputs.push(Mutex::new(chunk));
+    }
+    let outputs: Vec<Mutex<Vec<R>>> = (0..inputs.len()).map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+
+    let work = || loop {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        if k >= inputs.len() {
+            break;
+        }
+        let chunk = std::mem::take(&mut *inputs[k].lock().expect("input slot poisoned"));
+        let done: Vec<R> = chunk.into_iter().map(f).collect();
+        *outputs[k].lock().expect("output slot poisoned") = done;
+    };
+
+    let spawned = threads.min(inputs.len()).saturating_sub(1);
+    thread::scope(|s| {
+        for _ in 0..spawned {
+            s.spawn(work);
+        }
+        // The calling thread drains chunks alongside the spawned workers.
+        work();
+    });
+
+    outputs
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().expect("output slot poisoned"))
+        .collect()
+}
+
+/// The shim's parallel-iterator trait: a fixed set of items plus a composed
+/// per-item pipeline, executed by [`parallel_map_vec`] at the sink.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by this stage of the pipeline.
+    type Item: Send;
+
+    /// Applies `f` to every item in parallel, preserving input order.
+    /// This is the single execution primitive all sinks reduce to.
+    fn run_with<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    /// Maps each item through `f` (executed on the worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the items in input order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.run_with(|x| x))
+    }
+
+    /// Sums the items. The reduction itself happens in input order on the
+    /// calling thread, so the result is deterministic and identical to the
+    /// sequential sum.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run_with(|x| x).into_iter().sum()
+    }
+
+    /// Runs `f` on every item for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.run_with(f);
     }
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`
-/// (`.par_iter()` on slices and collections).
-pub trait IntoParallelRefIterator<'a> {
-    /// The iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type (a shared reference).
-    type Item: 'a;
+/// Base parallel iterator over an owned vector of items.
+#[derive(Debug)]
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
 
-    /// Borrowing (sequential) "parallel" iterator.
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn run_with<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        parallel_map_vec(self.items, &f)
+    }
+}
+
+/// A mapped parallel iterator; the closure runs on the worker threads.
+#[derive(Debug)]
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run_with<R2, G>(self, g: G) -> Vec<R2>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        self.base.run_with(move |x| g(f(x)))
+    }
+}
+
+/// Stand-in for `rayon::iter::IntoParallelIterator`. Materialises the source
+/// eagerly into a vector, then hands chunks to the pool.
+pub trait IntoParallelIterator {
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Iter = VecParIter<I::Item>;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Stand-in for `rayon::iter::IntoParallelRefIterator` (`.par_iter()` on
+/// slices and collections).
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: Send + 'a;
+
+    /// Borrowing parallel iterator.
     fn par_iter(&'a self) -> Self::Iter;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
 where
     &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send,
 {
-    type Iter = <&'a C as IntoIterator>::IntoIter;
+    type Iter = VecParIter<<&'a C as IntoIterator>::Item>;
     type Item = <&'a C as IntoIterator>::Item;
 
     fn par_iter(&'a self) -> Self::Iter {
-        self.into_iter()
+        VecParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
-/// Stand-in thread pool: [`ThreadPool::install`] simply runs the closure on
-/// the calling thread.
+/// A thread pool: [`ThreadPool::install`] makes `par_iter()` chains inside
+/// the closure fan out over `num_threads` scoped OS threads.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `op` "inside" the pool (here: inline) and returns its result.
+    /// Runs `op` with this pool's thread count installed for the duration:
+    /// parallel iterators inside `op` use `num_threads` workers. Unlike real
+    /// rayon, `op` itself runs on the calling thread (and that thread
+    /// participates in the chunk work), which is observationally equivalent
+    /// for this workspace.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
-        op()
+        INSTALLED_THREADS.with(|c| {
+            let prev = c.replace(self.num_threads);
+            // Restore on unwind as well, so a panicking op does not leave an
+            // inflated thread count installed on this thread.
+            struct Restore<'a>(&'a Cell<usize>, usize);
+            impl Drop for Restore<'_> {
+                fn drop(&mut self) {
+                    self.0.set(self.1);
+                }
+            }
+            let _restore = Restore(c, prev);
+            op()
+        })
     }
 
-    /// The configured thread count (informational only in this shim).
+    /// The configured thread count.
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
     }
@@ -86,7 +288,6 @@ impl ThreadPool {
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
-    _not_send: PhantomData<()>,
 }
 
 impl ThreadPoolBuilder {
@@ -95,21 +296,22 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Requests `num_threads` worker threads (recorded, not spawned).
+    /// Requests `num_threads` worker threads. As in real rayon, 0 means
+    /// "pick a default" — the machine's available parallelism.
     pub fn num_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads;
         self
     }
 
-    /// Builds the pool. Never fails in this shim.
+    /// Builds the pool. Never fails in this shim (threads are spawned scoped,
+    /// per parallel call, not up front).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: if self.num_threads == 0 {
-                1
-            } else {
-                self.num_threads
-            },
-        })
+        let num_threads = if self.num_threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads })
     }
 }
 
@@ -128,6 +330,15 @@ impl std::error::Error for ThreadPoolBuildError {}
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    fn pool(n: usize) -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn par_iter_matches_iter() {
@@ -139,12 +350,91 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs_inline() {
-        let pool = crate::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
+    fn pool_installs_thread_count() {
+        let pool = pool(4);
         assert_eq!(pool.current_num_threads(), 4);
         assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn parallel_collect_preserves_order() {
+        let pool = pool(8);
+        let n = 10_000usize;
+        let out: Vec<usize> = pool.install(|| (0..n).into_par_iter().map(|i| i * i).collect());
+        let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn work_actually_spreads_over_threads() {
+        let pool = pool(4);
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                // Block long enough that the caller cannot race through every
+                // chunk before the spawned workers are scheduled (matters on
+                // single-core machines).
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+        });
+        // 4 installed threads and 16 chunks: more than one OS thread must
+        // have participated (the caller plus at least one spawned worker).
+        assert!(ids.lock().unwrap().len() > 1, "no parallelism observed");
+    }
+
+    #[test]
+    fn no_install_means_serial() {
+        let before = std::thread::current().id();
+        let ids: Vec<_> = (0..64)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert!(ids.iter().all(|&id| id == before));
+    }
+
+    #[test]
+    fn install_restores_on_nested_use() {
+        let outer = pool(2);
+        let inner = pool(6);
+        outer.install(|| {
+            inner.install(|| {
+                assert_eq!(super::current_threads(), 6);
+            });
+            assert_eq!(super::current_threads(), 2);
+        });
+        assert_eq!(super::current_threads(), 1);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let pool = pool(4);
+        let empty: Vec<i32> =
+            pool.install(|| Vec::<i32>::new().into_par_iter().map(|x| x).collect());
+        assert!(empty.is_empty());
+        let one: Vec<i32> = pool.install(|| vec![41].into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let pool = pool(4);
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0..100usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 57 {
+                            panic!("boom");
+                        }
+                        i
+                    })
+                    .collect::<Vec<usize>>()
+            })
+        });
+        assert!(result.is_err());
+        // The installed thread count must have been restored despite the
+        // panic, so subsequent code on this thread is serial again.
+        assert_eq!(super::current_threads(), 1);
     }
 }

@@ -47,7 +47,7 @@ pub mod prelude {
     pub use cpa_baselines::Aggregator;
     pub use cpa_core::truth::KnownLabels;
     pub use cpa_core::{CpaConfig, CpaModel, FittedCpa, OnlineCpa, PredictionMode};
-    pub use cpa_data::answers::AnswerMatrix;
+    pub use cpa_data::answers::{AnswerMatrix, AnswerMatrixBuilder};
     pub use cpa_data::dataset::Dataset;
     pub use cpa_data::labels::LabelSet;
     pub use cpa_data::perturb::{inject_dependencies, inject_spammers, sparsify};
