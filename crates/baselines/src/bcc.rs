@@ -27,7 +27,7 @@ const PRIOR_NEG: f64 = 1.0;
 pub type InstanceFit = (Vec<f64>, Vec<(f64, f64)>, Vec<Vec<f64>>);
 
 /// Community-based BCC over binary label instances.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CommunityBcc {
     /// Number of worker communities per label instance.
     pub communities: usize,
@@ -195,7 +195,7 @@ impl Aggregator for CommunityBcc {
 
 /// Plain BCC: the one-worker-per-community limit of cBCC (each worker keeps
 /// its own Bayesian confusion matrix).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct Bcc;
 
 impl Aggregator for Bcc {
@@ -295,5 +295,11 @@ mod tests {
     #[should_panic(expected = "at least one community")]
     fn rejects_zero_communities() {
         CommunityBcc::with_communities(0);
+    }
+
+    #[test]
+    fn engine_adapter_matches_direct() {
+        crate::engine_testutil::engine_matches_direct(CommunityBcc::new());
+        crate::engine_testutil::engine_matches_direct(Bcc);
     }
 }

@@ -13,7 +13,7 @@ use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
 
 /// Per-label binary Dawid–Skene EM.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct DawidSkene {
     /// Maximum EM iterations per label instance.
     pub max_iters: usize,
@@ -252,5 +252,10 @@ mod tests {
     fn names() {
         assert_eq!(DawidSkene::new().name(), "EM");
         assert_eq!(DawidSkene::with_cost_correction().name(), "EM+cost");
+    }
+
+    #[test]
+    fn engine_adapter_matches_direct() {
+        crate::engine_testutil::engine_matches_direct(DawidSkene::new());
     }
 }

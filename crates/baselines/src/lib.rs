@@ -14,6 +14,11 @@
 //! - [`bcc::Bcc`] / [`bcc::CommunityBcc`] — (community-based) Bayesian
 //!   classifier combination \[51\], \[24\], \[25\];
 //! - [`twocoin`] — the two-coin worker characterisation of Appendix A \[54\].
+//!
+//! Every aggregator also runs behind the uniform engine interface of
+//! `cpa_core::engine` through the blanket [`BaselineEngine`] adapter (see
+//! [`IntoEngine`]), so the evaluation layer drives baselines and CPA engines
+//! through the same streaming loop and checkpoint machinery.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -25,8 +30,13 @@ pub mod mv;
 pub mod twocoin;
 pub mod wmv;
 
+use cpa_core::engine::{
+    neutral_estimate, Checkpoint, CheckpointError, Engine, EngineState, CHECKPOINT_VERSION,
+};
+use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
+use cpa_data::stream::WorkerBatch;
 
 /// A crowd answer aggregator: answers in, consensus label sets out.
 pub trait Aggregator {
@@ -37,8 +47,165 @@ pub trait Aggregator {
     fn aggregate(&self, answers: &AnswerMatrix) -> Vec<LabelSet>;
 }
 
+/// Blanket adapter lifting any [`Aggregator`] onto the uniform
+/// [`Engine`] interface: `ingest` accumulates answers into a seen matrix,
+/// `refit` re-aggregates everything seen, and checkpoints carry only the
+/// seen matrix plus the method tag (aggregation is a deterministic function
+/// of the seen answers, so nothing else needs capturing).
+#[derive(Debug, Clone)]
+pub struct BaselineEngine<A: Aggregator> {
+    aggregator: A,
+    seen: AnswerMatrix,
+    predictions: Option<Vec<LabelSet>>,
+}
+
+impl<A: Aggregator> BaselineEngine<A> {
+    /// Wraps `aggregator` as an engine over an (initially empty) population
+    /// of `num_items × num_workers` over `num_labels` labels.
+    pub fn new(aggregator: A, num_items: usize, num_workers: usize, num_labels: usize) -> Self {
+        Self {
+            aggregator,
+            seen: AnswerMatrix::new(num_items, num_workers, num_labels),
+            predictions: None,
+        }
+    }
+
+    /// Borrow the wrapped aggregator.
+    pub fn aggregator(&self) -> &A {
+        &self.aggregator
+    }
+}
+
+/// Extension blanket: every sized aggregator converts into a
+/// [`BaselineEngine`] with `into_engine`.
+pub trait IntoEngine: Aggregator + Sized {
+    /// Wraps `self` as an [`Engine`] over the given population shape.
+    fn into_engine(
+        self,
+        num_items: usize,
+        num_workers: usize,
+        num_labels: usize,
+    ) -> BaselineEngine<Self> {
+        BaselineEngine::new(self, num_items, num_workers, num_labels)
+    }
+}
+
+impl<A: Aggregator + Sized> IntoEngine for A {}
+
+impl<A: Aggregator + serde::Serialize + serde::Deserialize> Engine for BaselineEngine<A> {
+    fn name(&self) -> &'static str {
+        self.aggregator.name()
+    }
+
+    fn ingest(&mut self, answers: &AnswerMatrix, batch: &WorkerBatch) {
+        self.seen.extend_from_workers(answers, &batch.workers);
+        self.predictions = None;
+    }
+
+    fn refit(&mut self) {
+        self.predictions = Some(self.aggregator.aggregate(&self.seen));
+    }
+
+    fn predict_all(&self) -> Vec<LabelSet> {
+        match &self.predictions {
+            Some(p) => p.clone(),
+            None => vec![LabelSet::empty(self.seen.num_labels()); self.seen.num_items()],
+        }
+    }
+
+    /// Degenerate estimate: the aggregate labels at weight 1 (aggregators
+    /// have no probabilistic truth model), unit worker weights.
+    fn estimate(&self) -> TruthEstimate {
+        let mut est = neutral_estimate(self.seen.num_items(), self.seen.num_workers());
+        if let Some(preds) = &self.predictions {
+            for (i, p) in preds.iter().enumerate() {
+                est.soft[i] = p.iter().map(|c| (c, 1.0)).collect();
+                est.expected_size[i] = p.len() as f64;
+            }
+        }
+        est
+    }
+
+    fn seen_answers(&self) -> &AnswerMatrix {
+        &self.seen
+    }
+
+    fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            engine: self.aggregator.name().to_string(),
+            seen: self.seen.clone(),
+            state: EngineState::Baseline {
+                config: self.aggregator.serialize(),
+                fitted: self.predictions.is_some(),
+            },
+        }
+    }
+
+    /// Restores the aggregator from its serialized configuration (so
+    /// non-default thresholds/iteration caps survive the round trip),
+    /// verifies the tag, and re-aggregates if the snapshot had been refit
+    /// (the aggregate is a deterministic function of the configuration and
+    /// the seen answers).
+    fn restore(checkpoint: Checkpoint) -> Result<Self, CheckpointError> {
+        let EngineState::Baseline { config, fitted } = &checkpoint.state else {
+            return Err(CheckpointError::Invalid(format!(
+                "engine tag `{}` with a non-baseline payload",
+                checkpoint.engine
+            )));
+        };
+        let aggregator = A::deserialize(config)
+            .map_err(|e| CheckpointError::Invalid(format!("bad aggregator config: {e}")))?;
+        checkpoint.expect_engine(aggregator.name())?;
+        let fitted = *fitted;
+        let mut engine = Self {
+            aggregator,
+            seen: checkpoint.seen,
+            predictions: None,
+        };
+        if fitted {
+            engine.refit();
+        }
+        Ok(engine)
+    }
+}
+
 #[cfg(test)]
 pub(crate) use fixtures as testutil;
+
+#[cfg(test)]
+pub(crate) mod engine_testutil {
+    use super::*;
+    use cpa_core::engine::drive;
+    use cpa_data::stream::MemorySource;
+
+    /// Drives an aggregator through the [`Engine`] adapter on the Table 1
+    /// fixture and asserts it matches the direct [`Aggregator::aggregate`]
+    /// call — including through a JSON checkpoint round-trip.
+    pub(crate) fn engine_matches_direct<A>(aggregator: A)
+    where
+        A: Aggregator + serde::Serialize + serde::Deserialize,
+    {
+        let (m, _) = crate::fixtures::table1();
+        let direct = aggregator.aggregate(&m);
+        let mut engine = aggregator.into_engine(m.num_items(), m.num_workers(), m.num_labels());
+        drive(&mut engine, &mut MemorySource::single_batch(&m));
+        assert_eq!(Engine::predict_all(&engine), direct);
+        let json = engine.snapshot().to_json();
+        let restored = BaselineEngine::<A>::restore(Checkpoint::from_json(&json).unwrap()).unwrap();
+        assert_eq!(Engine::name(&restored), Engine::name(&engine));
+        // The configuration itself must survive, not just the predictions.
+        assert_eq!(
+            restored.aggregator().serialize(),
+            engine.aggregator().serialize()
+        );
+        assert_eq!(Engine::predict_all(&restored), direct);
+        assert_eq!(
+            restored.seen_answers().num_answers(),
+            engine.seen_answers().num_answers()
+        );
+    }
+}
 
 /// Paper fixtures shared with the evaluation harness.
 pub mod fixtures {

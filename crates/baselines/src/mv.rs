@@ -8,7 +8,7 @@ use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
 
 /// Majority voting with a configurable acceptance threshold (paper: 0.5).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct MajorityVoting {
     threshold: f64,
 }
@@ -121,5 +121,18 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn rejects_bad_threshold() {
         MajorityVoting::with_threshold(1.5);
+    }
+
+    #[test]
+    fn engine_adapter_matches_direct() {
+        crate::engine_testutil::engine_matches_direct(MajorityVoting::new());
+    }
+
+    #[test]
+    fn engine_checkpoint_preserves_non_default_threshold() {
+        // The checkpoint carries the aggregator's own configuration: a
+        // restored engine must behave like the configured instance, not like
+        // `MajorityVoting::new()`.
+        crate::engine_testutil::engine_matches_direct(MajorityVoting::with_threshold(0.75));
     }
 }

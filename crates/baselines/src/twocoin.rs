@@ -97,7 +97,7 @@ pub fn overall_coins(dataset: &Dataset) -> Vec<Option<(f64, f64)>> {
 /// The two-coin aggregator: per-label EM with per-worker coins (identical
 /// machinery to Dawid–Skene's binary instance, exposed under the two-coin
 /// name for the Appendix A experiments).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct TwoCoin;
 
 impl Aggregator for TwoCoin {
@@ -185,5 +185,10 @@ mod tests {
         let a = TwoCoin.aggregate(&sim.dataset.answers);
         let b = DawidSkene::new().aggregate(&sim.dataset.answers);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engine_adapter_matches_direct() {
+        crate::engine_testutil::engine_matches_direct(TwoCoin);
     }
 }

@@ -13,7 +13,7 @@ use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
 
 /// Iteratively weighted majority voting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct WeightedMajorityVoting {
     /// Reweighting rounds (0 = plain MV).
     pub rounds: usize,
@@ -144,5 +144,10 @@ mod tests {
     #[test]
     fn name_is_wmv() {
         assert_eq!(WeightedMajorityVoting::new().name(), "wMV");
+    }
+
+    #[test]
+    fn engine_adapter_matches_direct() {
+        crate::engine_testutil::engine_matches_direct(WeightedMajorityVoting::new());
     }
 }

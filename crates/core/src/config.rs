@@ -84,23 +84,44 @@ impl Default for CpaConfig {
 }
 
 impl CpaConfig {
+    /// Returns the first validation failure, or `None` for a usable
+    /// configuration — the panic-free check used by checkpoint restoration.
+    pub fn validation_error(&self) -> Option<&'static str> {
+        if self.max_communities < 1 {
+            return Some("need at least one community");
+        }
+        if self.max_clusters < 1 {
+            return Some("need at least one cluster");
+        }
+        // NaNs fail every comparison, so each bound is written to reject them.
+        let positive_finite = |x: f64| x > 0.0 && x.is_finite();
+        if !positive_finite(self.alpha) {
+            return Some("alpha must be positive");
+        }
+        if !positive_finite(self.epsilon) {
+            return Some("epsilon must be positive");
+        }
+        if self.gamma0 <= 0.0 || self.gamma0.is_nan() {
+            return Some("gamma0 must be positive");
+        }
+        if self.eta0 <= 0.0 || self.eta0.is_nan() {
+            return Some("eta0 must be positive");
+        }
+        if self.max_iters < 1 {
+            return Some("need at least one iteration");
+        }
+        if self.tol <= 0.0 || self.tol.is_nan() {
+            return Some("tolerance must be positive");
+        }
+        None
+    }
+
     /// Validates the configuration, panicking with a descriptive message on
     /// nonsensical values.
     pub fn validate(&self) {
-        assert!(self.max_communities >= 1, "need at least one community");
-        assert!(self.max_clusters >= 1, "need at least one cluster");
-        assert!(
-            self.alpha > 0.0 && self.alpha.is_finite(),
-            "alpha must be positive"
-        );
-        assert!(
-            self.epsilon > 0.0 && self.epsilon.is_finite(),
-            "epsilon must be positive"
-        );
-        assert!(self.gamma0 > 0.0, "gamma0 must be positive");
-        assert!(self.eta0 > 0.0, "eta0 must be positive");
-        assert!(self.max_iters >= 1, "need at least one iteration");
-        assert!(self.tol > 0.0, "tolerance must be positive");
+        if let Some(msg) = self.validation_error() {
+            panic!("{msg}");
+        }
     }
 
     /// Builder-style seed override.

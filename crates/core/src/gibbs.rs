@@ -33,7 +33,7 @@ use cpa_math::simplex::log_normalize;
 use rand::Rng;
 
 /// Gibbs sweep schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct GibbsSchedule {
     /// Total sweeps.
     pub sweeps: usize,

@@ -18,7 +18,10 @@
 //! Three inference engines are provided, mirroring the paper:
 //! [`inference`] (batch variational inference, Algorithm 1), [`svi`]
 //! (stochastic variational inference for online learning, Algorithm 2), and
-//! [`parallel`] (map-reduce style parallel SVI, Algorithm 3).
+//! [`parallel`] (map-reduce style parallel SVI, Algorithm 3). All of them —
+//! plus the `cpa-baselines` aggregators — run behind the uniform [`Engine`]
+//! trait of [`engine`], which adds versioned JSON checkpoint/resume with a
+//! bit-identical continuation guarantee.
 //!
 //! # Quick start
 //!
@@ -40,6 +43,7 @@ pub mod ablation;
 pub mod config;
 pub mod diagnostics;
 pub mod elbo;
+pub mod engine;
 pub mod gibbs;
 pub mod hierarchy;
 pub mod inference;
@@ -51,5 +55,6 @@ pub mod svi;
 pub mod truth;
 
 pub use config::{CpaConfig, PredictionMode};
+pub use engine::{BatchCpa, Checkpoint, CheckpointError, Engine, GibbsCpa};
 pub use model::{CpaModel, FittedCpa};
 pub use svi::OnlineCpa;

@@ -94,6 +94,14 @@ impl VariationalParams {
         }
     }
 
+    /// Whether these parameters describe the same `I × U × C` population as
+    /// `answers` — the consistency check checkpoint restoration performs.
+    pub fn shape_matches(&self, answers: &cpa_data::answers::AnswerMatrix) -> bool {
+        self.num_items == answers.num_items()
+            && self.num_workers == answers.num_workers()
+            && self.num_labels == answers.num_labels()
+    }
+
     /// Row index of `(cluster t, community m)` in `lambda`.
     #[inline]
     pub fn tm(&self, t: usize, m: usize) -> usize {

@@ -109,12 +109,7 @@ impl OnlineCpa {
         assert_eq!(answers.num_items(), self.params.num_items);
         assert_eq!(answers.num_workers(), self.params.num_workers);
         // Ingest the batch's answers in one merge pass over the CSR arrays.
-        self.seen.extend_bulk(batch.workers.iter().flat_map(|&u| {
-            answers
-                .worker_answers(u)
-                .iter()
-                .map(move |(item, labels)| (*item as usize, u, labels.clone()))
-        }));
+        self.seen.extend_from_workers(answers, &batch.workers);
         self.batch_count += 1;
         let omega = learning_rate(self.batch_count, self.forgetting_rate);
 
@@ -301,6 +296,95 @@ impl OnlineCpa {
     /// The soft-truth estimate under the current posterior and seen answers.
     pub fn current_estimate(&self) -> TruthEstimate {
         estimate_truth_with(&self.params, &self.seen, &self.known, self.pool.as_ref())
+    }
+}
+
+impl crate::engine::Engine for OnlineCpa {
+    fn name(&self) -> &'static str {
+        "CPA-SVI"
+    }
+
+    /// One stochastic update (Algorithm 2 body) — SVI *is* incremental, so
+    /// ingestion and fitting are the same step.
+    fn ingest(&mut self, answers: &AnswerMatrix, batch: &WorkerBatch) {
+        self.partial_fit(answers, batch);
+    }
+
+    /// No-op: the posterior is maintained incrementally by `ingest`.
+    fn refit(&mut self) {}
+
+    fn predict_all(&self) -> Vec<LabelSet> {
+        OnlineCpa::predict_all(self)
+    }
+
+    fn estimate(&self) -> TruthEstimate {
+        self.current_estimate()
+    }
+
+    fn seen_answers(&self) -> &AnswerMatrix {
+        &self.seen
+    }
+
+    fn snapshot(&self) -> crate::engine::Checkpoint {
+        crate::engine::Checkpoint {
+            version: crate::engine::CHECKPOINT_VERSION,
+            engine: crate::engine::Engine::name(self).to_string(),
+            seen: self.seen.clone(),
+            state: crate::engine::EngineState::OnlineCpa {
+                cfg: self.cfg.clone(),
+                forgetting_rate: self.forgetting_rate,
+                batch_count: self.batch_count,
+                params: self.params.clone(),
+                known: self.known.clone(),
+            },
+        }
+    }
+
+    /// Rebuilds the online model mid-stream. `partial_fit` is a pure
+    /// function of `(params, seen, batch_count)` — no RNG is consumed after
+    /// initialisation — so continuing from here is bit-identical to never
+    /// pausing.
+    fn restore(
+        checkpoint: crate::engine::Checkpoint,
+    ) -> Result<Self, crate::engine::CheckpointError> {
+        checkpoint.expect_engine("CPA-SVI")?;
+        let crate::engine::EngineState::OnlineCpa {
+            cfg,
+            forgetting_rate,
+            batch_count,
+            params,
+            known,
+        } = checkpoint.state
+        else {
+            return Err(crate::engine::CheckpointError::Invalid(
+                "engine tag `CPA-SVI` with a non-OnlineCpa payload".into(),
+            ));
+        };
+        crate::engine::check_config(&cfg)?;
+        crate::engine::check_shape(&params, &checkpoint.seen)?;
+        if known.len() != params.num_items {
+            return Err(crate::engine::CheckpointError::Invalid(format!(
+                "known-label vector covers {} items, parameters {}",
+                known.len(),
+                params.num_items
+            )));
+        }
+        if !(forgetting_rate > 0.5 && forgetting_rate <= 1.0) {
+            return Err(crate::engine::CheckpointError::Invalid(format!(
+                "forgetting rate {forgetting_rate} outside (0.5, 1]"
+            )));
+        }
+        let pool = crate::inference::build_pool(cfg.threads);
+        Ok(Self {
+            cfg,
+            forgetting_rate,
+            params,
+            seen: checkpoint.seen,
+            known,
+            batch_count,
+            pool,
+            scratch: ScratchPool::new(),
+        })
     }
 }
 

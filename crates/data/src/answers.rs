@@ -302,6 +302,23 @@ impl AnswerMatrix {
         self.rebuild_from_item_major(merged);
     }
 
+    /// Copies every answer of `workers` out of `source` into `self` with one
+    /// [`AnswerMatrix::extend_bulk`] merge — the ingestion step every
+    /// streaming engine performs per worker batch.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`AnswerMatrix::extend_bulk`]
+    /// (out-of-range indices against `self`'s dimensions, label-universe
+    /// mismatch).
+    pub fn extend_from_workers(&mut self, source: &AnswerMatrix, workers: &[usize]) {
+        self.extend_bulk(workers.iter().flat_map(|&u| {
+            source
+                .worker_answers(u)
+                .iter()
+                .map(move |(item, labels)| (*item as usize, u, labels.clone()))
+        }));
+    }
+
     /// Rebuilds both CSR orientations from item-major `(item, worker,
     /// labels)` triples that are already sorted by `(item, worker)` and
     /// duplicate-free.
@@ -638,6 +655,22 @@ mod tests {
         for w in 0..2 {
             assert_eq!(bulk.worker_answers(w), point.worker_answers(w));
         }
+    }
+
+    #[test]
+    fn extend_from_workers_copies_exactly_those_workers() {
+        let mut source = AnswerMatrix::new(3, 3, 4);
+        source.insert(0, 0, ls(4, &[0]));
+        source.insert(1, 0, ls(4, &[1, 2]));
+        source.insert(1, 1, ls(4, &[3]));
+        source.insert(2, 2, ls(4, &[0, 3]));
+        let mut m = AnswerMatrix::new(3, 3, 4);
+        m.extend_from_workers(&source, &[0, 2]);
+        assert!(m.check_consistency());
+        assert_eq!(m.num_answers(), 3);
+        assert_eq!(m.get(1, 0), source.get(1, 0));
+        assert_eq!(m.get(2, 2), source.get(2, 2));
+        assert!(m.get(1, 1).is_none(), "worker 1 was not in the batch");
     }
 
     #[test]

@@ -5,7 +5,14 @@
 //! their answers. [`WorkerStream`] partitions a dataset's workers into
 //! shuffled batches; the Fig. 6 data-arrival experiment replays them in
 //! order, measuring accuracy after each arrival step.
+//!
+//! Engines do not consume [`WorkerStream`] directly: the pull-based
+//! [`BatchSource`] trait abstracts *where batches come from*, so the same
+//! inference loop can be driven by an in-memory shuffle ([`MemorySource`]),
+//! a recorded JSONL replay ([`crate::io::JsonlReplay`]), or any future
+//! network/queue-backed source.
 
+use crate::answers::AnswerMatrix;
 use crate::dataset::Dataset;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -85,6 +92,103 @@ impl WorkerStream {
     pub fn iter(&self) -> impl Iterator<Item = &WorkerBatch> {
         self.batches.iter()
     }
+
+    /// Consumes the stream, yielding its batches (the [`MemorySource`]
+    /// construction path).
+    pub fn into_batches(self) -> Vec<WorkerBatch> {
+        self.batches
+    }
+}
+
+/// A pull-based supply of worker batches over a fixed answer universe.
+///
+/// Implementations own (or borrow) the complete [`AnswerMatrix`] their
+/// batches index into; engines pull one batch at a time and copy that batch's
+/// answers out of [`BatchSource::answers`]. Sources are exhausted after
+/// [`BatchSource::next_batch`] returns `None`.
+pub trait BatchSource {
+    /// The full answer universe the batches index into.
+    fn answers(&self) -> &AnswerMatrix;
+
+    /// Pulls the next batch in arrival order, or `None` when exhausted.
+    fn next_batch(&mut self) -> Option<WorkerBatch>;
+
+    /// Total number of batches this source will yield, when known upfront.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// In-memory [`BatchSource`]: a borrowed answer matrix plus a precomputed
+/// batch sequence (today's shuffled-arrival experiments).
+#[derive(Debug, Clone)]
+pub struct MemorySource<'a> {
+    answers: &'a AnswerMatrix,
+    batches: Vec<WorkerBatch>,
+    cursor: usize,
+}
+
+impl<'a> MemorySource<'a> {
+    /// Wraps an explicit batch sequence over `answers`.
+    pub fn new(answers: &'a AnswerMatrix, batches: Vec<WorkerBatch>) -> Self {
+        Self {
+            answers,
+            batches,
+            cursor: 0,
+        }
+    }
+
+    /// Shuffled worker arrival, as in the paper's online experiments: the
+    /// dataset's active workers in random order, `batch_size` per batch.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0` (see [`WorkerStream::new`]).
+    pub fn shuffled<R: Rng + ?Sized>(dataset: &'a Dataset, batch_size: usize, rng: &mut R) -> Self {
+        Self::new(
+            &dataset.answers,
+            WorkerStream::new(dataset, batch_size, rng).into_batches(),
+        )
+    }
+
+    /// Every active worker in one batch — the degenerate stream that turns a
+    /// streaming engine into a batch run.
+    pub fn single_batch(answers: &'a AnswerMatrix) -> Self {
+        let workers: Vec<usize> = (0..answers.num_workers())
+            .filter(|&w| !answers.worker_answers(w).is_empty())
+            .collect();
+        let mut items: Vec<usize> = workers
+            .iter()
+            .flat_map(|&w| answers.worker_answers(w).iter().map(|(it, _)| *it as usize))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        let batches = if workers.is_empty() {
+            Vec::new()
+        } else {
+            vec![WorkerBatch {
+                index: 1,
+                workers,
+                items,
+            }]
+        };
+        Self::new(answers, batches)
+    }
+}
+
+impl BatchSource for MemorySource<'_> {
+    fn answers(&self) -> &AnswerMatrix {
+        self.answers
+    }
+
+    fn next_batch(&mut self) -> Option<WorkerBatch> {
+        let batch = self.batches.get(self.cursor).cloned();
+        self.cursor += batch.is_some() as usize;
+        batch
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.batches.len())
+    }
 }
 
 /// The learning-rate schedule of the paper (§4.1): `ω_b = (1 + b)^{−r}` with
@@ -154,6 +258,52 @@ mod tests {
                 .iter()
                 .any(|&w| sim.dataset.answers.get(item, w).is_some()));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn rejects_zero_batch_size() {
+        // batch_size == 0 would chunk into nothing and silently drop every
+        // worker; the boundary must fail loudly instead.
+        let sim = simulate(&DatasetProfile::movie().scaled(0.04), 64);
+        let mut rng = seeded(4);
+        WorkerStream::new(&sim.dataset, 0, &mut rng);
+    }
+
+    #[test]
+    fn memory_source_yields_stream_batches_in_order() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 65);
+        let mut rng = seeded(5);
+        let expected = WorkerStream::new(&sim.dataset, 8, &mut rng).into_batches();
+        let mut rng = seeded(5);
+        let mut source = MemorySource::shuffled(&sim.dataset, 8, &mut rng);
+        assert_eq!(source.len_hint(), Some(expected.len()));
+        for want in &expected {
+            let got = source.next_batch().expect("same batch count");
+            assert_eq!(got.index, want.index);
+            assert_eq!(got.workers, want.workers);
+            assert_eq!(got.items, want.items);
+        }
+        assert!(source.next_batch().is_none());
+        assert!(source.next_batch().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn single_batch_covers_all_active_workers() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 66);
+        let mut source = MemorySource::single_batch(&sim.dataset.answers);
+        assert_eq!(source.len_hint(), Some(1));
+        let b = source.next_batch().expect("one batch");
+        assert_eq!(b.index, 1);
+        for &w in &b.workers {
+            assert!(!sim.dataset.answers.worker_answers(w).is_empty());
+        }
+        let active = (0..sim.dataset.num_workers())
+            .filter(|&w| !sim.dataset.answers.worker_answers(w).is_empty())
+            .count();
+        assert_eq!(b.workers.len(), active);
+        assert!(b.items.windows(2).all(|w| w[0] < w[1]));
+        assert!(source.next_batch().is_none());
     }
 
     #[test]

@@ -1,20 +1,24 @@
 //! `repro` — regenerates every table and figure of the CPA paper.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR] [--full]
+//! repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR]
+//!       [--methods M,M,...] [--full]
 //!
-//! EXPERIMENT: table1 fig1 table3 table4 fig3 fig4 fig5 fig6 table5 fig7
-//!             fig8 fig9 fig10 all        (default: all)
-//! --scale F   dataset scale factor, 1.0 = the paper's Table 3 sizes
-//!             (default 0.25)
-//! --reps N    repetitions with shuffled seeds (default 3)
-//! --seed S    base seed (default 7)
-//! --out DIR   where JSON reports are written (default results/)
-//! --full      shorthand for --scale 1.0 --reps 10
+//! EXPERIMENT: table1 fig1 table3 table4 fig3 fig4 fig5 fig6 table5
+//!             prequential fig7 fig8 fig9 fig10 all      (default: all)
+//! --scale F      dataset scale factor, 1.0 = the paper's Table 3 sizes
+//!                (default 0.25)
+//! --reps N       repetitions with shuffled seeds (default 3)
+//! --seed S       base seed (default 7)
+//! --out DIR      where JSON reports are written (default results/)
+//! --methods M,.. method roster override for the roster-driven experiments
+//!                (table4, fig3, prequential): comma-separated names from
+//!                mv wmv em cbcc gibbs cpa cpa-svi
+//! --full         shorthand for --scale 1.0 --reps 10
 //! ```
 
 use cpa_eval::experiments;
-use cpa_eval::runner::EvalConfig;
+use cpa_eval::runner::{EvalConfig, Method};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,15 +51,34 @@ fn main() {
                     .map(std::path::PathBuf::from)
                     .unwrap_or_else(|| die("--out needs a path"));
             }
+            "--methods" => {
+                let spec = it.next().unwrap_or_else(|| die("--methods needs a list"));
+                let methods: Vec<Method> = spec
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse::<Method>().unwrap_or_else(|e| die(&e)))
+                    .collect();
+                if methods.is_empty() {
+                    die("--methods needs at least one method");
+                }
+                cfg.methods = Some(methods);
+            }
             "--full" => {
                 cfg.scale = 1.0;
                 cfg.reps = 10;
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR] [--full]"
+                    "repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR] \
+                     [--methods M,M,...] [--full]"
                 );
                 println!("experiments: {} all", experiments::ALL.join(" "));
+                println!(
+                    "methods: {}",
+                    Method::all()
+                        .map(|m| m.name().to_ascii_lowercase())
+                        .join(" ")
+                );
                 return;
             }
             other if other.starts_with("--") => die(&format!("unknown flag {other}")),

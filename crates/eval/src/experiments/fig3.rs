@@ -15,11 +15,12 @@ pub const SPARSITY_LEVELS: [f64; 5] = [0.0, 0.2, 0.4, 0.6, 0.8];
 /// Runs the sparsity-robustness experiment.
 pub fn run(cfg: &EvalConfig) -> Report {
     let profile = DatasetProfile::image().scaled(cfg.scale);
+    let methods = cfg.methods_or(&Method::TABLE_ROSTER);
     let mut cols = vec!["sparsity".to_string()];
-    for m in Method::ALL {
+    for m in &methods {
         cols.push(format!("P[{}]", m.name()));
     }
-    for m in Method::ALL {
+    for m in &methods {
         cols.push(format!("R[{}]", m.name()));
     }
     let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
@@ -33,7 +34,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
         let mut row = vec![format!("{:.0}%", level * 100.0)];
         let mut p_cells = Vec::new();
         let mut r_cells = Vec::new();
-        for method in Method::ALL {
+        for &method in &methods {
             let stats = repeat(cfg.reps, cfg.seed, |seed| -> PrMetrics {
                 let sim = simulate(&profile, seed);
                 let mut rng = seeded(seed ^ 0x5a5a);

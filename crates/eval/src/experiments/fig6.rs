@@ -1,23 +1,24 @@
 //! Fig. 6 + Table 5 — online (incremental SVI) vs offline (batch VI)
 //! accuracy as data arrives in 10% steps of the worker population.
+//!
+//! Both engines are driven through `dyn Engine` from the same
+//! [`BatchSource`]: the online engine updates inside `ingest`, the offline
+//! one accumulates and is `refit` at each evaluation point.
 
 use crate::metrics::{evaluate, PrMetrics};
 use crate::report::{f3, pm, Report};
-use crate::runner::{cpa_config, EvalConfig};
-use cpa_core::{CpaModel, OnlineCpa};
-use cpa_data::answers::AnswerMatrix;
+use crate::runner::{EvalConfig, Method};
 use cpa_data::dataset::Dataset;
 use cpa_data::profile::DatasetProfile;
 use cpa_data::simulate::simulate;
-use cpa_data::stream::WorkerStream;
-use cpa_math::rng::seeded;
+use cpa_data::stream::BatchSource;
 use cpa_math::stats::{mean, std_dev};
 
 /// The paper's forgetting rate (§5.3: best results for r ∈ [0.85, 0.9]).
-pub const FORGETTING_RATE: f64 = 0.875;
+pub use crate::runner::FORGETTING_RATE;
 
 /// Number of arrival steps (10% increments).
-pub const ARRIVAL_STEPS: usize = 10;
+pub use crate::runner::ARRIVAL_STEPS;
 
 /// Per-arrival-step accuracy of both engines for one dataset and seed.
 fn arrival_curve(
@@ -25,39 +26,19 @@ fn arrival_curve(
     seed: u64,
     offline_each_step: bool,
 ) -> Vec<(PrMetrics, Option<PrMetrics>)> {
-    let active = (0..dataset.num_workers())
-        .filter(|&w| !dataset.answers.worker_answers(w).is_empty())
-        .count();
-    let batch_size = active.div_ceil(ARRIVAL_STEPS).max(1);
-    let mut rng = seeded(seed ^ 0xf00d);
-    let stream = WorkerStream::new(dataset, batch_size, &mut rng);
+    let mut source = crate::runner::arrival_source(dataset, seed);
 
-    let mut online = OnlineCpa::new(
-        cpa_config(seed),
-        dataset.num_items(),
-        dataset.num_workers(),
-        dataset.num_labels(),
-        FORGETTING_RATE,
-    );
-    let mut accumulated = AnswerMatrix::new(
-        dataset.num_items(),
-        dataset.num_workers(),
-        dataset.num_labels(),
-    );
+    let mut online = crate::runner::engine_for(Method::CpaSvi, dataset, seed);
+    let mut offline = crate::runner::engine_for(Method::Cpa, dataset, seed);
     let mut out = Vec::new();
-    let n_batches = stream.len();
-    for batch in stream.iter() {
-        online.partial_fit(&dataset.answers, batch);
-        for &u in &batch.workers {
-            for (item, labels) in dataset.answers.worker_answers(u) {
-                accumulated.insert(*item as usize, u, labels.clone());
-            }
-        }
+    let n_batches = source.len_hint().expect("in-memory source counts batches");
+    while let Some(batch) = source.next_batch() {
+        online.ingest(source.answers(), &batch);
+        offline.ingest(source.answers(), &batch);
         let on = evaluate(&online.predict_all(), &dataset.truth);
         let off = if offline_each_step || batch.index == n_batches {
-            let model = CpaModel::new(cpa_config(seed));
-            let fitted = model.fit(&accumulated);
-            Some(evaluate(&fitted.predict_all(&accumulated), &dataset.truth))
+            offline.refit();
+            Some(evaluate(&offline.predict_all(), &dataset.truth))
         } else {
             None
         };

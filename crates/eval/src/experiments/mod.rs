@@ -14,6 +14,7 @@
 //! | [`fig8`] | Fig. 8 — model ablations (No Z / No L) |
 //! | [`fig9`] | Fig. 9 — worker communities per label |
 //! | [`fig10`] | Fig. 10 — worker-type characterisation (App. A) |
+//! | [`prequential`] | prequential (test-then-train) online accuracy series |
 
 pub mod fig1;
 pub mod fig10;
@@ -24,6 +25,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod prequential;
 pub mod table1;
 pub mod table3;
 pub mod table4;
@@ -32,9 +34,21 @@ use crate::report::Report;
 use crate::runner::EvalConfig;
 
 /// All experiment ids in paper order.
-pub const ALL: [&str; 13] = [
-    "table1", "fig1", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "table5", "fig7", "fig8",
-    "fig9", "fig10",
+pub const ALL: [&str; 14] = [
+    "table1",
+    "fig1",
+    "table3",
+    "table4",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table5",
+    "prequential",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
 ];
 
 /// Runs one experiment by id. `table5` is produced by the fig6 runner.
@@ -48,6 +62,7 @@ pub fn run(id: &str, cfg: &EvalConfig) -> Vec<Report> {
         "fig4" => vec![fig4::run(cfg)],
         "fig5" => vec![fig5::run(cfg)],
         "fig6" | "table5" => fig6::run(cfg),
+        "prequential" => vec![prequential::run(cfg)],
         "fig7" => vec![fig7::run(cfg)],
         "fig8" => vec![fig8::run(cfg)],
         "fig9" => vec![fig9::run(cfg)],

@@ -8,11 +8,12 @@ use cpa_data::simulate::simulate;
 
 /// Runs the overall-accuracy experiment.
 pub fn run(cfg: &EvalConfig) -> Report {
+    let methods = cfg.methods_or(&Method::TABLE_ROSTER);
     let mut cols = vec!["dataset".to_string()];
-    for m in Method::ALL {
+    for m in &methods {
         cols.push(format!("P[{}]", m.name()));
     }
-    for m in Method::ALL {
+    for m in &methods {
         cols.push(format!("R[{}]", m.name()));
     }
     let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
@@ -27,7 +28,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
         let mut row = vec![profile.name.clone()];
         let mut p_cells = Vec::new();
         let mut r_cells = Vec::new();
-        for method in Method::ALL {
+        for &method in &methods {
             let stats = repeat(cfg.reps, cfg.seed, |seed| {
                 let sim = simulate(&scaled, seed);
                 score_method(method, &sim.dataset, seed)

@@ -45,6 +45,18 @@ impl Report {
         self.notes.push(note.into());
     }
 
+    /// Appends one step of a per-step metric series: a step label followed by
+    /// one three-decimal cell per value — the row shape the stream-driven
+    /// experiments (prequential, arrival curves) emit.
+    ///
+    /// # Panics
+    /// Panics if `1 + values.len()` differs from the header count.
+    pub fn push_step(&mut self, step: impl Into<String>, values: &[f64]) {
+        let mut cells = vec![step.into()];
+        cells.extend(values.iter().map(|v| f3(*v)));
+        self.push_row(cells);
+    }
+
     /// Renders the report as an aligned text table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
@@ -125,6 +137,13 @@ mod tests {
     fn rejects_bad_row() {
         let mut r = Report::new("t", "demo", &["a"]);
         r.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn push_step_formats_series_rows() {
+        let mut r = Report::new("s", "series", &["step", "a", "b"]);
+        r.push_step("10%", &[0.5, 0.25]);
+        assert_eq!(r.rows[0], vec!["10%", "0.500", "0.250"]);
     }
 
     #[test]

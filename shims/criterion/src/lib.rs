@@ -110,7 +110,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Runs the routine through one (untimed) warmup iteration, then
-    /// [`sample_count`] timed iterations, recording each wall-clock sample.
+    /// `sample_count()` timed iterations, recording each wall-clock sample.
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,

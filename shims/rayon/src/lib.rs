@@ -107,7 +107,7 @@ where
 }
 
 /// The shim's parallel-iterator trait: a fixed set of items plus a composed
-/// per-item pipeline, executed by [`parallel_map_vec`] at the sink.
+/// per-item pipeline, executed by `parallel_map_vec` at the sink.
 pub trait ParallelIterator: Sized + Send {
     /// Item type produced by this stage of the pipeline.
     type Item: Send;

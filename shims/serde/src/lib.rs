@@ -172,6 +172,20 @@ pub trait Deserialize: Sized {
 
 // ---- primitive impls -------------------------------------------------------
 
+// Identity: a `Value` embeds in any serialized structure as itself (the shim
+// counterpart of real serde_json's `impl Serialize for Value`).
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Value {
         Value::Bool(*self)

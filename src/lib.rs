@@ -44,16 +44,19 @@ pub mod prelude {
     pub use cpa_baselines::bcc::{Bcc, CommunityBcc};
     pub use cpa_baselines::ds::DawidSkene;
     pub use cpa_baselines::mv::MajorityVoting;
-    pub use cpa_baselines::Aggregator;
+    pub use cpa_baselines::{Aggregator, BaselineEngine, IntoEngine};
+    pub use cpa_core::engine::{drive, Checkpoint, CheckpointError, Engine};
     pub use cpa_core::truth::KnownLabels;
-    pub use cpa_core::{CpaConfig, CpaModel, FittedCpa, OnlineCpa, PredictionMode};
+    pub use cpa_core::{
+        BatchCpa, CpaConfig, CpaModel, FittedCpa, GibbsCpa, OnlineCpa, PredictionMode,
+    };
     pub use cpa_data::answers::{AnswerMatrix, AnswerMatrixBuilder};
     pub use cpa_data::dataset::Dataset;
     pub use cpa_data::labels::LabelSet;
     pub use cpa_data::perturb::{inject_dependencies, inject_spammers, sparsify};
     pub use cpa_data::profile::DatasetProfile;
     pub use cpa_data::simulate::{simulate, SimulatedDataset};
-    pub use cpa_data::stream::WorkerStream;
+    pub use cpa_data::stream::{BatchSource, MemorySource, WorkerStream};
     pub use cpa_data::workers::{WorkerMix, WorkerType};
     pub use cpa_eval::metrics::{evaluate, PrMetrics};
 }
