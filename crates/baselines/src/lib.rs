@@ -136,6 +136,7 @@ impl<A: Aggregator + serde::Serialize + serde::Deserialize> Engine for BaselineE
             engine: self.aggregator.name().to_string(),
             seen: self.seen.clone(),
             state: EngineState::Baseline {
+                method: self.aggregator.name().to_string(),
                 config: self.aggregator.serialize(),
                 fitted: self.predictions.is_some(),
             },
@@ -148,12 +149,26 @@ impl<A: Aggregator + serde::Serialize + serde::Deserialize> Engine for BaselineE
     /// (the aggregate is a deterministic function of the configuration and
     /// the seen answers).
     fn restore(checkpoint: Checkpoint) -> Result<Self, CheckpointError> {
-        let EngineState::Baseline { config, fitted } = &checkpoint.state else {
+        let EngineState::Baseline {
+            method,
+            config,
+            fitted,
+        } = &checkpoint.state
+        else {
             return Err(CheckpointError::Invalid(format!(
                 "engine tag `{}` with a non-baseline payload",
                 checkpoint.engine
             )));
         };
+        // The payload's own tag must agree with the outer tag; otherwise the
+        // checkpoint was retagged and must not restore as a different
+        // aggregator whose config happens to decode.
+        if method != &checkpoint.engine {
+            return Err(CheckpointError::EngineMismatch {
+                found: method.clone(),
+                expected: checkpoint.engine.clone(),
+            });
+        }
         let aggregator = A::deserialize(config)
             .map_err(|e| CheckpointError::Invalid(format!("bad aggregator config: {e}")))?;
         checkpoint.expect_engine(aggregator.name())?;

@@ -11,7 +11,7 @@
 //! Knobs: `CPA_BENCH_SCALE` (default 0.1), `CPA_BENCH_SAMPLES`,
 //! `CPA_BENCH_OUT` (default `BENCH_engine.json` in the workspace root).
 
-use cpa_core::engine::{drive, Checkpoint, Engine};
+use cpa_core::engine::{drive, Checkpoint};
 use cpa_data::dataset::Dataset;
 use cpa_data::simulate::simulate;
 use cpa_data::stream::{MemorySource, WorkerStream};
@@ -57,7 +57,7 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
 
 /// One full engine run: stream every batch through `ingest`, `refit`,
 /// predict. Returns (elapsed, the fitted engine).
-fn fit_stream(method: Method, dataset: &Dataset) -> (f64, Box<dyn Engine>) {
+fn fit_stream(method: Method, dataset: &Dataset) -> (f64, cpa_core::engine::DynEngine) {
     let active = (0..dataset.num_workers())
         .filter(|&w| !dataset.answers.worker_answers(w).is_empty())
         .count();

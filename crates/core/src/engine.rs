@@ -67,7 +67,11 @@ use serde::{Deserialize, Serialize};
 
 /// Format version written into every [`Checkpoint`]. Bump on any
 /// incompatible change to the checkpoint payload.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// History: v1 — initial format; v2 — [`EngineState::Baseline`] gained the
+/// explicit `method` tag so a retagged baseline checkpoint cannot restore as
+/// a different aggregator whose configuration happens to decode.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A crowd-consensus inference engine: ingests worker batches, maintains (or
 /// recomputes) a posterior, predicts consensus label sets, and snapshots to a
@@ -121,6 +125,26 @@ pub fn drive(engine: &mut dyn Engine, source: &mut dyn BatchSource) {
     }
     engine.refit();
 }
+
+/// An engine as a value a serving layer can own, move across threads, and
+/// read from several threads at once (prediction fans out per shard). Every
+/// engine in this workspace is plain owned data (plus interior-mutex
+/// scratch), so the `Send + Sync` bounds cost nothing.
+pub type DynEngine = Box<dyn Engine + Send + Sync>;
+
+/// The engine-construction hook for restore-by-tag: rebuilds *any* engine
+/// from a checkpoint, dispatching on [`Checkpoint::engine`].
+///
+/// `cpa-core` cannot name the full engine roster (the baselines live
+/// downstream), so consumers that restore heterogeneous checkpoints — the
+/// `cpa-serve` fleet manifest, the eval layer — take one of these instead.
+/// `cpa-eval`'s `restore_engine` is the canonical implementation covering
+/// every `Method`.
+///
+/// # Errors
+/// Implementations fail on an unknown tag, a version mismatch, or an
+/// inconsistent payload.
+pub type RestoreFn = fn(Checkpoint) -> Result<DynEngine, CheckpointError>;
 
 /// A durable capture of one engine: format version, engine tag, the seen
 /// answers, and the engine-specific state (parameters + step counters).
@@ -222,9 +246,13 @@ pub enum EngineState {
     },
     /// A `cpa-baselines` aggregator: deterministic given the seen answers
     /// and its configuration, so only the serialized aggregator and whether
-    /// it had been refit need capturing (the method tag lives in
-    /// [`Checkpoint::engine`]).
+    /// it had been refit need capturing.
     Baseline {
+        /// The aggregator's method tag, duplicated from [`Checkpoint::engine`]
+        /// so a checkpoint whose outer tag was edited cannot restore as a
+        /// different aggregator whose configuration happens to decode (two
+        /// baselines can share a config shape).
+        method: String,
         /// The aggregator's own serialized configuration (thresholds,
         /// iteration caps, ...), restored verbatim.
         config: serde::Value,

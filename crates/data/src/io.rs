@@ -482,6 +482,54 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_truncated_file_reports_the_cut_line() {
+        // Simulate a crash mid-write: record a healthy stream, then cut the
+        // file in the middle of its final record. The loader must fail with
+        // a BadRecord naming the truncated line, not panic or silently drop
+        // the tail.
+        use crate::stream::WorkerStream;
+        use cpa_math::rng::seeded;
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 209);
+        let mut rng = seeded(8);
+        let stream = WorkerStream::new(&sim.dataset, 9, &mut rng);
+        let jsonl = batches_to_jsonl(&sim.dataset.answers, stream.batches());
+        assert!(stream.len() >= 2, "need a multi-line file to truncate");
+        let cut = jsonl.len() - jsonl.lines().last().unwrap().len() / 2 - 1;
+        let truncated = &jsonl[..cut];
+        let err = JsonlReplay::from_jsonl(truncated, 0, 0, 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("line {}", stream.len())) && msg.contains("bad batch record"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn jsonl_truncated_to_nothing_yields_an_empty_replay() {
+        // Truncation at a line boundary is indistinguishable from a shorter
+        // recording; zero lines must parse as an empty, immediately
+        // exhausted source rather than an error.
+        let mut replay = JsonlReplay::from_jsonl("", 2, 3, 4).unwrap();
+        assert!(replay.is_empty());
+        assert_eq!(replay.len(), 0);
+        assert_eq!(replay.answers().num_items(), 2);
+        assert!(replay.next_batch().is_none());
+    }
+
+    #[test]
+    fn jsonl_wrong_shape_record_is_a_bad_record() {
+        // Structurally valid JSON that is not a batch record (answers not an
+        // array of triples) must be rejected with the line number.
+        let err = JsonlReplay::from_jsonl("{\"workers\":[0],\"answers\":[[0,0]]}\n", 0, 0, 0)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 1") && msg.contains("bad batch record"),
+            "{msg}"
+        );
+    }
+
+    #[test]
     fn jsonl_rejects_empty_label_sets() {
         let line = "{\"workers\":[0],\"answers\":[[0,0,[]]]}\n";
         let err = JsonlReplay::from_jsonl(line, 0, 0, 0).unwrap_err();

@@ -30,6 +30,7 @@ pub mod io;
 pub mod labels;
 pub mod perturb;
 pub mod profile;
+pub mod queue;
 pub mod simulate;
 pub mod stream;
 pub mod truthgen;

@@ -29,6 +29,89 @@ pub struct WorkerBatch {
     pub items: Vec<usize>,
 }
 
+/// The canonical item → shard assignment used by every sharding consumer
+/// (the serving fleet, the shard-split of batches, the determinism tests):
+/// a splitmix64 finalizer over the item index, reduced mod `num_shards`.
+/// Hashing (rather than `item % num_shards`) keeps shard loads balanced even
+/// when item ids carry structure (e.g. items appended per source in blocks).
+///
+/// With one shard, every item maps to shard 0, so K=1 sharding is the
+/// identity configuration.
+///
+/// # Panics
+/// Panics if `num_shards == 0`.
+pub fn shard_of(item: usize, num_shards: usize) -> usize {
+    assert!(num_shards > 0, "shard count must be positive");
+    if num_shards == 1 {
+        return 0;
+    }
+    // splitmix64 finalizer: a cheap, well-mixed stateless hash.
+    let mut z = (item as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % num_shards as u64) as usize
+}
+
+impl WorkerBatch {
+    /// Splits this batch into `num_shards` per-shard batches under the
+    /// canonical [`shard_of`] item assignment: shard `s` receives the batch
+    /// items owned by `s`, plus the batch workers that answered at least one
+    /// of those items in `answers`. Worker order and item order are
+    /// preserved, so the split is deterministic.
+    ///
+    /// Properties (locked by `tests/serving_properties.rs`):
+    /// - every batch item lands in exactly one shard (union == input);
+    /// - a batch worker appears in exactly the shards it answered into, so
+    ///   the union of shard workers is the batch workers with at least one
+    ///   answer to a batch item in `answers`;
+    /// - a shard receiving nothing yields an *empty* batch (same `index`,
+    ///   no workers, no items) rather than being dropped — every shard of a
+    ///   fleet observes every arrival step;
+    /// - with `num_shards == 1`, shard 0 is the identity split for any batch
+    ///   whose workers all have answers (the well-formed case).
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`.
+    pub fn shard_split(&self, answers: &AnswerMatrix, num_shards: usize) -> Vec<WorkerBatch> {
+        assert!(num_shards > 0, "shard count must be positive");
+        debug_assert!(
+            self.items.windows(2).all(|w| w[0] < w[1]),
+            "WorkerBatch.items must be sorted and deduplicated (batch {})",
+            self.index
+        );
+        let mut shards: Vec<WorkerBatch> = (0..num_shards)
+            .map(|_| WorkerBatch {
+                index: self.index,
+                workers: Vec::new(),
+                items: Vec::new(),
+            })
+            .collect();
+        for &item in &self.items {
+            shards[shard_of(item, num_shards)].items.push(item);
+        }
+        // A worker joins every shard it answered into *within this batch's
+        // items*; scanning its CSR slice once covers all shards in one pass.
+        // (`self.items` is sorted, so membership is a binary search.)
+        let mut hit = vec![false; num_shards];
+        for &w in &self.workers {
+            hit.fill(false);
+            for (item, _) in answers.worker_answers(w) {
+                let item = *item as usize;
+                if self.items.binary_search(&item).is_ok() {
+                    hit[shard_of(item, num_shards)] = true;
+                }
+            }
+            for (s, shard_hit) in hit.iter().enumerate() {
+                if *shard_hit {
+                    shards[s].workers.push(w);
+                }
+            }
+        }
+        shards
+    }
+}
+
 /// Splits a dataset's workers into consecutive batches in a shuffled order.
 #[derive(Debug, Clone)]
 pub struct WorkerStream {
@@ -333,5 +416,105 @@ mod tests {
     #[test]
     fn learning_rate_accepts_boundary_one() {
         assert!((learning_rate(1, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for k in [1usize, 2, 4, 7] {
+            for item in 0..200 {
+                let s = shard_of(item, k);
+                assert!(s < k);
+                assert_eq!(s, shard_of(item, k), "assignment must be stable");
+            }
+        }
+        // K=1 is the identity configuration.
+        assert!((0..100).all(|i| shard_of(i, 1) == 0));
+        // Hashing spreads items: with 4 shards over 200 items no shard
+        // should be empty.
+        let mut counts = [0usize; 4];
+        for item in 0..200 {
+            counts[shard_of(item, 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn shard_of_rejects_zero_shards() {
+        shard_of(0, 0);
+    }
+
+    #[test]
+    fn shard_split_partitions_items_and_routes_workers() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.05), 67);
+        let mut rng = seeded(7);
+        let s = WorkerStream::new(&sim.dataset, 6, &mut rng);
+        let answers = &sim.dataset.answers;
+        for batch in s.iter() {
+            for k in [1usize, 2, 4] {
+                let shards = batch.shard_split(answers, k);
+                assert_eq!(shards.len(), k);
+                // Items: each batch item in exactly the shard that owns it.
+                let mut union: Vec<usize> = Vec::new();
+                for (si, shard) in shards.iter().enumerate() {
+                    assert_eq!(shard.index, batch.index);
+                    assert!(shard.items.windows(2).all(|w| w[0] < w[1]));
+                    for &i in &shard.items {
+                        assert_eq!(shard_of(i, k), si);
+                    }
+                    union.extend(&shard.items);
+                }
+                union.sort_unstable();
+                assert_eq!(union, batch.items, "item union at K={k}");
+                // Workers: present exactly in the shards they answered into.
+                for (si, shard) in shards.iter().enumerate() {
+                    for &w in &shard.workers {
+                        assert!(
+                            answers
+                                .worker_answers(w)
+                                .iter()
+                                .any(|(i, _)| shard_of(*i as usize, k) == si),
+                            "worker {w} has no answer in shard {si}"
+                        );
+                    }
+                }
+                let mut wunion: Vec<usize> =
+                    shards.iter().flat_map(|s| s.workers.clone()).collect();
+                wunion.sort_unstable();
+                wunion.dedup();
+                let mut expect = batch.workers.clone();
+                expect.sort_unstable();
+                assert_eq!(wunion, expect, "worker union at K={k}");
+            }
+            // K=1 identity.
+            let shards = batch.shard_split(answers, 1);
+            assert_eq!(shards[0].workers, batch.workers);
+            assert_eq!(shards[0].items, batch.items);
+        }
+    }
+
+    #[test]
+    fn shard_split_yields_empty_batch_for_untouched_shard() {
+        // One item, many shards: every shard except the owner must come back
+        // as an empty batch (same index), not be dropped.
+        let mut answers = AnswerMatrix::new(1, 1, 2);
+        answers.insert(0, 0, crate::labels::LabelSet::from_labels(2, [0]));
+        let batch = WorkerBatch {
+            index: 3,
+            workers: vec![0],
+            items: vec![0],
+        };
+        let k = 4;
+        let shards = batch.shard_split(&answers, k);
+        let owner = shard_of(0, k);
+        for (si, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.index, 3);
+            if si == owner {
+                assert_eq!(shard.workers, vec![0]);
+                assert_eq!(shard.items, vec![0]);
+            } else {
+                assert!(shard.workers.is_empty() && shard.items.is_empty());
+            }
+        }
     }
 }

@@ -2,18 +2,20 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR]
-//!       [--methods M,M,...] [--full]
+//!       [--methods M,M,...] [--shards K] [--full]
 //!
 //! EXPERIMENT: table1 fig1 table3 table4 fig3 fig4 fig5 fig6 table5
-//!             prequential fig7 fig8 fig9 fig10 all      (default: all)
+//!             prequential sharded fig7 fig8 fig9 fig10 all (default: all)
 //! --scale F      dataset scale factor, 1.0 = the paper's Table 3 sizes
 //!                (default 0.25)
 //! --reps N       repetitions with shuffled seeds (default 3)
 //! --seed S       base seed (default 7)
 //! --out DIR      where JSON reports are written (default results/)
 //! --methods M,.. method roster override for the roster-driven experiments
-//!                (table4, fig3, prequential): comma-separated names from
-//!                mv wmv em cbcc gibbs cpa cpa-svi
+//!                (table4, fig3, prequential, sharded): comma-separated
+//!                names from mv wmv em cbcc gibbs cpa cpa-svi
+//! --shards K     shard count for the sharded serving experiment: compares
+//!                a K-shard fleet against the unsharded engine (default 4)
 //! --full         shorthand for --scale 1.0 --reps 10
 //! ```
 
@@ -63,6 +65,13 @@ fn main() {
                 }
                 cfg.methods = Some(methods);
             }
+            "--shards" => {
+                cfg.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k: &usize| k > 0)
+                    .unwrap_or_else(|| die("--shards needs a positive integer"));
+            }
             "--full" => {
                 cfg.scale = 1.0;
                 cfg.reps = 10;
@@ -70,7 +79,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "repro [EXPERIMENT ...] [--scale F] [--reps N] [--seed S] [--out DIR] \
-                     [--methods M,M,...] [--full]"
+                     [--methods M,M,...] [--shards K] [--full]"
                 );
                 println!("experiments: {} all", experiments::ALL.join(" "));
                 println!(

@@ -15,6 +15,7 @@
 //! | [`fig9`] | Fig. 9 — worker communities per label |
 //! | [`fig10`] | Fig. 10 — worker-type characterisation (App. A) |
 //! | [`prequential`] | prequential (test-then-train) online accuracy series |
+//! | [`sharded`] | sharded serving: K-shard fleet vs the unsharded engine |
 
 pub mod fig1;
 pub mod fig10;
@@ -26,6 +27,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod prequential;
+pub mod sharded;
 pub mod table1;
 pub mod table3;
 pub mod table4;
@@ -34,7 +36,7 @@ use crate::report::Report;
 use crate::runner::EvalConfig;
 
 /// All experiment ids in paper order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "table1",
     "fig1",
     "table3",
@@ -45,6 +47,7 @@ pub const ALL: [&str; 14] = [
     "fig6",
     "table5",
     "prequential",
+    "sharded",
     "fig7",
     "fig8",
     "fig9",
@@ -63,6 +66,7 @@ pub fn run(id: &str, cfg: &EvalConfig) -> Vec<Report> {
         "fig5" => vec![fig5::run(cfg)],
         "fig6" | "table5" => fig6::run(cfg),
         "prequential" => vec![prequential::run(cfg)],
+        "sharded" => vec![sharded::run(cfg)],
         "fig7" => vec![fig7::run(cfg)],
         "fig8" => vec![fig8::run(cfg)],
         "fig9" => vec![fig9::run(cfg)],

@@ -1,0 +1,204 @@
+//! Sharded serving: accuracy and throughput of a K-shard
+//! [`cpa_serve::Fleet`] against the unsharded (K=1) engine.
+//!
+//! This is the serving-layer counterpart of the paper's scalability study
+//! (Fig. 7): instead of more threads inside one engine, the fleet partitions
+//! the *item space* across K engines and drives them concurrently from one
+//! live [`cpa_data::queue::queue`] stream — the deployment shape of the
+//! north-star serving scenario. The experiment quantifies the trade:
+//!
+//! - **throughput** — answers/sec through ingest + refit, K engines working
+//!   concurrently on `threads` OS threads;
+//! - **accuracy** — precision/recall/F1 of the merged predictions against
+//!   ground truth. Shards never pool posterior state, so a shard infers
+//!   worker communities from its own items only; the K-vs-1 gap measures
+//!   what that cross-item pooling is worth on this workload;
+//! - **agreement** — mean per-item Jaccard between the K-shard and the
+//!   unsharded predictions (1.0 means sharding changed nothing).
+
+use crate::metrics::evaluate;
+use crate::report::{f3, Report};
+use crate::runner::{arrival_source, EvalConfig, Method};
+use cpa_data::dataset::Dataset;
+use cpa_data::labels::LabelSet;
+use cpa_data::profile::DatasetProfile;
+use cpa_data::queue::queue;
+use cpa_data::simulate::simulate;
+use cpa_data::stream::BatchSource;
+use cpa_math::stats::mean;
+use cpa_serve::Fleet;
+
+/// Default roster: the streaming engine (the serving story) plus the batch
+/// engine for a refit-style contrast.
+pub const DEFAULT_METHODS: [Method; 2] = [Method::CpaSvi, Method::Cpa];
+
+/// One (method, shard-count) serving run.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// The inference method every shard runs.
+    pub method: Method,
+    /// Number of shards.
+    pub shards: usize,
+    /// Merged predictions in global item order.
+    pub predictions: Vec<LabelSet>,
+    /// Ingest + refit wall-clock seconds.
+    pub fit_secs: f64,
+    /// Answers ingested per second.
+    pub answers_per_sec: f64,
+}
+
+/// Drives a K-shard fleet of `method` engines over the canonical arrival
+/// stream of `dataset`, fed through a live queue, and times it.
+pub fn sharded_run(
+    method: Method,
+    dataset: &Dataset,
+    shards: usize,
+    threads: usize,
+    seed: u64,
+) -> ShardedRun {
+    let (i, u, c) = (
+        dataset.num_items(),
+        dataset.num_workers(),
+        dataset.num_labels(),
+    );
+    let mut fleet = Fleet::new(shards, threads, i, u, c, |_| method.engine(i, u, c, seed));
+
+    // Replay the canonical arrival batches through a live queue — the same
+    // batch sequence every arrival-style experiment uses, but entering
+    // through the serving path.
+    let (producer, mut live) = queue(i, u, c);
+    let mut arrivals = arrival_source(dataset, seed);
+    while let Some(batch) = arrivals.next_batch() {
+        producer
+            .push_workers(arrivals.answers(), &batch.workers)
+            .expect("arrival batches satisfy the queue contract");
+    }
+    drop(producer);
+
+    let start = std::time::Instant::now();
+    fleet.drive(&mut live);
+    let fit_secs = start.elapsed().as_secs_f64();
+    let answers = fleet.num_answers_seen();
+    ShardedRun {
+        method,
+        shards,
+        predictions: fleet.predict_all(),
+        fit_secs,
+        answers_per_sec: answers as f64 / fit_secs.max(1e-9),
+    }
+}
+
+/// Mean per-item Jaccard between two prediction vectors.
+fn agreement(a: &[LabelSet], b: &[LabelSet]) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let js: Vec<f64> = a.iter().zip(b).map(|(x, y)| x.jaccard(y)).collect();
+    mean(&js)
+}
+
+/// Runs the sharded-serving comparison (K=1 vs K=`cfg.shards`) on the movie
+/// dataset for the configured roster.
+pub fn run(cfg: &EvalConfig) -> Report {
+    let methods = cfg.methods_or(&DEFAULT_METHODS);
+    let profile = DatasetProfile::movie().scaled(cfg.scale);
+    let dataset = simulate(&profile, cfg.seed).dataset;
+    let threads = if cfg.threads == 0 {
+        cfg.shards.max(1)
+    } else {
+        cfg.threads
+    };
+
+    let mut r = Report::new(
+        "sharded",
+        format!(
+            "Sharded serving on the movie dataset: K={} fleet vs the unsharded engine",
+            cfg.shards
+        ),
+        &[
+            "method",
+            "shards",
+            "precision",
+            "recall",
+            "f1",
+            "answers/s",
+            "J(vs K=1)",
+        ],
+    );
+    for &method in &methods {
+        let mut ks = vec![1usize];
+        if cfg.shards > 1 {
+            ks.push(cfg.shards);
+        }
+        let mut baseline: Option<Vec<LabelSet>> = None;
+        for k in ks {
+            let run = sharded_run(method, &dataset, k, threads, cfg.seed);
+            let m = evaluate(&run.predictions, &dataset.truth);
+            let j = match &baseline {
+                None => 1.0,
+                Some(b) => agreement(&run.predictions, b),
+            };
+            r.push_row(vec![
+                method.name().to_string(),
+                k.to_string(),
+                f3(m.precision),
+                f3(m.recall),
+                f3(m.f1),
+                format!("{:.0}", run.answers_per_sec),
+                f3(j),
+            ]);
+            if baseline.is_none() {
+                baseline = Some(run.predictions);
+            }
+        }
+    }
+    r.note(format!(
+        "fleet threads = {threads}; shards never pool posterior state, so J(vs K=1) < 1 \
+         measures what cross-item pooling is worth"
+    ));
+    r.note("batches enter through a live queue (cpa_data::queue), the serving ingest path");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::engine_for;
+
+    #[test]
+    fn sharded_run_covers_all_items_and_answers() {
+        let dataset = simulate(&DatasetProfile::movie().scaled(0.05), 191).dataset;
+        let run = sharded_run(Method::CpaSvi, &dataset, 4, 1, 191);
+        assert_eq!(run.predictions.len(), dataset.num_items());
+        assert!(run.answers_per_sec > 0.0);
+        let m = evaluate(&run.predictions, &dataset.truth);
+        assert!((0.0..=1.0).contains(&m.f1));
+    }
+
+    #[test]
+    fn single_shard_run_matches_run_method_stream() {
+        // K=1 through the queue serving path must equal the plain engine
+        // driven over the same arrival batches.
+        let dataset = simulate(&DatasetProfile::movie().scaled(0.05), 193).dataset;
+        let seed = 193;
+        let run = sharded_run(Method::CpaSvi, &dataset, 1, 1, seed);
+        let mut engine = engine_for(Method::CpaSvi, &dataset, seed);
+        let mut source = arrival_source(&dataset, seed);
+        cpa_core::engine::drive(engine.as_mut(), &mut source);
+        assert_eq!(run.predictions, engine.predict_all());
+    }
+
+    #[test]
+    fn report_has_two_rows_per_method() {
+        let cfg = EvalConfig {
+            scale: 0.04,
+            methods: Some(vec![Method::Mv]),
+            shards: 2,
+            ..EvalConfig::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns.len(), 7);
+        assert!(r.notes.iter().any(|n| n.contains("queue")));
+    }
+}

@@ -3,7 +3,8 @@
 //!
 //! Every method — the CPA engines and the baseline aggregators — is a value
 //! here: [`Method`] names it, [`Method::engine`] instantiates it as a
-//! `Box<dyn Engine>`, [`run_method`] drives it from a
+//! [`DynEngine`] (a `Send` boxed engine a serving fleet can own), [`run_method`]
+//! drives it from a
 //! [`cpa_data::stream::BatchSource`], and [`restore_engine`] rebuilds any
 //! method from its JSON [`Checkpoint`].
 
@@ -13,7 +14,7 @@ use cpa_baselines::ds::DawidSkene;
 use cpa_baselines::mv::MajorityVoting;
 use cpa_baselines::wmv::WeightedMajorityVoting;
 use cpa_baselines::{BaselineEngine, IntoEngine};
-use cpa_core::engine::{drive, Checkpoint, CheckpointError, Engine};
+use cpa_core::engine::{drive, Checkpoint, CheckpointError, DynEngine, Engine};
 use cpa_core::gibbs::GibbsSchedule;
 use cpa_core::{BatchCpa, CpaConfig, GibbsCpa, OnlineCpa};
 use cpa_data::dataset::Dataset;
@@ -49,6 +50,9 @@ pub struct EvalConfig {
     /// Method roster override (`repro --methods mv,cpa-svi`). `None` leaves
     /// each experiment its own default roster.
     pub methods: Option<Vec<Method>>,
+    /// Shard count for the sharded-serving experiment (`repro --shards K`):
+    /// the K of the K-vs-1 comparison.
+    pub shards: usize,
 }
 
 impl Default for EvalConfig {
@@ -60,6 +64,7 @@ impl Default for EvalConfig {
             out_dir: std::path::PathBuf::from("results"),
             threads: 0,
             methods: None,
+            shards: 4,
         }
     }
 }
@@ -131,7 +136,7 @@ impl Method {
         num_workers: usize,
         num_labels: usize,
         seed: u64,
-    ) -> Box<dyn Engine> {
+    ) -> DynEngine {
         match self {
             Method::Mv => {
                 Box::new(MajorityVoting::new().into_engine(num_items, num_workers, num_labels))
@@ -206,7 +211,7 @@ pub fn cpa_config(seed: u64) -> CpaConfig {
 }
 
 /// Instantiates a method's engine sized for `dataset`.
-pub fn engine_for(method: Method, dataset: &Dataset, seed: u64) -> Box<dyn Engine> {
+pub fn engine_for(method: Method, dataset: &Dataset, seed: u64) -> DynEngine {
     method.engine(
         dataset.num_items(),
         dataset.num_workers(),
@@ -255,7 +260,7 @@ pub fn run_method(method: Method, dataset: &Dataset, seed: u64) -> Vec<LabelSet>
 ///
 /// # Errors
 /// Fails on an unknown tag, a version mismatch, or an inconsistent payload.
-pub fn restore_engine(checkpoint: Checkpoint) -> Result<Box<dyn Engine>, CheckpointError> {
+pub fn restore_engine(checkpoint: Checkpoint) -> Result<DynEngine, CheckpointError> {
     match checkpoint.engine.as_str() {
         "MV" => Ok(Box::new(BaselineEngine::<MajorityVoting>::restore(
             checkpoint,

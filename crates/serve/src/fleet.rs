@@ -1,0 +1,500 @@
+//! The shard fleet: K engines behind one ingest/refit/predict surface, with
+//! fleet-wide snapshot/restore.
+//!
+//! A [`Fleet`] owns `K` [`cpa_core::engine::Engine`]s, one per shard of the
+//! item space (see [`crate::router::ShardRouter`]). Every arrival batch is
+//! shard-split and handed to the shards **on the workspace thread pool**
+//! (the PR 2 `rayon` shim), one task per shard; results are merged back in
+//! shard order, so any pool width is bit-identical to the serial path.
+//!
+//! # Determinism contract
+//!
+//! Locked by `tests/shard_determinism.rs`:
+//!
+//! - the fleet's merged predictions are **bit-identical** to driving each
+//!   shard's engine standalone over that shard's universe and batch split;
+//! - [`Fleet::snapshot`] → JSON → [`Fleet::restore`] → continue is
+//!   bit-identical to never pausing, at every thread count.
+//!
+//! Both follow from the engines' own checkpoint contract plus two fleet
+//! invariants: the shard split is deterministic, and merges always read
+//! shards in shard order.
+//!
+//! # What sharding trades away
+//!
+//! Shards never exchange posterior state: a shard infers worker communities
+//! from its own items only. K=1 is exactly the unsharded engine; larger K
+//! buys ingest/refit parallelism and a smaller per-shard working set at the
+//! cost of cross-shard pooling (measured by the `sharded` experiment in
+//! `cpa-eval`).
+
+use crate::router::ShardRouter;
+use cpa_core::engine::{Checkpoint, CheckpointError, DynEngine, RestoreFn};
+use cpa_core::truth::TruthEstimate;
+use cpa_data::answers::{AnswerMatrix, AnswerMatrixBuilder};
+use cpa_data::labels::LabelSet;
+use cpa_data::stream::{BatchSource, WorkerBatch};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Format version written into every [`FleetManifest`]. Bump on any
+/// incompatible change to the manifest layout.
+pub const FLEET_MANIFEST_VERSION: u32 = 1;
+
+/// A sharded serving fleet: K engines, one per item shard, driven together.
+pub struct Fleet {
+    router: ShardRouter,
+    threads: usize,
+    pool: Option<rayon::ThreadPool>,
+    engines: Vec<DynEngine>,
+    num_items: usize,
+    num_workers: usize,
+    num_labels: usize,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("num_shards", &self.router.num_shards())
+            .field("threads", &self.threads)
+            .field(
+                "engines",
+                &self.engines.iter().map(|e| e.name()).collect::<Vec<_>>(),
+            )
+            .field("num_items", &self.num_items)
+            .field("num_workers", &self.num_workers)
+            .field("num_labels", &self.num_labels)
+            .finish()
+    }
+}
+
+/// Runs one closure per shard payload, on the pool when one is installed.
+/// Output order always follows input (shard) order, which is what makes the
+/// fleet bit-deterministic in the thread count.
+fn per_shard<T: Send, R: Send>(
+    pool: Option<&rayon::ThreadPool>,
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Sync + Send,
+) -> Vec<R> {
+    match pool {
+        Some(pool) => pool.install(|| items.into_par_iter().map(f).collect()),
+        None => items.into_iter().map(f).collect(),
+    }
+}
+
+impl Fleet {
+    /// Builds a fleet of `num_shards` engines over a global
+    /// `num_items × num_workers × num_labels` population, constructing each
+    /// shard's engine with `factory` (called with the shard index). Shard
+    /// work fans out over `threads` OS threads (0 or 1 = serial).
+    ///
+    /// Every engine must be built at the *global* population shape — item
+    /// and worker indices are never remapped.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0` or a factory-built engine does not have
+    /// the global population shape.
+    pub fn new(
+        num_shards: usize,
+        threads: usize,
+        num_items: usize,
+        num_workers: usize,
+        num_labels: usize,
+        mut factory: impl FnMut(usize) -> DynEngine,
+    ) -> Self {
+        let router = ShardRouter::new(num_shards);
+        let engines: Vec<DynEngine> = (0..num_shards).map(&mut factory).collect();
+        for (s, engine) in engines.iter().enumerate() {
+            let seen = engine.seen_answers();
+            assert!(
+                seen.num_items() == num_items
+                    && seen.num_workers() == num_workers
+                    && seen.num_labels() == num_labels,
+                "shard {s} engine has shape {}x{}x{}, fleet is {num_items}x{num_workers}x{num_labels}",
+                seen.num_items(),
+                seen.num_workers(),
+                seen.num_labels(),
+            );
+        }
+        Self {
+            router,
+            threads,
+            pool: build_pool(threads),
+            engines,
+            num_items,
+            num_workers,
+            num_labels,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    /// The fleet's item → shard router.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Borrow one shard's engine (for inspection; driving goes through the
+    /// fleet methods so the shard split stays consistent).
+    pub fn shard(&self, shard: usize) -> &dyn cpa_core::engine::Engine {
+        self.engines[shard].as_ref()
+    }
+
+    /// Total answers absorbed across all shards.
+    pub fn num_answers_seen(&self) -> usize {
+        self.engines
+            .iter()
+            .map(|e| e.seen_answers().num_answers())
+            .sum()
+    }
+
+    /// Ingests one arrival batch: shard-splits it (the same split
+    /// [`cpa_data::stream::WorkerBatch::shard_split`] computes, fused with
+    /// building each shard's view of the batch answers into one scan of the
+    /// batch workers' CSR slices), then runs every shard's `ingest`
+    /// concurrently.
+    ///
+    /// Every shard ingests its split batch **even when that split is
+    /// empty** — all shards observe the same arrival steps, so incremental
+    /// engines (whose update schedule depends on the batch count) stay in
+    /// lockstep with a standalone engine driven on the same split.
+    ///
+    /// # Panics
+    /// Panics if `answers` does not have the fleet's global shape.
+    pub fn ingest(&mut self, answers: &AnswerMatrix, batch: &WorkerBatch) {
+        assert!(
+            answers.num_items() == self.num_items
+                && answers.num_workers() == self.num_workers
+                && answers.num_labels() == self.num_labels,
+            "batch universe shape mismatch"
+        );
+        debug_assert!(
+            batch.items.windows(2).all(|w| w[0] < w[1]),
+            "WorkerBatch.items must be sorted and deduplicated (batch {})",
+            batch.index
+        );
+        let k = self.num_shards();
+        // One pass over each batch worker's answers decides shard
+        // membership AND collects the shard views — the per-worker scan
+        // `shard_split` would do, without doing it twice. Built serially
+        // (cheap CSR scans); the engine updates below are the parallel part.
+        let mut shard_workers: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut views: Vec<AnswerMatrixBuilder> = (0..k)
+            .map(|_| AnswerMatrixBuilder::new(self.num_items, self.num_workers, self.num_labels))
+            .collect();
+        let mut hit = vec![false; k];
+        for &w in &batch.workers {
+            hit.fill(false);
+            for (item, labels) in answers.worker_answers(w) {
+                let item = *item as usize;
+                if batch.items.binary_search(&item).is_ok() {
+                    let s = self.router.route(item);
+                    hit[s] = true;
+                    views[s].insert(item, w, labels.clone());
+                }
+            }
+            for (s, shard_hit) in hit.iter().enumerate() {
+                if *shard_hit {
+                    shard_workers[s].push(w);
+                }
+            }
+        }
+        let mut shard_items: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for &item in &batch.items {
+            shard_items[self.router.route(item)].push(item);
+        }
+
+        let work: Vec<(DynEngine, AnswerMatrix, WorkerBatch)> = self
+            .engines
+            .drain(..)
+            .zip(shard_workers)
+            .zip(shard_items)
+            .zip(views)
+            .map(|(((engine, workers), items), view)| {
+                let shard_batch = WorkerBatch {
+                    index: batch.index,
+                    workers,
+                    items,
+                };
+                (engine, view.build(), shard_batch)
+            })
+            .collect();
+        self.engines = per_shard(
+            self.pool.as_ref(),
+            work,
+            |(mut engine, view, shard_batch)| {
+                engine.ingest(&view, &shard_batch);
+                engine
+            },
+        );
+    }
+
+    /// Refits every shard concurrently (no-op for incremental engines).
+    pub fn refit_all(&mut self) {
+        let engines = std::mem::take(&mut self.engines);
+        self.engines = per_shard(self.pool.as_ref(), engines, |mut engine| {
+            engine.refit();
+            engine
+        });
+    }
+
+    /// Pulls every batch out of `source` through [`Fleet::ingest`], then
+    /// [`Fleet::refit_all`]s once — the fleet analogue of
+    /// [`cpa_core::engine::drive`].
+    pub fn drive(&mut self, source: &mut dyn BatchSource) {
+        while let Some(batch) = source.next_batch() {
+            self.ingest(source.answers(), &batch);
+        }
+        self.refit_all();
+    }
+
+    /// Merged consensus predictions in global item order: each item's label
+    /// set comes from the shard that owns it.
+    pub fn predict_all(&self) -> Vec<LabelSet> {
+        let shard_preds: Vec<Vec<LabelSet>> = per_shard(
+            self.pool.as_ref(),
+            self.engines.iter().collect::<Vec<_>>(),
+            |engine| engine.predict_all(),
+        );
+        (0..self.num_items)
+            .map(|i| shard_preds[self.router.route(i)][i].clone())
+            .collect()
+    }
+
+    /// Merged soft-truth estimate in global item order.
+    ///
+    /// Per-item fields (`soft`, `expected_size`) come from the owning shard.
+    /// A worker's weight is the answer-count-weighted mean of its weights in
+    /// the shards it answered into (workers with no answers keep the neutral
+    /// weight 1). `community_reliability` is left empty: community structure
+    /// is a per-shard notion — read it from [`Fleet::shard`] estimates.
+    pub fn estimate_all(&self) -> TruthEstimate {
+        let shard_ests: Vec<TruthEstimate> = per_shard(
+            self.pool.as_ref(),
+            self.engines.iter().collect::<Vec<_>>(),
+            |engine| engine.estimate(),
+        );
+        let mut soft = Vec::with_capacity(self.num_items);
+        let mut expected_size = Vec::with_capacity(self.num_items);
+        for i in 0..self.num_items {
+            let est = &shard_ests[self.router.route(i)];
+            soft.push(est.soft[i].clone());
+            expected_size.push(est.expected_size[i]);
+        }
+        let mut worker_weight = vec![1.0; self.num_workers];
+        for (u, weight) in worker_weight.iter_mut().enumerate() {
+            // (weight, answer count) per shard the worker answered into.
+            let contribs: Vec<(f64, usize)> = shard_ests
+                .iter()
+                .zip(&self.engines)
+                .filter_map(|(est, engine)| {
+                    let n = engine.seen_answers().worker_answers(u).len();
+                    (n > 0).then(|| (est.worker_weight[u], n))
+                })
+                .collect();
+            match contribs.as_slice() {
+                [] => {}
+                // One shard saw every answer (always the case at K=1):
+                // take its weight verbatim, not a `w·n/n` round trip.
+                [(w, _)] => *weight = *w,
+                many => {
+                    let total: usize = many.iter().map(|&(_, n)| n).sum();
+                    *weight = many.iter().map(|&(w, n)| w * n as f64).sum::<f64>() / total as f64;
+                }
+            }
+        }
+        TruthEstimate {
+            soft,
+            expected_size,
+            worker_weight,
+            community_reliability: Vec::new(),
+        }
+    }
+
+    /// Captures the whole fleet as a versioned manifest of per-shard
+    /// checkpoints.
+    pub fn snapshot(&self) -> FleetManifest {
+        FleetManifest {
+            version: FLEET_MANIFEST_VERSION,
+            num_items: self.num_items,
+            num_workers: self.num_workers,
+            num_labels: self.num_labels,
+            shards: self.engines.iter().map(|e| e.snapshot()).collect(),
+        }
+    }
+
+    /// Rebuilds a fleet from a manifest, restoring each shard's engine
+    /// through the `restore` hook (`cpa-eval`'s `restore_engine` covers
+    /// every built-in method). Restore-then-continue is bit-identical to
+    /// never pausing.
+    ///
+    /// # Errors
+    /// Fails on a manifest/checkpoint version mismatch, a shard whose
+    /// checkpoint does not restore, a shape mismatch, or a shard whose seen
+    /// answers contain items it does not own (a reordered manifest).
+    pub fn restore(
+        manifest: FleetManifest,
+        threads: usize,
+        restore: RestoreFn,
+    ) -> Result<Self, FleetError> {
+        if manifest.version != FLEET_MANIFEST_VERSION {
+            return Err(FleetError::Version {
+                found: manifest.version,
+                expected: FLEET_MANIFEST_VERSION,
+            });
+        }
+        if manifest.shards.is_empty() {
+            return Err(FleetError::Invalid("manifest has zero shards".into()));
+        }
+        let router = ShardRouter::new(manifest.shards.len());
+        let mut engines = Vec::with_capacity(manifest.shards.len());
+        for (s, checkpoint) in manifest.shards.into_iter().enumerate() {
+            let engine =
+                restore(checkpoint).map_err(|source| FleetError::Shard { shard: s, source })?;
+            let seen = engine.seen_answers();
+            if seen.num_items() != manifest.num_items
+                || seen.num_workers() != manifest.num_workers
+                || seen.num_labels() != manifest.num_labels
+            {
+                return Err(FleetError::Invalid(format!(
+                    "shard {s} restored at shape {}x{}x{}, manifest says {}x{}x{}",
+                    seen.num_items(),
+                    seen.num_workers(),
+                    seen.num_labels(),
+                    manifest.num_items,
+                    manifest.num_workers,
+                    manifest.num_labels
+                )));
+            }
+            for i in 0..seen.num_items() {
+                if !seen.item_answers(i).is_empty() && router.route(i) != s {
+                    return Err(FleetError::Invalid(format!(
+                        "shard {s} holds answers for item {i}, owned by shard {} — \
+                         manifest shards out of order?",
+                        router.route(i)
+                    )));
+                }
+            }
+            engines.push(engine);
+        }
+        Ok(Self {
+            router,
+            threads,
+            pool: build_pool(threads),
+            engines,
+            num_items: manifest.num_items,
+            num_workers: manifest.num_workers,
+            num_labels: manifest.num_labels,
+        })
+    }
+}
+
+fn build_pool(threads: usize) -> Option<rayon::ThreadPool> {
+    if threads > 1 {
+        Some(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool builds"),
+        )
+    } else {
+        None
+    }
+}
+
+/// A durable capture of a whole fleet: format version, the global population
+/// shape, and one [`Checkpoint`] per shard, in shard order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetManifest {
+    /// Manifest format version ([`FLEET_MANIFEST_VERSION`] at write time).
+    pub version: u32,
+    /// Global item dimension.
+    pub num_items: usize,
+    /// Global worker dimension.
+    pub num_workers: usize,
+    /// Global label dimension.
+    pub num_labels: usize,
+    /// Per-shard engine checkpoints, indexed by shard.
+    pub shards: Vec<Checkpoint>,
+}
+
+impl FleetManifest {
+    /// Serializes the manifest as one JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("manifest serialises")
+    }
+
+    /// Parses a manifest from JSON, rejecting unknown format versions before
+    /// the payload is decoded (the same version-first discipline as
+    /// [`Checkpoint::from_json`]).
+    ///
+    /// # Errors
+    /// Fails on malformed JSON or a version mismatch.
+    pub fn from_json(text: &str) -> Result<Self, FleetError> {
+        let value: serde::Value =
+            serde_json::from_str(text).map_err(|e| FleetError::Json(e.to_string()))?;
+        let version = value
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| FleetError::Json("missing `version` field".into()))?;
+        if version != u64::from(FLEET_MANIFEST_VERSION) {
+            return Err(FleetError::Version {
+                found: version.try_into().unwrap_or(u32::MAX),
+                expected: FLEET_MANIFEST_VERSION,
+            });
+        }
+        serde::Deserialize::deserialize(&value).map_err(|e| FleetError::Json(e.to_string()))
+    }
+}
+
+/// Why a fleet manifest could not be parsed or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The manifest was written by an incompatible format version.
+    Version {
+        /// Version found in the document.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The JSON could not be parsed into a manifest.
+    Json(String),
+    /// One shard's checkpoint failed to restore.
+    Shard {
+        /// Which shard failed.
+        shard: usize,
+        /// The underlying checkpoint error.
+        source: CheckpointError,
+    },
+    /// The manifest is internally inconsistent (shape mismatch, shards out
+    /// of order, zero shards).
+    Invalid(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Version { found, expected } => {
+                write!(
+                    f,
+                    "fleet manifest version {found} (this build reads {expected})"
+                )
+            }
+            FleetError::Json(msg) => write!(f, "malformed fleet manifest JSON: {msg}"),
+            FleetError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
+            FleetError::Invalid(msg) => write!(f, "inconsistent fleet manifest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Shard { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

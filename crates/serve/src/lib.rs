@@ -1,0 +1,206 @@
+//! **cpa-serve** — the sharded serving layer over the uniform engine seam.
+//!
+//! The paper's streaming inference (Algorithm 2/3) handles one answer
+//! stream; serving heavy traffic needs many. This crate scales the
+//! `cpa_core::engine::Engine` abstraction horizontally:
+//!
+//! - [`router::ShardRouter`] — deterministic item → shard routing (the
+//!   canonical `cpa_data::stream::shard_of` hash) plus shard-local views of
+//!   answer universes and arrival batches;
+//! - [`fleet::Fleet`] — K shards, each owning a `Box<dyn Engine + Send>`,
+//!   driven concurrently on the workspace thread pool behind one
+//!   `ingest` / `refit_all` / `predict_all` / `estimate_all` surface, with
+//!   per-item results merged back into global item order;
+//! - [`fleet::FleetManifest`] — fleet-wide snapshot/restore as a versioned
+//!   manifest of per-shard checkpoints, with the same **bit-identical
+//!   resume** guarantee the single-engine checkpoints give.
+//!
+//! Live traffic enters through `cpa_data::queue::QueueSource` (any
+//! `BatchSource` works — recorded JSONL replays and in-memory shuffles
+//! drive a fleet the same way).
+//!
+//! ```
+//! use cpa_core::engine::DynEngine;
+//! use cpa_core::{BatchCpa, CpaConfig};
+//! use cpa_data::profile::DatasetProfile;
+//! use cpa_data::queue::queue;
+//! use cpa_data::simulate::simulate;
+//! use cpa_serve::fleet::Fleet;
+//!
+//! let sim = simulate(&DatasetProfile::movie().scaled(0.04), 7);
+//! let d = &sim.dataset;
+//! let (i, u, c) = (d.num_items(), d.num_workers(), d.num_labels());
+//!
+//! // A 2-shard fleet of batch engines, fed over a live queue.
+//! let mut fleet = Fleet::new(2, 1, i, u, c, |_| {
+//!     Box::new(BatchCpa::new(CpaConfig::default().with_truncation(4, 5), i, u, c)) as DynEngine
+//! });
+//! let (producer, mut source) = queue(i, u, c);
+//! let workers: Vec<usize> = (0..u).filter(|&w| !d.answers.worker_answers(w).is_empty()).collect();
+//! producer.push_workers(&d.answers, &workers).unwrap();
+//! drop(producer);
+//! fleet.drive(&mut source);
+//!
+//! let consensus = fleet.predict_all();
+//! assert_eq!(consensus.len(), i);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod fleet;
+pub mod router;
+
+pub use fleet::{Fleet, FleetError, FleetManifest, FLEET_MANIFEST_VERSION};
+pub use router::ShardRouter;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_core::engine::{drive, DynEngine, Engine};
+    use cpa_core::{BatchCpa, CpaConfig};
+    use cpa_data::profile::DatasetProfile;
+    use cpa_data::simulate::simulate;
+    use cpa_data::stream::{MemorySource, WorkerStream};
+    use cpa_math::rng::seeded;
+
+    fn cfg() -> CpaConfig {
+        CpaConfig::default().with_truncation(4, 5).with_seed(31)
+    }
+
+    fn batch_fleet(k: usize, threads: usize, i: usize, u: usize, c: usize) -> Fleet {
+        Fleet::new(k, threads, i, u, c, |_| {
+            Box::new(BatchCpa::new(cfg(), i, u, c)) as DynEngine
+        })
+    }
+
+    #[test]
+    fn single_shard_fleet_equals_plain_engine() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.04), 31);
+        let d = &sim.dataset;
+        let (i, u, c) = (d.num_items(), d.num_workers(), d.num_labels());
+        let mut rng = seeded(32);
+        let batches = WorkerStream::new(d, 7, &mut rng).into_batches();
+
+        let mut fleet = batch_fleet(1, 1, i, u, c);
+        fleet.drive(&mut MemorySource::new(&d.answers, batches.clone()));
+
+        let mut engine = BatchCpa::new(cfg(), i, u, c);
+        drive(&mut engine, &mut MemorySource::new(&d.answers, batches));
+
+        assert_eq!(fleet.predict_all(), engine.predict_all());
+        assert_eq!(fleet.num_answers_seen(), d.answers.num_answers());
+        let (fe, ee) = (fleet.estimate_all(), engine.estimate());
+        assert_eq!(fe.soft, ee.soft);
+        assert_eq!(fe.expected_size, ee.expected_size);
+        assert_eq!(fe.worker_weight, ee.worker_weight);
+    }
+
+    #[test]
+    fn sharded_fleet_covers_every_answer_exactly_once() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.04), 33);
+        let d = &sim.dataset;
+        let (i, u, c) = (d.num_items(), d.num_workers(), d.num_labels());
+        let mut rng = seeded(34);
+        let batches = WorkerStream::new(d, 6, &mut rng).into_batches();
+        let mut fleet = batch_fleet(4, 2, i, u, c);
+        fleet.drive(&mut MemorySource::new(&d.answers, batches));
+        assert_eq!(fleet.num_answers_seen(), d.answers.num_answers());
+        // Each shard holds exactly the answers of the items it owns.
+        let router = fleet.router();
+        for s in 0..fleet.num_shards() {
+            let seen = fleet.shard(s).seen_answers();
+            for item in 0..i {
+                let full = d.answers.item_answers(item);
+                let here = seen.item_answers(item);
+                if router.route(item) == s {
+                    assert_eq!(here, full, "shard {s} item {item}");
+                } else {
+                    assert!(here.is_empty(), "shard {s} leaked item {item}");
+                }
+            }
+        }
+        let preds = fleet.predict_all();
+        assert_eq!(preds.len(), i);
+        assert!(preds.iter().all(|p| p.universe() == c));
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.04), 35);
+        let d = &sim.dataset;
+        let (i, u, c) = (d.num_items(), d.num_workers(), d.num_labels());
+        let mut fleet = batch_fleet(2, 1, i, u, c);
+        fleet.drive(&mut MemorySource::single_batch(&d.answers));
+        let json = fleet.snapshot().to_json();
+        let manifest = FleetManifest::from_json(&json).unwrap();
+        let restored = Fleet::restore(manifest, 1, |cp| {
+            BatchCpa::restore(cp).map(|e| Box::new(e) as DynEngine)
+        })
+        .unwrap();
+        assert_eq!(restored.predict_all(), fleet.predict_all());
+        assert_eq!(restored.num_answers_seen(), fleet.num_answers_seen());
+    }
+
+    #[test]
+    fn manifest_version_mismatch_is_rejected_before_payload() {
+        let text = format!(
+            "{{\"version\": {}, \"num_items\": 1, \"num_workers\": 1, \"num_labels\": 1, \
+             \"shards\": \"future\"}}",
+            FLEET_MANIFEST_VERSION + 1
+        );
+        let err = FleetManifest::from_json(&text).unwrap_err();
+        assert!(
+            matches!(err, FleetError::Version { found, .. } if found == FLEET_MANIFEST_VERSION + 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn reordered_manifest_shards_are_rejected() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.04), 37);
+        let d = &sim.dataset;
+        let (i, u, c) = (d.num_items(), d.num_workers(), d.num_labels());
+        let mut fleet = batch_fleet(2, 1, i, u, c);
+        fleet.drive(&mut MemorySource::single_batch(&d.answers));
+        let mut manifest = fleet.snapshot();
+        manifest.shards.swap(0, 1);
+        let err = Fleet::restore(manifest, 1, |cp| {
+            BatchCpa::restore(cp).map(|e| Box::new(e) as DynEngine)
+        })
+        .unwrap_err();
+        assert!(matches!(err, FleetError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn shard_restore_failure_names_the_shard() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.04), 39);
+        let d = &sim.dataset;
+        let (i, u, c) = (d.num_items(), d.num_workers(), d.num_labels());
+        let mut fleet = batch_fleet(2, 1, i, u, c);
+        fleet.drive(&mut MemorySource::single_batch(&d.answers));
+        let mut manifest = fleet.snapshot();
+        manifest.shards[1].engine = "no-such-engine".into();
+        let err = Fleet::restore(manifest, 1, |cp| {
+            BatchCpa::restore(cp).map(|e| Box::new(e) as DynEngine)
+        })
+        .unwrap_err();
+        assert!(matches!(err, FleetError::Shard { shard: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_manifest_is_rejected() {
+        let manifest = FleetManifest {
+            version: FLEET_MANIFEST_VERSION,
+            num_items: 1,
+            num_workers: 1,
+            num_labels: 1,
+            shards: Vec::new(),
+        };
+        let err = Fleet::restore(manifest, 1, |cp| {
+            BatchCpa::restore(cp).map(|e| Box::new(e) as DynEngine)
+        })
+        .unwrap_err();
+        assert!(matches!(err, FleetError::Invalid(_)), "{err}");
+    }
+}

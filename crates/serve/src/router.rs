@@ -1,0 +1,128 @@
+//! Item → shard routing and the shard-local views it induces.
+//!
+//! The router is pure arithmetic over the canonical
+//! [`cpa_data::stream::shard_of`] hash — no state, no configuration beyond
+//! the shard count — so every component of the serving layer (the
+//! [`crate::fleet::Fleet`], the determinism tests, external producers that
+//! want to pre-partition traffic) computes the same assignment.
+//!
+//! Sharding partitions **items**: each shard owns a subset of the item
+//! space and sees only the answers to its items, while the worker and label
+//! dimensions stay global. Engines therefore keep the full population shape
+//! (`num_items × num_workers × num_labels`), which keeps item/worker indices
+//! stable across shards — merging predictions back into global item order is
+//! a gather, not an index translation.
+
+use cpa_data::answers::{AnswerMatrix, AnswerMatrixBuilder};
+use cpa_data::stream::{shard_of, WorkerBatch};
+
+/// Deterministic item → shard assignment for a fixed shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    num_shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `num_shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`.
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards > 0, "shard count must be positive");
+        Self { num_shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard owning `item` (the canonical [`shard_of`] assignment).
+    pub fn route(&self, item: usize) -> usize {
+        shard_of(item, self.num_shards)
+    }
+
+    /// Splits a full answer universe into per-shard universes: shard `s`
+    /// receives exactly the answers to its items, at the *global* population
+    /// shape (unowned items are simply empty rows).
+    pub fn split_answers(&self, answers: &AnswerMatrix) -> Vec<AnswerMatrix> {
+        let mut builders: Vec<AnswerMatrixBuilder> = (0..self.num_shards)
+            .map(|_| {
+                AnswerMatrixBuilder::new(
+                    answers.num_items(),
+                    answers.num_workers(),
+                    answers.num_labels(),
+                )
+            })
+            .collect();
+        for a in answers.iter() {
+            builders[self.route(a.item as usize)].insert(
+                a.item as usize,
+                a.worker as usize,
+                a.labels,
+            );
+        }
+        builders
+            .into_iter()
+            .map(AnswerMatrixBuilder::build)
+            .collect()
+    }
+
+    /// Splits one arrival batch into per-shard batches — delegates to
+    /// [`WorkerBatch::shard_split`] under this router's shard count.
+    pub fn split_batch(&self, batch: &WorkerBatch, answers: &AnswerMatrix) -> Vec<WorkerBatch> {
+        batch.shard_split(answers, self.num_shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_data::labels::LabelSet;
+
+    fn ls(labels: &[usize]) -> LabelSet {
+        LabelSet::from_labels(4, labels.iter().copied())
+    }
+
+    #[test]
+    fn split_answers_partitions_by_owner() {
+        let mut m = AnswerMatrix::new(8, 3, 4);
+        for i in 0..8 {
+            m.insert(i, i % 3, ls(&[i % 4]));
+        }
+        let router = ShardRouter::new(3);
+        let parts = router.split_answers(&m);
+        assert_eq!(parts.len(), 3);
+        let mut total = 0;
+        for (s, part) in parts.iter().enumerate() {
+            // Global shape is preserved.
+            assert_eq!(part.num_items(), 8);
+            assert_eq!(part.num_workers(), 3);
+            assert_eq!(part.num_labels(), 4);
+            assert!(part.check_consistency());
+            for a in part.iter() {
+                assert_eq!(router.route(a.item as usize), s);
+                assert_eq!(m.get(a.item as usize, a.worker as usize), Some(&a.labels));
+            }
+            total += part.num_answers();
+        }
+        assert_eq!(total, m.num_answers(), "no answer lost or duplicated");
+    }
+
+    #[test]
+    fn single_shard_split_is_the_whole_universe() {
+        let mut m = AnswerMatrix::new(4, 2, 4);
+        m.insert(0, 0, ls(&[1]));
+        m.insert(3, 1, ls(&[2, 3]));
+        let parts = ShardRouter::new(1).split_answers(&m);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].num_answers(), m.num_answers());
+        assert_eq!(parts[0].get(3, 1), m.get(3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected() {
+        ShardRouter::new(0);
+    }
+}

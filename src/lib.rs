@@ -12,6 +12,7 @@
 //!   ablations);
 //! - [`data`] — answer matrices, dataset profiles, crowd simulation;
 //! - [`baselines`] — MV, Dawid–Skene EM, (community) BCC, two-coin;
+//! - [`serve`] — the sharded serving fleet over the uniform engine seam;
 //! - [`eval`] — metrics and the per-table/figure experiment runners;
 //! - [`math`] — the numerical substrate.
 //!
@@ -38,6 +39,7 @@ pub use cpa_core as core;
 pub use cpa_data as data;
 pub use cpa_eval as eval;
 pub use cpa_math as math;
+pub use cpa_serve as serve;
 
 /// Everything most applications need, in one import.
 pub mod prelude {
@@ -45,7 +47,7 @@ pub mod prelude {
     pub use cpa_baselines::ds::DawidSkene;
     pub use cpa_baselines::mv::MajorityVoting;
     pub use cpa_baselines::{Aggregator, BaselineEngine, IntoEngine};
-    pub use cpa_core::engine::{drive, Checkpoint, CheckpointError, Engine};
+    pub use cpa_core::engine::{drive, Checkpoint, CheckpointError, DynEngine, Engine, RestoreFn};
     pub use cpa_core::truth::KnownLabels;
     pub use cpa_core::{
         BatchCpa, CpaConfig, CpaModel, FittedCpa, GibbsCpa, OnlineCpa, PredictionMode,
@@ -55,8 +57,10 @@ pub mod prelude {
     pub use cpa_data::labels::LabelSet;
     pub use cpa_data::perturb::{inject_dependencies, inject_spammers, sparsify};
     pub use cpa_data::profile::DatasetProfile;
+    pub use cpa_data::queue::{queue, QueueError, QueueProducer, QueueSource};
     pub use cpa_data::simulate::{simulate, SimulatedDataset};
-    pub use cpa_data::stream::{BatchSource, MemorySource, WorkerStream};
+    pub use cpa_data::stream::{shard_of, BatchSource, MemorySource, WorkerStream};
     pub use cpa_data::workers::{WorkerMix, WorkerType};
     pub use cpa_eval::metrics::{evaluate, PrMetrics};
+    pub use cpa_serve::{Fleet, FleetError, FleetManifest, ShardRouter};
 }

@@ -1,0 +1,156 @@
+//! Model-based property tests for the dual-orientation CSR `AnswerMatrix`:
+//! random `insert` / `remove` / `extend_bulk` interleavings against a naive
+//! `BTreeMap` reference model. After every mutation the matrix must satisfy
+//! its CSR invariants (`check_consistency`, module docs of
+//! `cpa_data::answers`) and both orientations must agree with the model
+//! exactly.
+
+use cpa::data::answers::AnswerMatrix;
+use cpa::data::labels::LabelSet;
+use cpa::math::rng::seeded;
+use proptest::prelude::*;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+type Model = BTreeMap<(usize, usize), LabelSet>;
+
+fn random_labels<R: Rng + ?Sized>(num_labels: usize, rng: &mut R) -> LabelSet {
+    let n = 1 + rng.random_range(0..num_labels.min(3));
+    let mut l = LabelSet::empty(num_labels);
+    for _ in 0..n {
+        l.insert(rng.random_range(0..num_labels));
+    }
+    l
+}
+
+/// Both CSR orientations, compared entry-by-entry against the model.
+fn assert_matches_model(m: &AnswerMatrix, model: &Model, step: usize) {
+    assert!(
+        m.check_consistency(),
+        "CSR invariants broken at step {step}"
+    );
+    assert_eq!(m.num_answers(), model.len(), "answer count at step {step}");
+    // Item orientation.
+    for item in 0..m.num_items() {
+        let expect: Vec<(u32, LabelSet)> = model
+            .range((item, 0)..(item + 1, 0))
+            .map(|(&(_, w), l)| (w as u32, l.clone()))
+            .collect();
+        assert_eq!(
+            m.item_answers(item),
+            expect.as_slice(),
+            "item {item} at step {step}"
+        );
+    }
+    // Worker orientation.
+    for worker in 0..m.num_workers() {
+        let mut expect: Vec<(u32, LabelSet)> = model
+            .iter()
+            .filter(|(&(_, w), _)| w == worker)
+            .map(|(&(i, _), l)| (i as u32, l.clone()))
+            .collect();
+        expect.sort_by_key(|e| e.0);
+        assert_eq!(
+            m.worker_answers(worker),
+            expect.as_slice(),
+            "worker {worker} at step {step}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn csr_matches_naive_model_under_random_mutations(
+        items in 1usize..10,
+        workers in 1usize..8,
+        labels in 2usize..6,
+        seed in 0u64..10_000,
+        steps in 1usize..40,
+    ) {
+        let mut rng = seeded(seed);
+        let mut m = AnswerMatrix::new(items, workers, labels);
+        let mut model: Model = BTreeMap::new();
+
+        for step in 0..steps {
+            match rng.random_range(0..4u32) {
+                // Point insert (replace semantics on duplicates).
+                0 | 1 => {
+                    let (i, w) = (rng.random_range(0..items), rng.random_range(0..workers));
+                    let l = random_labels(labels, &mut rng);
+                    m.insert(i, w, l.clone());
+                    model.insert((i, w), l);
+                }
+                // Point remove (possibly of a non-existent answer).
+                2 => {
+                    let (i, w) = (rng.random_range(0..items), rng.random_range(0..workers));
+                    let existed = m.remove(i, w);
+                    prop_assert_eq!(existed, model.remove(&(i, w)).is_some());
+                }
+                // Bulk merge, possibly with internal duplicates (last wins).
+                _ => {
+                    let n = rng.random_range(0..6usize);
+                    let batch: Vec<(usize, usize, LabelSet)> = (0..n)
+                        .map(|_| {
+                            (
+                                rng.random_range(0..items),
+                                rng.random_range(0..workers),
+                                random_labels(labels, &mut rng),
+                            )
+                        })
+                        .collect();
+                    m.extend_bulk(batch.clone());
+                    for (i, w, l) in batch {
+                        model.insert((i, w), l);
+                    }
+                }
+            }
+            assert_matches_model(&m, &model, step);
+        }
+    }
+
+    #[test]
+    fn extend_bulk_equals_point_insert_sequence(
+        items in 1usize..8,
+        workers in 1usize..8,
+        labels in 2usize..5,
+        seed in 0u64..10_000,
+        batch_len in 0usize..30,
+    ) {
+        // One bulk merge must land exactly where the same triples landed as
+        // point inserts (the batch may contain duplicates; last wins).
+        let mut rng = seeded(seed ^ 0xb01d);
+        let batch: Vec<(usize, usize, LabelSet)> = (0..batch_len)
+            .map(|_| {
+                (
+                    rng.random_range(0..items),
+                    rng.random_range(0..workers),
+                    random_labels(labels, &mut rng),
+                )
+            })
+            .collect();
+        // Start both from the same random base matrix.
+        let mut bulk = AnswerMatrix::new(items, workers, labels);
+        for _ in 0..rng.random_range(0..10usize) {
+            bulk.insert(
+                rng.random_range(0..items),
+                rng.random_range(0..workers),
+                random_labels(labels, &mut rng),
+            );
+        }
+        let mut point = bulk.clone();
+        bulk.extend_bulk(batch.clone());
+        for (i, w, l) in batch {
+            point.insert(i, w, l);
+        }
+        prop_assert!(bulk.check_consistency());
+        prop_assert_eq!(bulk.num_answers(), point.num_answers());
+        for i in 0..items {
+            prop_assert_eq!(bulk.item_answers(i), point.item_answers(i));
+        }
+        for w in 0..workers {
+            prop_assert_eq!(bulk.worker_answers(w), point.worker_answers(w));
+        }
+    }
+}
