@@ -1,0 +1,162 @@
+//! Transport round-trip cost: the same op stream through a loopback
+//! `cpa-transport` client vs the in-process fleet, written to
+//! `BENCH_transport.json`.
+//!
+//! Per shard count (K ∈ {1, 4}): one warmup, then `CPA_BENCH_SAMPLES`
+//! (default 3) timed runs of the full serving protocol — one framed
+//! `Ingest` op per arrival batch, a `Refit`, a merged `Predict` — once
+//! against `Fleet::apply` directly and once over a real loopback TCP
+//! server, both through the shared harness of the `served` experiment
+//! (`cpa_eval::experiments::served`), so the bench measures exactly what
+//! the experiment compares. Loopback predictions are asserted
+//! bit-identical to the warmup each run (the wire adds latency, never
+//! noise). Reported per mode: end-to-end ingest→predict seconds,
+//! answers/sec, ingest ops/sec, mean per-op latency, and the
+//! `wire_overhead` ratio (loopback vs in-process wall clock).
+//!
+//! Knobs: `CPA_BENCH_SCALE` (default 0.1), `CPA_BENCH_SAMPLES`,
+//! `CPA_BENCH_THREADS` (fleet pool cap, default 4), `CPA_BENCH_OUT`
+//! (default `BENCH_transport.json` in the workspace root).
+
+use cpa_data::simulate::simulate;
+use cpa_eval::experiments::served::{arrival_ops, fleet_for, run_in_process, run_loopback};
+use cpa_eval::runner::Method;
+use serde::Serialize;
+use std::hint::black_box;
+
+const SEED: u64 = 43;
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+#[derive(Serialize)]
+struct ModeSeries {
+    mode: String,
+    shards: usize,
+    threads: usize,
+    total_secs_min: f64,
+    total_secs_median: f64,
+    answers_per_sec: f64,
+    ingest_ops_per_sec: f64,
+    mean_ingest_rtt_micros: f64,
+    wire_overhead_vs_in_process: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    workload: String,
+    method: String,
+    items: usize,
+    workers: usize,
+    answers: usize,
+    labels: usize,
+    batches: usize,
+    samples_per_series: usize,
+    host_available_parallelism: usize,
+    series: Vec<ModeSeries>,
+}
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    // `cargo test` invokes bench targets with --test; nothing to run then.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let scale: f64 = env_or("CPA_BENCH_SCALE", 0.1);
+    let samples: usize = env_or("CPA_BENCH_SAMPLES", 3).max(1);
+    let max_threads: usize = env_or("CPA_BENCH_THREADS", 4).max(1);
+    let out_path = std::env::var("CPA_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json").to_string()
+    });
+
+    let method = Method::CpaSvi;
+    let sim = simulate(
+        &cpa_data::profile::DatasetProfile::movie().scaled(scale),
+        SEED,
+    );
+    let d = &sim.dataset;
+    let ops = arrival_ops(d, SEED);
+    let answers = d.answers.num_answers();
+    eprintln!(
+        "transport_roundtrip: {} items × {} workers, {} answers, {} ingest ops, \
+         {} samples/series",
+        d.num_items(),
+        d.num_workers(),
+        answers,
+        ops.len(),
+        samples
+    );
+
+    let mut series = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let threads = shards.min(max_threads);
+        let mut baseline_secs = None;
+        for mode in ["in-process", "loopback"] {
+            let run = |ops: Vec<cpa_serve::FleetOp>| {
+                let fleet = fleet_for(method, d, shards, threads, SEED);
+                match mode {
+                    "in-process" => run_in_process(fleet, ops),
+                    _ => run_loopback(fleet, ops),
+                }
+            };
+            // Warmup (also the fidelity reference), then timed samples.
+            let warm = run(ops.clone());
+            let mut totals = Vec::new();
+            let mut rtts = Vec::new();
+            for _ in 0..samples {
+                let sample = run(ops.clone());
+                assert_eq!(
+                    sample.predictions, warm.predictions,
+                    "{mode} K={shards}: run not deterministic"
+                );
+                totals.push(sample.total_secs);
+                rtts.push(sample.mean_ingest_rtt_secs);
+            }
+            black_box(&warm.predictions);
+            totals.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            let total_secs_min = totals[0];
+            let total_secs_median = totals[totals.len() / 2];
+            let baseline = *baseline_secs.get_or_insert(total_secs_min);
+            let mean_rtt = rtts.iter().sum::<f64>() / rtts.len() as f64;
+            eprintln!(
+                "  K={shards} {mode}: {total_secs_min:.3}s min, {:.0} answers/s, \
+                 {:.1}µs/ingest-op",
+                answers as f64 / total_secs_min,
+                mean_rtt * 1e6
+            );
+            series.push(ModeSeries {
+                mode: mode.to_string(),
+                shards,
+                threads,
+                total_secs_min,
+                total_secs_median,
+                answers_per_sec: answers as f64 / total_secs_min,
+                ingest_ops_per_sec: 1.0 / mean_rtt.max(1e-12),
+                mean_ingest_rtt_micros: mean_rtt * 1e6,
+                wire_overhead_vs_in_process: total_secs_min / baseline.max(1e-12),
+            });
+        }
+    }
+
+    let report = BenchReport {
+        workload: format!("movie ×{scale}, framed arrival stream, ingest→refit→predict"),
+        method: method.name().to_string(),
+        items: d.num_items(),
+        workers: d.num_workers(),
+        answers,
+        labels: d.num_labels(),
+        batches: ops.len(),
+        samples_per_series: samples,
+        host_available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        series,
+    };
+    let json = serde_json::to_string(&report).expect("report serialises");
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

@@ -74,7 +74,11 @@ impl KnownLabels {
 }
 
 /// The soft truth estimate produced each inference iteration.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a serving layer can ship it over a wire (`cpa-serve`'s
+/// `Estimated` reply); all fields are plain numeric vectors, so a JSON
+/// round trip is value-exact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TruthEstimate {
     /// Sparse per-item soft labels `(label, E[y_ic])` with `E[y_ic] ∈ (0,1]`,
     /// restricted to labels some worker voted for (or the known truth).

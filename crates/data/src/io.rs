@@ -25,6 +25,13 @@ pub enum IoError {
         /// What was wrong.
         message: String,
     },
+    /// A versioned file was written by an incompatible format version.
+    Version {
+        /// Version found in the file's header.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -34,6 +41,9 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::BadRecord { line, message } => {
                 write!(f, "line {line}: {message}")
+            }
+            IoError::Version { found, expected } => {
+                write!(f, "op-log version {found} (this build reads {expected})")
             }
             IoError::Io(e) => write!(f, "io error: {e}"),
         }
@@ -339,6 +349,83 @@ impl BatchSource for JsonlReplay {
     }
 }
 
+/// Format version written into the header line of every op-log. Bump on any
+/// incompatible change to the line layout.
+pub const OP_LOG_VERSION: u32 = 1;
+
+/// The op-log header key carrying [`OP_LOG_VERSION`].
+const OP_LOG_VERSION_KEY: &str = "op_log_version";
+
+/// Serializes a recorded op stream as a **versioned JSONL op-log**: a header
+/// line `{"op_log_version": 1}` followed by one JSON op per line, in applied
+/// order. The op type is anything serde-serializable — `cpa-serve` records
+/// its `FleetOp` protocol through this, but the format is op-agnostic.
+///
+/// Parse it back with [`oplog_from_jsonl`]; the two are inverse, so a
+/// recorded log replays the byte-identical op sequence.
+pub fn oplog_to_jsonl<T: serde::Serialize>(ops: &[T]) -> String {
+    let mut out = format!("{{\"{OP_LOG_VERSION_KEY}\": {OP_LOG_VERSION}}}\n");
+    for op in ops {
+        let _ = writeln!(
+            out,
+            "{}",
+            serde_json::to_string(op).expect("op record serialises")
+        );
+    }
+    out
+}
+
+/// Parses a JSONL op-log written by [`oplog_to_jsonl`] back into its op
+/// sequence, with the same truncated-input hardening as [`JsonlReplay`]:
+/// a file cut mid-line fails as a [`IoError::BadRecord`] naming the cut
+/// line, never a panic or a silently dropped tail. Blank lines are skipped;
+/// a header-only log parses as zero ops.
+///
+/// The header's version is checked **before** any op line is decoded, so a
+/// log written by an incompatible future version reports
+/// [`IoError::Version`] — not an op parse error indistinguishable from
+/// corruption.
+///
+/// # Errors
+/// Fails on a missing or malformed header, a version mismatch, or any op
+/// line that does not decode as a `T` (with its 1-based line number).
+pub fn oplog_from_jsonl<T: serde::Deserialize>(text: &str) -> Result<Vec<T>, IoError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(lineno, line)| (lineno + 1, line.trim()))
+        .filter(|(_, line)| !line.is_empty());
+    let (header_line, header) = lines.next().ok_or_else(|| IoError::BadRecord {
+        line: 1,
+        message: "missing op-log header".into(),
+    })?;
+    let header: serde::Value = serde_json::from_str(header).map_err(|e| IoError::BadRecord {
+        line: header_line,
+        message: format!("bad op-log header: {e}"),
+    })?;
+    let version = header
+        .get(OP_LOG_VERSION_KEY)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| IoError::BadRecord {
+            line: header_line,
+            message: "missing op-log header".into(),
+        })?;
+    if version != u64::from(OP_LOG_VERSION) {
+        return Err(IoError::Version {
+            found: version.try_into().unwrap_or(u32::MAX),
+            expected: OP_LOG_VERSION,
+        });
+    }
+    let mut ops = Vec::new();
+    for (lineno, line) in lines {
+        ops.push(serde_json::from_str(line).map_err(|e| IoError::BadRecord {
+            line: lineno,
+            message: format!("bad op record: {e}"),
+        })?);
+    }
+    Ok(ops)
+}
+
 /// Writes a whole dataset (answers + truth) into a directory as two CSV
 /// files, `answers.csv` and `truth.csv`.
 pub fn save_dataset_csv(dataset: &Dataset, dir: &std::path::Path) -> Result<(), IoError> {
@@ -555,6 +642,86 @@ mod tests {
         let text = "{\"workers\":[0],\"answers\":[[0,1,[1]]]}\n";
         let err = JsonlReplay::from_jsonl(text, 0, 0, 0).unwrap_err();
         assert!(err.to_string().contains("not in this batch"), "{err}");
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum TestOp {
+        Ping,
+        Put { key: usize, labels: Vec<usize> },
+    }
+
+    fn test_ops() -> Vec<TestOp> {
+        vec![
+            TestOp::Put {
+                key: 3,
+                labels: vec![0, 2],
+            },
+            TestOp::Ping,
+            TestOp::Put {
+                key: 4,
+                labels: vec![1],
+            },
+        ]
+    }
+
+    #[test]
+    fn oplog_roundtrips_with_a_version_header() {
+        let ops = test_ops();
+        let jsonl = oplog_to_jsonl(&ops);
+        let header = jsonl.lines().next().unwrap();
+        assert!(header.contains("op_log_version"), "{header}");
+        let back: Vec<TestOp> = oplog_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn oplog_header_only_is_zero_ops_and_missing_header_is_an_error() {
+        let empty: Vec<TestOp> = oplog_from_jsonl(&oplog_to_jsonl::<TestOp>(&[])).unwrap();
+        assert!(empty.is_empty());
+        // No header at all (empty file, or a log whose first line is an op).
+        let err = oplog_from_jsonl::<TestOp>("").unwrap_err();
+        assert!(err.to_string().contains("missing op-log header"), "{err}");
+        let err = oplog_from_jsonl::<TestOp>("\"Ping\"\n").unwrap_err();
+        assert!(err.to_string().contains("missing op-log header"), "{err}");
+    }
+
+    #[test]
+    fn oplog_version_is_checked_before_any_op_is_decoded() {
+        // Future version + ops this build cannot parse: must still report
+        // Version, not a record error indistinguishable from corruption.
+        let text = format!(
+            "{{\"op_log_version\": {}}}\n[\"future-op-shape\"]\n",
+            OP_LOG_VERSION + 1
+        );
+        let err = oplog_from_jsonl::<TestOp>(&text).unwrap_err();
+        assert!(
+            matches!(err, IoError::Version { found, .. } if found == OP_LOG_VERSION + 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oplog_truncated_mid_line_names_the_cut_line() {
+        // Simulate a crash mid-append: cut the log inside its final record.
+        let jsonl = oplog_to_jsonl(&test_ops());
+        let cut = jsonl.len() - jsonl.lines().last().unwrap().len() / 2 - 1;
+        let err = oplog_from_jsonl::<TestOp>(&jsonl[..cut]).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 4") && msg.contains("bad op record"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn oplog_wrong_shape_record_is_a_bad_record() {
+        let text = format!("{{\"op_log_version\": {OP_LOG_VERSION}}}\n{{\"Put\":{{\"key\":1}}}}\n");
+        let err = oplog_from_jsonl::<TestOp>(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 2") && msg.contains("bad op record"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -49,15 +49,31 @@ struct QueueRecord {
 }
 
 /// Why a push was rejected. The queue is left untouched on any error.
+///
+/// Every rejection that can be pinned on one worker carries that worker's
+/// id — both in the variant payload and through [`QueueError::worker`] — so
+/// a producer on another thread (or the far side of a socket) can report
+/// *which* arrival was bad, not just that one was.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueueError {
     /// The worker already arrived in an earlier pushed batch; batches must
     /// partition the workers (see the module docs).
-    WorkerAlreadyArrived(usize),
+    WorkerAlreadyArrived {
+        /// The recurring worker.
+        worker: usize,
+    },
     /// An answer names a worker that is not in its batch's worker list.
-    ForeignWorker(usize),
+    ForeignWorker {
+        /// The worker outside the batch.
+        worker: usize,
+    },
     /// An item, worker, or label index lies outside the declared universe.
-    OutOfRange(String),
+    OutOfRange {
+        /// The worker the offending index belongs to, when one is known.
+        worker: Option<usize>,
+        /// What was out of range.
+        message: String,
+    },
     /// An answer carried an empty label set ("did not answer" is encoded by
     /// absence, never by an empty set).
     EmptyLabels {
@@ -66,26 +82,57 @@ pub enum QueueError {
         /// Worker of the offending answer.
         worker: usize,
     },
+    /// The same `(item, worker)` pair was answered twice in one batch — an
+    /// answer is one label *set*, never two rows.
+    DuplicateAnswer {
+        /// Item of the duplicated answer.
+        item: usize,
+        /// Worker of the duplicated answer.
+        worker: usize,
+    },
     /// The consumer side was dropped; nothing is listening any more.
     Disconnected,
+}
+
+impl QueueError {
+    /// The worker this rejection is pinned on, when one is known
+    /// ([`QueueError::Disconnected`] has none; an out-of-range *worker*
+    /// index is its own offender).
+    pub fn worker(&self) -> Option<usize> {
+        match *self {
+            QueueError::WorkerAlreadyArrived { worker }
+            | QueueError::ForeignWorker { worker }
+            | QueueError::EmptyLabels { worker, .. }
+            | QueueError::DuplicateAnswer { worker, .. } => Some(worker),
+            QueueError::OutOfRange { worker, .. } => worker,
+            QueueError::Disconnected => None,
+        }
+    }
 }
 
 impl std::fmt::Display for QueueError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QueueError::WorkerAlreadyArrived(w) => write!(
+            QueueError::WorkerAlreadyArrived { worker } => write!(
                 f,
-                "worker {w} already arrived in an earlier batch (batches must partition workers)"
+                "worker {worker} already arrived in an earlier batch \
+                 (batches must partition workers)"
             ),
-            QueueError::ForeignWorker(w) => {
+            QueueError::ForeignWorker { worker } => {
                 write!(
                     f,
-                    "answer by worker {w} who is not in the batch's worker list"
+                    "answer by worker {worker} who is not in the batch's worker list"
                 )
             }
-            QueueError::OutOfRange(msg) => write!(f, "index out of range: {msg}"),
+            QueueError::OutOfRange { worker, message } => match worker {
+                Some(w) => write!(f, "index out of range for worker {w}: {message}"),
+                None => write!(f, "index out of range: {message}"),
+            },
             QueueError::EmptyLabels { item, worker } => {
                 write!(f, "empty label set for item {item}, worker {worker}")
+            }
+            QueueError::DuplicateAnswer { item, worker } => {
+                write!(f, "duplicate answer for item {item} by worker {worker}")
             }
             QueueError::Disconnected => write!(f, "queue consumer was dropped"),
         }
@@ -93,6 +140,78 @@ impl std::fmt::Display for QueueError {
 }
 
 impl std::error::Error for QueueError {}
+
+/// Validates one arrival batch against the queue contract (module docs):
+/// workers in range and not already arrived (in `arrived` or earlier in
+/// `workers` itself), every answer by a batch worker, indices inside the
+/// `num_items × num_workers × num_labels` universe, label sets non-empty,
+/// no `(item, worker)` pair answered twice.
+///
+/// This is *the* arrival contract, shared by every ingest path:
+/// [`QueueProducer::push`] enforces it per push, and the `cpa-serve` fleet
+/// enforces it on every `Ingest` op (so a batch arriving over a socket is
+/// checked by exactly the code that checks an in-process push).
+///
+/// # Errors
+/// The first violation found, as a [`QueueError`] carrying the offending
+/// worker where one is known.
+pub fn validate_batch(
+    num_items: usize,
+    num_workers: usize,
+    num_labels: usize,
+    arrived: &BTreeSet<usize>,
+    workers: &[usize],
+    answers: &[(usize, usize, LabelSet)],
+) -> Result<(), QueueError> {
+    let mut batch_workers: BTreeSet<usize> = BTreeSet::new();
+    for &w in workers {
+        if w >= num_workers {
+            return Err(QueueError::OutOfRange {
+                worker: Some(w),
+                message: format!("worker {w} (universe has {num_workers})"),
+            });
+        }
+        // A duplicate inside one batch is the same contract violation as a
+        // worker recurring across batches.
+        if !batch_workers.insert(w) || arrived.contains(&w) {
+            return Err(QueueError::WorkerAlreadyArrived { worker: w });
+        }
+    }
+    let mut seen_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (item, worker, labels) in answers {
+        if *item >= num_items {
+            return Err(QueueError::OutOfRange {
+                worker: Some(*worker),
+                message: format!("item {item} (universe has {num_items})"),
+            });
+        }
+        if !batch_workers.contains(worker) {
+            return Err(QueueError::ForeignWorker { worker: *worker });
+        }
+        if labels.universe() != num_labels {
+            return Err(QueueError::OutOfRange {
+                worker: Some(*worker),
+                message: format!(
+                    "label universe {} (declared {num_labels})",
+                    labels.universe()
+                ),
+            });
+        }
+        if labels.is_empty() {
+            return Err(QueueError::EmptyLabels {
+                item: *item,
+                worker: *worker,
+            });
+        }
+        if !seen_pairs.insert((*item, *worker)) {
+            return Err(QueueError::DuplicateAnswer {
+                item: *item,
+                worker: *worker,
+            });
+        }
+    }
+    Ok(())
+}
 
 /// The producing end of a live batch queue. Cloneable: multiple producer
 /// threads may feed one source; the worker-partition check is shared across
@@ -119,52 +238,25 @@ impl QueueProducer {
         workers: Vec<usize>,
         answers: Vec<(usize, usize, LabelSet)>,
     ) -> Result<(), QueueError> {
-        let mut batch_workers: BTreeSet<usize> = BTreeSet::new();
-        for &w in &workers {
-            if w >= self.num_workers {
-                return Err(QueueError::OutOfRange(format!(
-                    "worker {w} (universe has {})",
-                    self.num_workers
-                )));
-            }
-            // A duplicate inside one batch is the same contract violation as
-            // a worker recurring across batches (JsonlReplay rejects both).
-            if !batch_workers.insert(w) {
-                return Err(QueueError::WorkerAlreadyArrived(w));
-            }
-        }
-        for (item, worker, labels) in &answers {
-            if *item >= self.num_items {
-                return Err(QueueError::OutOfRange(format!(
-                    "item {item} (universe has {})",
-                    self.num_items
-                )));
-            }
-            if !batch_workers.contains(worker) {
-                return Err(QueueError::ForeignWorker(*worker));
-            }
-            if labels.universe() != self.num_labels {
-                return Err(QueueError::OutOfRange(format!(
-                    "label universe {} (declared {})",
-                    labels.universe(),
-                    self.num_labels
-                )));
-            }
-            if labels.is_empty() {
-                return Err(QueueError::EmptyLabels {
-                    item: *item,
-                    worker: *worker,
-                });
-            }
-        }
-        // Claim the workers and enqueue under one lock, so concurrent
+        // The stateless O(answers) checks run outside the lock (concurrent
+        // producers validate in parallel); an empty arrived set makes
+        // `validate_batch` check everything except cross-batch recurrence.
+        validate_batch(
+            self.num_items,
+            self.num_workers,
+            self.num_labels,
+            &BTreeSet::new(),
+            &workers,
+            &answers,
+        )?;
+        // Claim the workers and enqueue under one short lock, so concurrent
         // producers cannot both claim the same worker and a failed send
         // (consumer gone) claims nothing — a rejected push really does
         // leave the queue untouched. The unbounded mpsc send never blocks,
         // so holding the mutex across it is fine.
         let mut seen = self.seen_workers.lock().expect("queue registry poisoned");
         if let Some(&w) = workers.iter().find(|w| seen.contains(w)) {
-            return Err(QueueError::WorkerAlreadyArrived(w));
+            return Err(QueueError::WorkerAlreadyArrived { worker: w });
         }
         self.tx
             .send(QueueRecord {
@@ -306,7 +398,7 @@ mod tests {
         let (tx, _rx) = queue(2, 2, 3);
         tx.push(vec![0], vec![(0, 0, ls(&[0]))]).unwrap();
         let err = tx.push(vec![0], vec![(1, 0, ls(&[1]))]).unwrap_err();
-        assert_eq!(err, QueueError::WorkerAlreadyArrived(0));
+        assert_eq!(err, QueueError::WorkerAlreadyArrived { worker: 0 });
     }
 
     #[test]
@@ -315,7 +407,7 @@ mod tests {
         // update would run the duplicated worker's MAP step twice.
         let (tx, _rx) = queue(2, 2, 3);
         let err = tx.push(vec![1, 1], vec![(0, 1, ls(&[0]))]).unwrap_err();
-        assert_eq!(err, QueueError::WorkerAlreadyArrived(1));
+        assert_eq!(err, QueueError::WorkerAlreadyArrived { worker: 1 });
         // The rejected batch claimed nothing.
         tx.push(vec![1], vec![(0, 1, ls(&[0]))]).unwrap();
     }
@@ -342,7 +434,7 @@ mod tests {
         let (tx, _rx) = queue(2, 2, 3);
         assert_eq!(
             tx.push(vec![0], vec![(0, 1, ls(&[0]))]).unwrap_err(),
-            QueueError::ForeignWorker(1)
+            QueueError::ForeignWorker { worker: 1 }
         );
         assert_eq!(
             tx.push(vec![0], vec![(0, 0, LabelSet::empty(3))])
@@ -351,17 +443,17 @@ mod tests {
         );
         assert!(matches!(
             tx.push(vec![5], vec![]).unwrap_err(),
-            QueueError::OutOfRange(_)
+            QueueError::OutOfRange { .. }
         ));
         assert!(matches!(
             tx.push(vec![0], vec![(9, 0, ls(&[0]))]).unwrap_err(),
-            QueueError::OutOfRange(_)
+            QueueError::OutOfRange { .. }
         ));
         // A mismatched label universe is out of range too.
         assert!(matches!(
             tx.push(vec![0], vec![(0, 0, LabelSet::from_labels(5, [0]))])
                 .unwrap_err(),
-            QueueError::OutOfRange(_)
+            QueueError::OutOfRange { .. }
         ));
     }
 
@@ -396,7 +488,7 @@ mod tests {
         tx.push(vec![0], vec![(0, 0, ls(&[0]))]).unwrap();
         assert_eq!(
             tx2.push(vec![0], vec![(1, 0, ls(&[1]))]).unwrap_err(),
-            QueueError::WorkerAlreadyArrived(0)
+            QueueError::WorkerAlreadyArrived { worker: 0 }
         );
         tx2.push(vec![1], vec![(1, 1, ls(&[1]))]).unwrap();
         drop(tx);

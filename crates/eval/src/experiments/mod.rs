@@ -16,6 +16,7 @@
 //! | [`fig10`] | Fig. 10 — worker-type characterisation (App. A) |
 //! | [`prequential`] | prequential (test-then-train) online accuracy series |
 //! | [`sharded`] | sharded serving: K-shard fleet vs the unsharded engine |
+//! | [`served`] | network serving: loopback TCP client vs the in-process fleet |
 
 pub mod fig1;
 pub mod fig10;
@@ -27,6 +28,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod prequential;
+pub mod served;
 pub mod sharded;
 pub mod table1;
 pub mod table3;
@@ -36,7 +38,7 @@ use crate::report::Report;
 use crate::runner::EvalConfig;
 
 /// All experiment ids in paper order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "table1",
     "fig1",
     "table3",
@@ -48,6 +50,7 @@ pub const ALL: [&str; 15] = [
     "table5",
     "prequential",
     "sharded",
+    "served",
     "fig7",
     "fig8",
     "fig9",
@@ -67,6 +70,7 @@ pub fn run(id: &str, cfg: &EvalConfig) -> Vec<Report> {
         "fig6" | "table5" => fig6::run(cfg),
         "prequential" => vec![prequential::run(cfg)],
         "sharded" => vec![sharded::run(cfg)],
+        "served" => vec![served::run(cfg)],
         "fig7" => vec![fig7::run(cfg)],
         "fig8" => vec![fig8::run(cfg)],
         "fig9" => vec![fig9::run(cfg)],

@@ -1,0 +1,223 @@
+//! Network serving: the same workload through a loopback `cpa-transport`
+//! client vs the in-process fleet, asserting identical predictions.
+//!
+//! This is the serving-layer counterpart of the [`crate::experiments::sharded`]
+//! experiment one seam further out: instead of feeding the fleet through an
+//! in-process queue, the canonical arrival stream is framed over a real TCP
+//! socket — one `Ingest` op per batch, a `Refit`, a `Predict` — and the
+//! merged predictions come back the same way. The experiment measures what
+//! the wire costs:
+//!
+//! - **throughput** — answers/sec end-to-end (ingest round trips + refit +
+//!   predict), loopback vs in-process;
+//! - **latency** — mean per-op round-trip time of the ingest ops;
+//! - **fidelity** — the loopback predictions are asserted **bit-identical**
+//!   to the in-process fleet on the same op stream (the transport adds
+//!   latency, never noise).
+
+use crate::report::{f3, Report};
+use crate::runner::{arrival_source, restore_engine, EvalConfig, Method};
+use cpa_data::dataset::Dataset;
+use cpa_data::labels::LabelSet;
+use cpa_data::profile::DatasetProfile;
+use cpa_data::simulate::simulate;
+use cpa_data::stream::BatchSource;
+use cpa_serve::{Fleet, FleetOp};
+use cpa_transport::{FleetClient, FleetServer, ServerConfig};
+
+/// Default roster: the streaming engine (the serving story) plus the batch
+/// engine for a refit-style contrast.
+pub const DEFAULT_METHODS: [Method; 2] = [Method::CpaSvi, Method::Cpa];
+
+/// One serving run's timings and predictions.
+#[derive(Debug, Clone)]
+pub struct ServedRun {
+    /// Merged predictions in global item order.
+    pub predictions: Vec<LabelSet>,
+    /// Ingest + refit + predict wall-clock seconds.
+    pub total_secs: f64,
+    /// Mean per-ingest-op seconds: the `Fleet::apply` cost in-process, the
+    /// full framed round trip over loopback.
+    pub mean_ingest_rtt_secs: f64,
+    /// Ops issued (ingest batches + refit + predict).
+    pub ops: usize,
+}
+
+/// The canonical arrival stream as self-contained ingest ops — the same
+/// batch partition for every run, so modes differ only in transport.
+pub fn arrival_ops(dataset: &Dataset, seed: u64) -> Vec<FleetOp> {
+    let mut source = arrival_source(dataset, seed);
+    let mut ops = Vec::new();
+    while let Some(batch) = source.next_batch() {
+        ops.push(FleetOp::ingest_from(source.answers(), &batch));
+    }
+    ops
+}
+
+/// A K-shard fleet of `method` engines sized for `dataset`, with the
+/// restore hook installed.
+pub fn fleet_for(
+    method: Method,
+    dataset: &Dataset,
+    shards: usize,
+    threads: usize,
+    seed: u64,
+) -> Fleet {
+    let (i, u, c) = (
+        dataset.num_items(),
+        dataset.num_workers(),
+        dataset.num_labels(),
+    );
+    Fleet::new(shards, threads, i, u, c, |_| method.engine(i, u, c, seed))
+        .with_restore_hook(restore_engine)
+}
+
+/// Drives the op stream through the in-process fleet.
+pub fn run_in_process(mut fleet: Fleet, ops: Vec<FleetOp>) -> ServedRun {
+    let count = ops.len() + 2;
+    let ingests = ops.len();
+    let start = std::time::Instant::now();
+    let mut op_total = 0.0;
+    for op in ops {
+        let t = std::time::Instant::now();
+        let reply = fleet.apply(op);
+        op_total += t.elapsed().as_secs_f64();
+        assert_eq!(reply.name(), "Ingested", "arrival op rejected in-process");
+    }
+    fleet.refit_all();
+    let predictions = fleet.predict_all();
+    ServedRun {
+        predictions,
+        total_secs: start.elapsed().as_secs_f64(),
+        mean_ingest_rtt_secs: op_total / ingests.max(1) as f64,
+        ops: count,
+    }
+}
+
+/// Drives the same op stream through a loopback TCP server (bound on an
+/// ephemeral port, shut down before returning).
+pub fn run_loopback(fleet: Fleet, ops: Vec<FleetOp>) -> ServedRun {
+    let server =
+        FleetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("loopback bind succeeds");
+    let addr = server.local_addr().expect("bound address");
+    let running = std::thread::spawn(move || server.serve(fleet).expect("serve completes"));
+
+    let mut client = FleetClient::connect(addr).expect("loopback connect succeeds");
+    let count = ops.len() + 2;
+    let mut rtt_total = 0.0;
+    let mut ingests = 0usize;
+    let start = std::time::Instant::now();
+    for op in ops {
+        let FleetOp::Ingest { workers, answers } = op else {
+            unreachable!("arrival_ops produces only ingest ops");
+        };
+        let t = std::time::Instant::now();
+        client
+            .ingest(workers, answers)
+            .expect("arrival batches satisfy the queue contract");
+        rtt_total += t.elapsed().as_secs_f64();
+        ingests += 1;
+    }
+    client.refit_all().expect("refit round trip");
+    let predictions = client.predict_all().expect("predict round trip");
+    let total_secs = start.elapsed().as_secs_f64();
+    client.shutdown().expect("shutdown acknowledged");
+    drop(client);
+    running.join().expect("server thread joins");
+    ServedRun {
+        predictions,
+        total_secs,
+        mean_ingest_rtt_secs: rtt_total / ingests.max(1) as f64,
+        ops: count,
+    }
+}
+
+/// Runs the loopback-vs-in-process comparison on the movie dataset for the
+/// configured roster at K = `cfg.shards`.
+///
+/// # Panics
+/// Panics if the loopback predictions differ from the in-process fleet's —
+/// that would be a transport correctness bug, not a measurement.
+pub fn run(cfg: &EvalConfig) -> Report {
+    let methods = cfg.methods_or(&DEFAULT_METHODS);
+    let profile = DatasetProfile::movie().scaled(cfg.scale);
+    let dataset = simulate(&profile, cfg.seed).dataset;
+    let answers = dataset.answers.num_answers();
+    let threads = if cfg.threads == 0 {
+        cfg.shards.max(1)
+    } else {
+        cfg.threads
+    };
+
+    let mut r = Report::new(
+        "served",
+        format!(
+            "Network serving on the movie dataset: loopback TCP client vs the \
+             in-process K={} fleet",
+            cfg.shards
+        ),
+        &[
+            "method",
+            "shards",
+            "mode",
+            "ops",
+            "answers/s",
+            "rtt_ms",
+            "identical",
+        ],
+    );
+    for &method in &methods {
+        let ops = arrival_ops(&dataset, cfg.seed);
+        let in_process = run_in_process(
+            fleet_for(method, &dataset, cfg.shards, threads, cfg.seed),
+            ops.clone(),
+        );
+        let served = run_loopback(
+            fleet_for(method, &dataset, cfg.shards, threads, cfg.seed),
+            ops,
+        );
+        assert_eq!(
+            served.predictions,
+            in_process.predictions,
+            "{}: loopback predictions diverged from the in-process fleet",
+            method.name()
+        );
+        for (mode, run) in [("in-process", &in_process), ("loopback", &served)] {
+            r.push_row(vec![
+                method.name().to_string(),
+                cfg.shards.to_string(),
+                mode.to_string(),
+                run.ops.to_string(),
+                format!("{:.0}", answers as f64 / run.total_secs.max(1e-9)),
+                format!("{:.3}", run.mean_ingest_rtt_secs * 1e3),
+                f3(1.0),
+            ]);
+        }
+    }
+    r.note(
+        "identical = 1.0 is asserted, not observed: the loopback run must be \
+         bit-identical to the in-process fleet on the same op stream",
+    );
+    r.note("one Ingest op per arrival batch, then Refit + Predict, over framed loopback TCP");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_run_matches_in_process_and_reports_two_rows_per_method() {
+        let cfg = EvalConfig {
+            scale: 0.04,
+            methods: Some(vec![Method::CpaSvi]),
+            shards: 2,
+            ..EvalConfig::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns.len(), 7);
+        assert!(r.rows.iter().any(|row| row[2] == "loopback"));
+        assert!(r.notes.iter().any(|n| n.contains("bit-identical")));
+    }
+}

@@ -28,20 +28,35 @@
 //! cost of cross-shard pooling (measured by the `sharded` experiment in
 //! `cpa-eval`).
 
+use crate::protocol::{FleetOp, FleetReply};
 use crate::router::ShardRouter;
 use cpa_core::engine::{Checkpoint, CheckpointError, DynEngine, RestoreFn};
 use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::{AnswerMatrix, AnswerMatrixBuilder};
 use cpa_data::labels::LabelSet;
+use cpa_data::queue::{validate_batch, QueueError};
 use cpa_data::stream::{BatchSource, WorkerBatch};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Format version written into every [`FleetManifest`]. Bump on any
 /// incompatible change to the manifest layout.
-pub const FLEET_MANIFEST_VERSION: u32 = 1;
+///
+/// History: v1 — per-shard checkpoints + population shape; v2 — the
+/// manifest additionally captures the fleet's **arrival state**
+/// (`arrived_workers`, `batches_ingested`), so a restored fleet keeps
+/// enforcing the worker-partition contract and numbers its next arrival
+/// batch exactly as the uninterrupted run would.
+pub const FLEET_MANIFEST_VERSION: u32 = 2;
 
 /// A sharded serving fleet: K engines, one per item shard, driven together.
+///
+/// Every mutation flows through one interpreter, [`Fleet::apply`], taking a
+/// [`FleetOp`] and returning a [`FleetReply`]; the named methods (`ingest`,
+/// `refit_all`, …) are thin wrappers that build the corresponding op. See
+/// the [`crate::protocol`] docs for what that buys (transports, op-logs,
+/// replay).
 pub struct Fleet {
     router: ShardRouter,
     threads: usize,
@@ -50,6 +65,15 @@ pub struct Fleet {
     num_items: usize,
     num_workers: usize,
     num_labels: usize,
+    /// Workers that already arrived, across every ingest path — the fleet's
+    /// copy of the queue arrival contract (`cpa_data::queue`).
+    arrived: BTreeSet<usize>,
+    /// Arrival batches absorbed so far; the next batch is numbered
+    /// `batches_ingested + 1`, matching the queue's 1-based numbering.
+    batches_ingested: usize,
+    /// Engine-construction hook for [`FleetOp::Restore`]; `None` until
+    /// installed by [`Fleet::with_restore_hook`] or [`Fleet::restore`].
+    restore_hook: Option<RestoreFn>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -64,6 +88,8 @@ impl std::fmt::Debug for Fleet {
             .field("num_items", &self.num_items)
             .field("num_workers", &self.num_workers)
             .field("num_labels", &self.num_labels)
+            .field("arrived_workers", &self.arrived.len())
+            .field("batches_ingested", &self.batches_ingested)
             .finish()
     }
 }
@@ -124,7 +150,19 @@ impl Fleet {
             num_items,
             num_workers,
             num_labels,
+            arrived: BTreeSet::new(),
+            batches_ingested: 0,
+            restore_hook: None,
         }
+    }
+
+    /// Installs the engine-construction hook [`FleetOp::Restore`] restores
+    /// shards through (`cpa-eval`'s `restore_engine` covers every built-in
+    /// method). Without one, `Restore` ops are rejected with an error reply.
+    #[must_use]
+    pub fn with_restore_hook(mut self, restore: RestoreFn) -> Self {
+        self.restore_hook = Some(restore);
+        self
     }
 
     /// Number of shards.
@@ -151,36 +189,134 @@ impl Fleet {
             .sum()
     }
 
-    /// Ingests one arrival batch: shard-splits it (the same split
+    /// Applies one [`FleetOp`] — **the** interpreter every fleet mutation
+    /// flows through. The named methods (`ingest`, `refit_all`, `drive`,
+    /// `snapshot`) lower into ops and call this, so a transport, an op-log
+    /// replay, and in-process code all share one set of semantics:
+    ///
+    /// - `Ingest` validates the batch against the queue arrival contract
+    ///   ([`cpa_data::queue::validate_batch`] — worker partition, in-range
+    ///   indices, non-empty labels) **before anything is mutated**, then
+    ///   shard-splits and ingests it, numbering it `batches_ingested + 1`;
+    /// - `Refit` refits every shard concurrently;
+    /// - `Predict` / `Estimate` / `Snapshot` are reads, answered from the
+    ///   current state;
+    /// - `Restore` replaces the whole fleet from a manifest through the
+    ///   installed restore hook (rejected if none is installed);
+    /// - `Shutdown` is acknowledged and leaves the fleet untouched — it is
+    ///   a signal to whatever is consuming the op stream.
+    ///
+    /// A rejected op returns [`FleetReply::Error`] and leaves the fleet
+    /// exactly as it was.
+    pub fn apply(&mut self, op: FleetOp) -> FleetReply {
+        match op {
+            FleetOp::Ingest { workers, answers } => match self.apply_ingest(workers, answers) {
+                Ok(batch) => FleetReply::Ingested { batch },
+                Err(e) => FleetReply::err(e),
+            },
+            FleetOp::Refit => {
+                let engines = std::mem::take(&mut self.engines);
+                self.engines = per_shard(self.pool.as_ref(), engines, |mut engine| {
+                    engine.refit();
+                    engine
+                });
+                FleetReply::Refitted
+            }
+            FleetOp::Predict => FleetReply::Predictions {
+                predictions: self.predict_all(),
+            },
+            FleetOp::Estimate => FleetReply::Estimated {
+                estimate: self.estimate_all(),
+            },
+            FleetOp::Snapshot => FleetReply::Manifest {
+                manifest: self.snapshot(),
+            },
+            FleetOp::Restore { manifest } => match self.restore_hook {
+                Some(hook) => match Fleet::restore(manifest, self.threads, hook) {
+                    Ok(restored) => {
+                        *self = restored;
+                        FleetReply::Restored
+                    }
+                    Err(e) => FleetReply::err(e),
+                },
+                None => FleetReply::err("no restore hook installed (see Fleet::with_restore_hook)"),
+            },
+            FleetOp::Shutdown => FleetReply::ShuttingDown,
+        }
+    }
+
+    /// The `Ingest` arm of [`Fleet::apply`]: validate against the arrival
+    /// contract, convert the triples into per-shard views, ingest every
+    /// shard concurrently, then (and only then) commit the arrival state.
+    fn apply_ingest(
+        &mut self,
+        workers: Vec<usize>,
+        answers: Vec<(usize, usize, Vec<usize>)>,
+    ) -> Result<usize, QueueError> {
+        // Label indices are range-checked up front so `LabelSet` construction
+        // below cannot panic on a bad op.
+        for &(item, worker, ref labels) in &answers {
+            if let Some(&c) = labels.iter().find(|&&c| c >= self.num_labels) {
+                return Err(QueueError::OutOfRange {
+                    worker: Some(worker),
+                    message: format!(
+                        "label {c} for item {item} (universe has {})",
+                        self.num_labels
+                    ),
+                });
+            }
+        }
+        let triples: Vec<(usize, usize, LabelSet)> = answers
+            .into_iter()
+            .map(|(item, worker, labels)| {
+                (item, worker, LabelSet::from_labels(self.num_labels, labels))
+            })
+            .collect();
+        validate_batch(
+            self.num_items,
+            self.num_workers,
+            self.num_labels,
+            &self.arrived,
+            &workers,
+            &triples,
+        )?;
+        let index = self.batches_ingested + 1;
+        // The batch's item set is derived from its answers (sorted,
+        // deduplicated) — exactly how the live queue derives it.
+        let mut items: Vec<usize> = triples.iter().map(|&(item, _, _)| item).collect();
+        items.sort_unstable();
+        items.dedup();
+        let batch = WorkerBatch {
+            index,
+            workers,
+            items,
+        };
+        self.ingest_shard_split(&triples, &batch);
+        self.arrived.extend(batch.workers);
+        self.batches_ingested = index;
+        Ok(index)
+    }
+
+    /// Shard-splits one validated arrival batch (the same split
     /// [`cpa_data::stream::WorkerBatch::shard_split`] computes, fused with
     /// building each shard's view of the batch answers into one scan of the
-    /// batch workers' CSR slices), then runs every shard's `ingest`
-    /// concurrently.
+    /// batch triples), then runs every shard's `ingest` concurrently.
     ///
     /// Every shard ingests its split batch **even when that split is
     /// empty** — all shards observe the same arrival steps, so incremental
     /// engines (whose update schedule depends on the batch count) stay in
     /// lockstep with a standalone engine driven on the same split.
-    ///
-    /// # Panics
-    /// Panics if `answers` does not have the fleet's global shape.
-    pub fn ingest(&mut self, answers: &AnswerMatrix, batch: &WorkerBatch) {
-        assert!(
-            answers.num_items() == self.num_items
-                && answers.num_workers() == self.num_workers
-                && answers.num_labels() == self.num_labels,
-            "batch universe shape mismatch"
-        );
-        debug_assert!(
-            batch.items.windows(2).all(|w| w[0] < w[1]),
-            "WorkerBatch.items must be sorted and deduplicated (batch {})",
-            batch.index
-        );
+    fn ingest_shard_split(&mut self, triples: &[(usize, usize, LabelSet)], batch: &WorkerBatch) {
         let k = self.num_shards();
         // One pass over each batch worker's answers decides shard
         // membership AND collects the shard views — the per-worker scan
         // `shard_split` would do, without doing it twice. Built serially
-        // (cheap CSR scans); the engine updates below are the parallel part.
+        // (cheap scans); the engine updates below are the parallel part.
+        let mut by_worker: std::collections::BTreeMap<usize, Vec<(usize, &LabelSet)>> =
+            std::collections::BTreeMap::new();
+        for &(item, worker, ref labels) in triples {
+            by_worker.entry(worker).or_default().push((item, labels));
+        }
         let mut shard_workers: Vec<Vec<usize>> = vec![Vec::new(); k];
         let mut views: Vec<AnswerMatrixBuilder> = (0..k)
             .map(|_| AnswerMatrixBuilder::new(self.num_items, self.num_workers, self.num_labels))
@@ -188,13 +324,10 @@ impl Fleet {
         let mut hit = vec![false; k];
         for &w in &batch.workers {
             hit.fill(false);
-            for (item, labels) in answers.worker_answers(w) {
-                let item = *item as usize;
-                if batch.items.binary_search(&item).is_ok() {
-                    let s = self.router.route(item);
-                    hit[s] = true;
-                    views[s].insert(item, w, labels.clone());
-                }
+            for &(item, labels) in by_worker.get(&w).map(Vec::as_slice).unwrap_or(&[]) {
+                let s = self.router.route(item);
+                hit[s] = true;
+                views[s].insert(item, w, labels.clone());
             }
             for (s, shard_hit) in hit.iter().enumerate() {
                 if *shard_hit {
@@ -232,23 +365,82 @@ impl Fleet {
         );
     }
 
-    /// Refits every shard concurrently (no-op for incremental engines).
-    pub fn refit_all(&mut self) {
-        let engines = std::mem::take(&mut self.engines);
-        self.engines = per_shard(self.pool.as_ref(), engines, |mut engine| {
-            engine.refit();
-            engine
-        });
+    /// Ingests one arrival batch — a thin wrapper lowering the
+    /// `(universe, batch)` surface into a self-contained
+    /// [`FleetOp::Ingest`] and handing it to [`Fleet::apply`].
+    ///
+    /// The batch is renumbered by the fleet's own arrival counter (1, 2, …
+    /// in apply order) and its item set is derived from the batch workers'
+    /// answers, exactly as the live queue derives it — identical to
+    /// `batch.index`/`batch.items` for every batch a real
+    /// [`BatchSource`] produces.
+    ///
+    /// # Panics
+    /// Panics if `answers` does not have the fleet's global shape, or if
+    /// the batch violates the queue arrival contract (e.g. a worker that
+    /// already arrived) — push through [`cpa_data::queue`] or use
+    /// [`Fleet::apply`] directly to handle rejections without panicking.
+    pub fn ingest(&mut self, answers: &AnswerMatrix, batch: &WorkerBatch) {
+        assert!(
+            answers.num_items() == self.num_items
+                && answers.num_workers() == self.num_workers
+                && answers.num_labels() == self.num_labels,
+            "batch universe shape mismatch"
+        );
+        debug_assert!(
+            batch.items.windows(2).all(|w| w[0] < w[1]),
+            "WorkerBatch.items must be sorted and deduplicated (batch {})",
+            batch.index
+        );
+        match self.apply(FleetOp::ingest_from(answers, batch)) {
+            FleetReply::Ingested { .. } => {}
+            FleetReply::Error { message } => {
+                panic!("fleet rejected arrival batch {}: {message}", batch.index)
+            }
+            other => unreachable!("Ingest op answered with {}", other.name()),
+        }
     }
 
-    /// Pulls every batch out of `source` through [`Fleet::ingest`], then
-    /// [`Fleet::refit_all`]s once — the fleet analogue of
-    /// [`cpa_core::engine::drive`].
+    /// Refits every shard concurrently (no-op for incremental engines) —
+    /// a thin wrapper over [`FleetOp::Refit`].
+    pub fn refit_all(&mut self) {
+        let reply = self.apply(FleetOp::Refit);
+        debug_assert!(matches!(reply, FleetReply::Refitted));
+    }
+
+    /// Pulls every batch out of `source`, lowers each into a
+    /// [`FleetOp::Ingest`], and finishes with one [`FleetOp::Refit`] — the
+    /// fleet analogue of [`cpa_core::engine::drive`], now an op-stream
+    /// consumer over [`Fleet::apply`].
     pub fn drive(&mut self, source: &mut dyn BatchSource) {
         while let Some(batch) = source.next_batch() {
             self.ingest(source.answers(), &batch);
         }
         self.refit_all();
+    }
+
+    /// Applies a recorded op stream in order, returning one reply per op
+    /// consumed. Stops after (and including) the first
+    /// [`FleetOp::Shutdown`], as the live server does.
+    ///
+    /// Replaying the op-log of a live run against a fresh fleet of the same
+    /// construction reproduces the live fleet's snapshot byte for byte.
+    pub fn replay(&mut self, ops: impl IntoIterator<Item = FleetOp>) -> Vec<FleetReply> {
+        let mut replies = Vec::new();
+        for op in ops {
+            let stop = matches!(op, FleetOp::Shutdown);
+            replies.push(self.apply(op));
+            if stop {
+                break;
+            }
+        }
+        replies
+    }
+
+    /// Arrival batches absorbed so far (the next batch is numbered one
+    /// higher).
+    pub fn batches_ingested(&self) -> usize {
+        self.batches_ingested
     }
 
     /// Merged consensus predictions in global item order: each item's label
@@ -315,13 +507,16 @@ impl Fleet {
     }
 
     /// Captures the whole fleet as a versioned manifest of per-shard
-    /// checkpoints.
+    /// checkpoints plus the arrival state (which workers arrived, how many
+    /// batches were absorbed).
     pub fn snapshot(&self) -> FleetManifest {
         FleetManifest {
             version: FLEET_MANIFEST_VERSION,
             num_items: self.num_items,
             num_workers: self.num_workers,
             num_labels: self.num_labels,
+            arrived_workers: self.arrived.iter().copied().collect(),
+            batches_ingested: self.batches_ingested,
             shards: self.engines.iter().map(|e| e.snapshot()).collect(),
         }
     }
@@ -350,6 +545,18 @@ impl Fleet {
             return Err(FleetError::Invalid("manifest has zero shards".into()));
         }
         let router = ShardRouter::new(manifest.shards.len());
+        let arrived: BTreeSet<usize> = manifest.arrived_workers.iter().copied().collect();
+        if arrived.len() != manifest.arrived_workers.len() {
+            return Err(FleetError::Invalid(
+                "manifest lists an arrived worker twice".into(),
+            ));
+        }
+        if let Some(&w) = arrived.iter().find(|&&w| w >= manifest.num_workers) {
+            return Err(FleetError::Invalid(format!(
+                "arrived worker {w} outside the {}-worker universe",
+                manifest.num_workers
+            )));
+        }
         let mut engines = Vec::with_capacity(manifest.shards.len());
         for (s, checkpoint) in manifest.shards.into_iter().enumerate() {
             let engine =
@@ -378,6 +585,14 @@ impl Fleet {
                     )));
                 }
             }
+            for u in 0..seen.num_workers() {
+                if !seen.worker_answers(u).is_empty() && !arrived.contains(&u) {
+                    return Err(FleetError::Invalid(format!(
+                        "shard {s} holds answers by worker {u}, who is not in the \
+                         manifest's arrived_workers — arrival state corrupted?"
+                    )));
+                }
+            }
             engines.push(engine);
         }
         Ok(Self {
@@ -388,6 +603,9 @@ impl Fleet {
             num_items: manifest.num_items,
             num_workers: manifest.num_workers,
             num_labels: manifest.num_labels,
+            arrived,
+            batches_ingested: manifest.batches_ingested,
+            restore_hook: Some(restore),
         })
     }
 }
@@ -406,7 +624,8 @@ fn build_pool(threads: usize) -> Option<rayon::ThreadPool> {
 }
 
 /// A durable capture of a whole fleet: format version, the global population
-/// shape, and one [`Checkpoint`] per shard, in shard order.
+/// shape, the arrival state, and one [`Checkpoint`] per shard, in shard
+/// order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetManifest {
     /// Manifest format version ([`FLEET_MANIFEST_VERSION`] at write time).
@@ -417,6 +636,12 @@ pub struct FleetManifest {
     pub num_workers: usize,
     /// Global label dimension.
     pub num_labels: usize,
+    /// Every worker that had arrived, sorted ascending — restored so the
+    /// fleet keeps enforcing the worker-partition arrival contract.
+    pub arrived_workers: Vec<usize>,
+    /// Arrival batches absorbed at snapshot time — restored so the next
+    /// batch is numbered exactly as the uninterrupted run would number it.
+    pub batches_ingested: usize,
     /// Per-shard engine checkpoints, indexed by shard.
     pub shards: Vec<Checkpoint>,
 }

@@ -7,17 +7,25 @@
 //! - [`router::ShardRouter`] — deterministic item → shard routing (the
 //!   canonical `cpa_data::stream::shard_of` hash) plus shard-local views of
 //!   answer universes and arrival batches;
+//! - [`protocol`] — the [`protocol::FleetOp`] / [`protocol::FleetReply`]
+//!   command vocabulary every fleet mutation is expressed in, plus the
+//!   versioned JSONL **op-log** ([`protocol::ops_to_jsonl`] /
+//!   [`protocol::ops_from_jsonl`]) for record/replay;
 //! - [`fleet::Fleet`] — K shards, each owning a `Box<dyn Engine + Send>`,
-//!   driven concurrently on the workspace thread pool behind one
-//!   `ingest` / `refit_all` / `predict_all` / `estimate_all` surface, with
-//!   per-item results merged back into global item order;
+//!   driven concurrently on the workspace thread pool behind **one op
+//!   interpreter**, [`fleet::Fleet::apply`] (the named
+//!   `ingest` / `refit_all` / `predict_all` / `estimate_all` methods are
+//!   thin wrappers), with per-item results merged back into global item
+//!   order;
 //! - [`fleet::FleetManifest`] — fleet-wide snapshot/restore as a versioned
-//!   manifest of per-shard checkpoints, with the same **bit-identical
-//!   resume** guarantee the single-engine checkpoints give.
+//!   manifest of per-shard checkpoints plus arrival state, with the same
+//!   **bit-identical resume** guarantee the single-engine checkpoints give.
 //!
 //! Live traffic enters through `cpa_data::queue::QueueSource` (any
 //! `BatchSource` works — recorded JSONL replays and in-memory shuffles
-//! drive a fleet the same way).
+//! drive a fleet the same way), or from another process through the
+//! `cpa-transport` TCP front-end, which frames ops over a socket and
+//! funnels them into [`fleet::Fleet::apply`].
 //!
 //! ```
 //! use cpa_core::engine::DynEngine;
@@ -49,9 +57,11 @@
 #![deny(unsafe_code)]
 
 pub mod fleet;
+pub mod protocol;
 pub mod router;
 
 pub use fleet::{Fleet, FleetError, FleetManifest, FLEET_MANIFEST_VERSION};
+pub use protocol::{ops_from_jsonl, ops_to_jsonl, FleetOp, FleetReply};
 pub use router::ShardRouter;
 
 #[cfg(test)]
@@ -195,6 +205,8 @@ mod tests {
             num_items: 1,
             num_workers: 1,
             num_labels: 1,
+            arrived_workers: Vec::new(),
+            batches_ingested: 0,
             shards: Vec::new(),
         };
         let err = Fleet::restore(manifest, 1, |cp| {

@@ -1,0 +1,251 @@
+//! The fleet command protocol: every mutation of a [`crate::Fleet`] as a
+//! serializable op.
+//!
+//! [`FleetOp`] is the closed vocabulary of things a fleet can be asked to
+//! do, and [`FleetReply`] the typed result of each. The fleet's public
+//! methods (`ingest`, `refit_all`, `snapshot`, …) are thin wrappers that
+//! build an op and hand it to [`crate::Fleet::apply`] — the **one**
+//! interpreter every mutation flows through — so anything that can produce
+//! an op stream can drive a fleet with exactly the live semantics:
+//!
+//! - a transport (`cpa-transport` frames ops over TCP),
+//! - a recorded **op-log** ([`ops_to_jsonl`] / [`ops_from_jsonl`], the
+//!   versioned JSONL format of `cpa_data::io`) replayed through
+//!   [`crate::Fleet::replay`],
+//! - or plain in-process code.
+//!
+//! Because `apply` is deterministic (the PR 3/4 determinism story lifted to
+//! the serving tier), replaying a recorded op-log against a fresh fleet
+//! reproduces the live run's snapshot **byte for byte** — locked by
+//! `tests/transport_roundtrip.rs`.
+//!
+//! # Wire shapes
+//!
+//! Ops and replies serialize through the workspace serde shim's externally
+//! tagged enum encoding: unit variants as a JSON string (`"Refit"`), struct
+//! variants as a one-key object (`{"Ingest": {...}}`). An ingest batch
+//! carries the arriving workers plus their answers as
+//! `(item, worker, labels)` triples — the same shape
+//! [`cpa_data::queue::QueueProducer::push`] takes, validated by the same
+//! [`cpa_data::queue::validate_batch`] contract. The batch's item set is
+//! derived from the answers (as the live queue derives it), so an op is
+//! self-contained.
+
+use crate::fleet::FleetManifest;
+use cpa_core::truth::TruthEstimate;
+use cpa_data::answers::AnswerMatrix;
+use cpa_data::io::IoError;
+use cpa_data::labels::LabelSet;
+use cpa_data::stream::WorkerBatch;
+use serde::{Deserialize, Serialize};
+
+/// One command against a serving fleet. See the module docs for the wire
+/// encoding and [`crate::Fleet::apply`] for the semantics of each op.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FleetOp {
+    /// Ingest one arrival batch: the arriving workers plus their answers as
+    /// `(item, worker, labels)` triples, validated against the queue
+    /// arrival contract before anything is mutated.
+    Ingest {
+        /// Workers arriving in this batch.
+        workers: Vec<usize>,
+        /// Their answers as `(item, worker, labels)` triples.
+        answers: Vec<(usize, usize, Vec<usize>)>,
+    },
+    /// Refit every shard (no-op for incremental engines).
+    Refit,
+    /// Merged consensus predictions in global item order.
+    Predict,
+    /// Merged soft-truth estimate in global item order.
+    Estimate,
+    /// Capture the whole fleet as a versioned manifest.
+    Snapshot,
+    /// Replace the fleet with one restored from `manifest` (requires a
+    /// restore hook, [`crate::Fleet::with_restore_hook`]).
+    Restore {
+        /// The manifest to restore from.
+        manifest: FleetManifest,
+    },
+    /// Stop serving. The fleet itself is untouched; interpreters (the
+    /// transport server, [`crate::Fleet::replay`]) stop consuming ops.
+    Shutdown,
+}
+
+impl FleetOp {
+    /// Builds the ingest op equivalent to one [`WorkerBatch`] over its
+    /// source universe: each batch worker's answers to the batch's items,
+    /// as self-contained triples. This is how the legacy
+    /// `Fleet::ingest(answers, batch)` surface lowers into the protocol.
+    pub fn ingest_from(answers: &AnswerMatrix, batch: &WorkerBatch) -> FleetOp {
+        let mut triples = Vec::new();
+        for &w in &batch.workers {
+            for (item, labels) in answers.worker_answers(w) {
+                let item = *item as usize;
+                if batch.items.binary_search(&item).is_ok() {
+                    triples.push((item, w, labels.to_vec()));
+                }
+            }
+        }
+        FleetOp::Ingest {
+            workers: batch.workers.clone(),
+            answers: triples,
+        }
+    }
+
+    /// The op's stable display name ("Ingest", "Refit", …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetOp::Ingest { .. } => "Ingest",
+            FleetOp::Refit => "Refit",
+            FleetOp::Predict => "Predict",
+            FleetOp::Estimate => "Estimate",
+            FleetOp::Snapshot => "Snapshot",
+            FleetOp::Restore { .. } => "Restore",
+            FleetOp::Shutdown => "Shutdown",
+        }
+    }
+
+    /// True for ops that mutate fleet state when accepted (`Ingest`,
+    /// `Refit`, `Restore`); reads and `Shutdown` leave it untouched.
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            FleetOp::Ingest { .. } | FleetOp::Refit | FleetOp::Restore { .. }
+        )
+    }
+}
+
+/// The typed result of applying one [`FleetOp`]. Each accepted op maps to
+/// exactly one success variant; any rejection is [`FleetReply::Error`] with
+/// a human-readable message, and the fleet is left untouched.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FleetReply {
+    /// An `Ingest` was absorbed as arrival batch number `batch` (1-based).
+    Ingested {
+        /// The arrival index assigned to the batch.
+        batch: usize,
+    },
+    /// A `Refit` completed on every shard.
+    Refitted,
+    /// A `Predict`'s merged consensus label sets, in global item order.
+    Predictions {
+        /// One label set per item.
+        predictions: Vec<LabelSet>,
+    },
+    /// An `Estimate`'s merged soft-truth estimate.
+    Estimated {
+        /// The merged estimate (see `Fleet::estimate_all` for the merge).
+        estimate: TruthEstimate,
+    },
+    /// A `Snapshot`'s versioned fleet manifest.
+    Manifest {
+        /// The captured manifest.
+        manifest: FleetManifest,
+    },
+    /// A `Restore` replaced the fleet state.
+    Restored,
+    /// A `Shutdown` was acknowledged; no further ops will be consumed.
+    ShuttingDown,
+    /// The op was rejected; the fleet is unchanged.
+    Error {
+        /// Why the op was rejected.
+        message: String,
+    },
+}
+
+impl FleetReply {
+    /// The reply's stable display name ("Ingested", "Error", …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetReply::Ingested { .. } => "Ingested",
+            FleetReply::Refitted => "Refitted",
+            FleetReply::Predictions { .. } => "Predictions",
+            FleetReply::Estimated { .. } => "Estimated",
+            FleetReply::Manifest { .. } => "Manifest",
+            FleetReply::Restored => "Restored",
+            FleetReply::ShuttingDown => "ShuttingDown",
+            FleetReply::Error { .. } => "Error",
+        }
+    }
+
+    /// Shorthand for an [`FleetReply::Error`] from any displayable cause.
+    pub fn err(cause: impl std::fmt::Display) -> FleetReply {
+        FleetReply::Error {
+            message: cause.to_string(),
+        }
+    }
+}
+
+/// Serializes an op stream as a versioned JSONL op-log
+/// ([`cpa_data::io::oplog_to_jsonl`]): a `{"op_log_version": 1}` header
+/// line, then one op per line in applied order.
+pub fn ops_to_jsonl(ops: &[FleetOp]) -> String {
+    cpa_data::io::oplog_to_jsonl(ops)
+}
+
+/// Parses an op-log written by [`ops_to_jsonl`], with version-first
+/// rejection and truncated-line hardening (see
+/// [`cpa_data::io::oplog_from_jsonl`]).
+///
+/// # Errors
+/// Fails on a missing/malformed header, a version mismatch, or a line that
+/// does not decode as a [`FleetOp`] (named by its 1-based line number).
+pub fn ops_from_jsonl(text: &str) -> Result<Vec<FleetOp>, IoError> {
+    cpa_data::io::oplog_from_jsonl(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_roundtrip_through_the_jsonl_oplog() {
+        let ops = vec![
+            FleetOp::Ingest {
+                workers: vec![0, 2],
+                answers: vec![(0, 0, vec![1]), (1, 2, vec![0, 2])],
+            },
+            FleetOp::Refit,
+            FleetOp::Predict,
+            FleetOp::Snapshot,
+            FleetOp::Shutdown,
+        ];
+        let jsonl = ops_to_jsonl(&ops);
+        assert_eq!(jsonl.lines().count(), ops.len() + 1, "header + one op/line");
+        let back = ops_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back.len(), ops.len());
+        // Compare through JSON (FleetManifest/Checkpoint carry no PartialEq).
+        for (a, b) in ops.iter().zip(&back) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_oplog_is_rejected_with_the_line_number() {
+        let ops = vec![FleetOp::Refit, FleetOp::Predict, FleetOp::Shutdown];
+        let jsonl = ops_to_jsonl(&ops);
+        // Cut inside the final line (a crash mid-append).
+        let cut = jsonl.len() - 3;
+        let err = ops_from_jsonl(&jsonl[..cut]).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn op_and_reply_names_are_stable() {
+        assert_eq!(FleetOp::Refit.name(), "Refit");
+        assert_eq!(
+            FleetOp::Ingest {
+                workers: vec![],
+                answers: vec![]
+            }
+            .name(),
+            "Ingest"
+        );
+        assert!(FleetOp::Refit.is_mutation());
+        assert!(!FleetOp::Predict.is_mutation());
+        assert_eq!(FleetReply::err("nope").name(), "Error");
+    }
+}

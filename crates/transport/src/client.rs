@@ -1,0 +1,172 @@
+//! The blocking client: the `Fleet` surface, one framed round trip per
+//! call.
+//!
+//! A [`FleetClient`] mirrors `cpa_serve::Fleet`'s method surface
+//! (`ingest` / `refit_all` / `predict_all` / `estimate_all` / `snapshot` /
+//! `restore`) plus [`FleetClient::shutdown`]; each call frames one
+//! `FleetOp`, blocks for the server's `FleetReply`, and decodes it. The
+//! server applies ops from all connections in one global order and answers
+//! each connection's requests FIFO, so a client sees exactly the semantics
+//! of calling the in-process fleet under a lock — bit-identically
+//! (`tests/transport_roundtrip.rs`).
+
+use crate::error::TransportError;
+use crate::frame::{read_frame, write_frame};
+use cpa_core::truth::TruthEstimate;
+use cpa_data::answers::AnswerMatrix;
+use cpa_data::labels::LabelSet;
+use cpa_serve::{FleetManifest, FleetOp, FleetReply};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a [`crate::FleetServer`].
+#[derive(Debug)]
+pub struct FleetClient {
+    stream: TcpStream,
+}
+
+impl FleetClient {
+    /// Connects to a serving fleet.
+    ///
+    /// # Errors
+    /// Fails on any connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+
+    /// One framed round trip: op out, reply in. A protocol-level `Error`
+    /// reply surfaces as [`TransportError::Rejected`].
+    fn call(&mut self, op: &FleetOp) -> Result<FleetReply, TransportError> {
+        let payload = serde_json::to_string(op)
+            .map_err(|e| TransportError::Malformed(format!("op does not serialize: {e}")))?;
+        write_frame(&mut self.stream, &payload)?;
+        let reply = read_frame(&mut self.stream)?.ok_or(TransportError::Truncated {
+            context: "reply frame",
+            expected: 4,
+            got: 0,
+        })?;
+        let reply: FleetReply = serde_json::from_str(&reply)
+            .map_err(|e| TransportError::Malformed(format!("undecodable reply: {e}")))?;
+        match reply {
+            FleetReply::Error { message } => Err(TransportError::Rejected(message)),
+            other => Ok(other),
+        }
+    }
+
+    fn unexpected(expected: &'static str, found: FleetReply) -> TransportError {
+        TransportError::UnexpectedReply {
+            expected,
+            found: found.name().to_string(),
+        }
+    }
+
+    /// Ingests one arrival batch (workers plus `(item, worker, labels)`
+    /// triples — the queue push shape) and returns its arrival index.
+    ///
+    /// # Errors
+    /// [`TransportError::Rejected`] when the batch violates the arrival
+    /// contract (the message names the offending worker), or any transport
+    /// failure.
+    pub fn ingest(
+        &mut self,
+        workers: Vec<usize>,
+        answers: Vec<(usize, usize, Vec<usize>)>,
+    ) -> Result<usize, TransportError> {
+        match self.call(&FleetOp::Ingest { workers, answers })? {
+            FleetReply::Ingested { batch } => Ok(batch),
+            other => Err(Self::unexpected("Ingested", other)),
+        }
+    }
+
+    /// Convenience mirroring `QueueProducer::push_workers`: ingests
+    /// `workers` as one batch, copying all of their answers out of
+    /// `source`.
+    ///
+    /// # Errors
+    /// As [`FleetClient::ingest`].
+    pub fn push_workers(
+        &mut self,
+        source: &AnswerMatrix,
+        workers: &[usize],
+    ) -> Result<usize, TransportError> {
+        let answers = workers
+            .iter()
+            .flat_map(|&w| {
+                source
+                    .worker_answers(w)
+                    .iter()
+                    .map(move |(item, labels)| (*item as usize, w, labels.to_vec()))
+            })
+            .collect();
+        self.ingest(workers.to_vec(), answers)
+    }
+
+    /// Refits every shard.
+    ///
+    /// # Errors
+    /// Any transport failure.
+    pub fn refit_all(&mut self) -> Result<(), TransportError> {
+        match self.call(&FleetOp::Refit)? {
+            FleetReply::Refitted => Ok(()),
+            other => Err(Self::unexpected("Refitted", other)),
+        }
+    }
+
+    /// Merged consensus predictions in global item order.
+    ///
+    /// # Errors
+    /// Any transport failure.
+    pub fn predict_all(&mut self) -> Result<Vec<LabelSet>, TransportError> {
+        match self.call(&FleetOp::Predict)? {
+            FleetReply::Predictions { predictions } => Ok(predictions),
+            other => Err(Self::unexpected("Predictions", other)),
+        }
+    }
+
+    /// Merged soft-truth estimate in global item order.
+    ///
+    /// # Errors
+    /// Any transport failure.
+    pub fn estimate_all(&mut self) -> Result<TruthEstimate, TransportError> {
+        match self.call(&FleetOp::Estimate)? {
+            FleetReply::Estimated { estimate } => Ok(estimate),
+            other => Err(Self::unexpected("Estimated", other)),
+        }
+    }
+
+    /// The fleet's versioned manifest (its durable snapshot).
+    ///
+    /// # Errors
+    /// Any transport failure.
+    pub fn snapshot(&mut self) -> Result<FleetManifest, TransportError> {
+        match self.call(&FleetOp::Snapshot)? {
+            FleetReply::Manifest { manifest } => Ok(manifest),
+            other => Err(Self::unexpected("Manifest", other)),
+        }
+    }
+
+    /// Replaces the served fleet with one restored from `manifest`.
+    ///
+    /// # Errors
+    /// [`TransportError::Rejected`] if the server has no restore hook or
+    /// the manifest does not restore, or any transport failure.
+    pub fn restore(&mut self, manifest: FleetManifest) -> Result<(), TransportError> {
+        match self.call(&FleetOp::Restore { manifest })? {
+            FleetReply::Restored => Ok(()),
+            other => Err(Self::unexpected("Restored", other)),
+        }
+    }
+
+    /// Asks the server to shut down (acknowledged, then the server winds
+    /// down and `serve` returns).
+    ///
+    /// # Errors
+    /// Any transport failure.
+    pub fn shutdown(&mut self) -> Result<(), TransportError> {
+        match self.call(&FleetOp::Shutdown)? {
+            FleetReply::ShuttingDown => Ok(()),
+            other => Err(Self::unexpected("ShuttingDown", other)),
+        }
+    }
+}

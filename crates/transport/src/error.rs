@@ -1,0 +1,85 @@
+//! Transport-layer errors, with the same uniform
+//! `std::error::Error + Display` discipline as `QueueError`, `FleetError`,
+//! and `IoError`.
+
+use std::fmt;
+
+/// Why a framed exchange failed, on either side of the socket.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Underlying socket failure.
+    Io(std::io::Error),
+    /// The peer closed the connection in the middle of a frame (length
+    /// prefix or payload) — a truncated frame, never silently dropped.
+    Truncated {
+        /// What was being read when the stream ended.
+        context: &'static str,
+        /// Bytes the frame still owed.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// A frame declared a payload larger than [`crate::frame::MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// Declared payload size.
+        size: usize,
+        /// The enforced ceiling.
+        max: usize,
+    },
+    /// A frame's payload was not valid UTF-8 JSON of the expected type.
+    Malformed(String),
+    /// The server answered with a protocol-level `Error` reply (the op was
+    /// rejected; the fleet is unchanged).
+    Rejected(String),
+    /// The server answered with a success reply of the wrong kind for the
+    /// op that was sent.
+    UnexpectedReply {
+        /// The reply variant the op called for.
+        expected: &'static str,
+        /// The variant actually received.
+        found: String,
+    },
+    /// The server is shutting down; no further ops will be served.
+    ShuttingDown,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "socket error: {e}"),
+            TransportError::Truncated {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "connection closed mid-frame while reading {context} \
+                 ({got} of {expected} bytes)"
+            ),
+            TransportError::FrameTooLarge { size, max } => {
+                write!(f, "frame of {size} bytes exceeds the {max}-byte ceiling")
+            }
+            TransportError::Malformed(msg) => write!(f, "malformed frame payload: {msg}"),
+            TransportError::Rejected(msg) => write!(f, "op rejected by the server: {msg}"),
+            TransportError::UnexpectedReply { expected, found } => {
+                write!(f, "expected a {expected} reply, got {found}")
+            }
+            TransportError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}

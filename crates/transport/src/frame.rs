@@ -1,0 +1,206 @@
+//! Length-prefixed JSON framing: the wire format of the fleet protocol.
+//!
+//! One frame is a 4-byte **big-endian** `u32` payload length followed by
+//! that many bytes of UTF-8 JSON (one serialized `FleetOp` or `FleetReply`).
+//! Frames larger than [`MAX_FRAME_BYTES`] are rejected before any payload is
+//! buffered, on both sides.
+//!
+//! Reads distinguish three endings:
+//!
+//! - a full frame — the payload string;
+//! - a **clean** close (EOF exactly on a frame boundary) — `Ok(None)`, the
+//!   peer simply hung up;
+//! - a **truncated** close (EOF inside the length prefix or payload) —
+//!   [`TransportError::Truncated`], never a panic and never a silently
+//!   half-read frame.
+//!
+//! The server reads with a socket timeout and polls a shutdown flag between
+//! partial reads ([`read_frame_polling`]), so a connection blocked on an
+//! idle client cannot hold the server open past shutdown.
+
+use crate::error::TransportError;
+use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Hard ceiling on one frame's payload (64 MiB). A manifest of a large
+/// fleet fits comfortably; anything bigger is a protocol error, not a
+/// buffering request.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Writes one frame: big-endian `u32` length, then the payload bytes.
+///
+/// # Errors
+/// Fails if the payload exceeds [`MAX_FRAME_BYTES`] (nothing is written) or
+/// on any socket error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> Result<(), TransportError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(TransportError::FrameTooLarge {
+            size: payload.len(),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// How one buffered read ended.
+enum Fill {
+    /// The buffer was filled completely.
+    Full,
+    /// EOF after `got` bytes (0 means EOF on the boundary).
+    Eof {
+        /// Bytes read before the stream ended.
+        got: usize,
+    },
+}
+
+/// Fills `buf` from `r`, tolerating read timeouts: on `WouldBlock` /
+/// `TimedOut` the optional `shutdown` flag is consulted and the read
+/// retried. With `shutdown: None` the read is fully blocking.
+fn fill(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    shutdown: Option<&AtomicBool>,
+) -> Result<Fill, TransportError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Ok(Fill::Eof { got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                match shutdown {
+                    Some(flag) if flag.load(Ordering::Relaxed) => {
+                        return Err(TransportError::ShuttingDown)
+                    }
+                    Some(_) => {}
+                    None => return Err(TransportError::Io(e)),
+                }
+            }
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+fn read_frame_inner(
+    r: &mut impl Read,
+    shutdown: Option<&AtomicBool>,
+) -> Result<Option<String>, TransportError> {
+    let mut len_bytes = [0u8; 4];
+    match fill(r, &mut len_bytes, shutdown)? {
+        Fill::Eof { got: 0 } => return Ok(None), // clean close on the boundary
+        Fill::Eof { got } => {
+            return Err(TransportError::Truncated {
+                context: "frame length prefix",
+                expected: 4,
+                got,
+            })
+        }
+        Fill::Full => {}
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(TransportError::FrameTooLarge {
+            size: len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    match fill(r, &mut payload, shutdown)? {
+        Fill::Full => {}
+        Fill::Eof { got } => {
+            return Err(TransportError::Truncated {
+                context: "frame payload",
+                expected: len,
+                got,
+            })
+        }
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| TransportError::Malformed(format!("frame payload is not UTF-8: {e}")))
+}
+
+/// Reads one frame, blocking until it is complete or the peer closes.
+/// `Ok(None)` is a clean close on a frame boundary.
+///
+/// # Errors
+/// [`TransportError::Truncated`] on EOF mid-frame,
+/// [`TransportError::FrameTooLarge`] on an oversized declaration, or any
+/// socket error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, TransportError> {
+    read_frame_inner(r, None)
+}
+
+/// [`read_frame`] for sockets with a read timeout: timeouts poll `shutdown`
+/// and keep waiting, returning [`TransportError::ShuttingDown`] once the
+/// flag is raised.
+///
+/// # Errors
+/// As [`read_frame`], plus [`TransportError::ShuttingDown`].
+pub fn read_frame_polling(
+    r: &mut impl Read,
+    shutdown: &AtomicBool,
+) -> Result<Option<String>, TransportError> {
+    read_frame_inner(r, Some(shutdown))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(payload: &str) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        buf
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut wire = framed("\"Refit\"");
+        wire.extend(framed("{\"x\": 1}"));
+        let mut r = Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("\"Refit\""));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"x\": 1}"));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_prefix_and_payload_are_named() {
+        let wire = framed("hello");
+        // Cut inside the length prefix.
+        let err = read_frame(&mut Cursor::new(&wire[..2])).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Truncated { context, got: 2, .. }
+                if context == "frame length prefix"),
+            "{err}"
+        );
+        // Cut inside the payload.
+        let err = read_frame(&mut Cursor::new(&wire[..6])).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Truncated { context, expected: 5, got: 2 }
+                if context == "frame payload"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_before_buffering() {
+        let mut wire = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes().to_vec();
+        wire.extend(b"irrelevant");
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(err, TransportError::FrameTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_payload_is_malformed() {
+        let mut wire = 2u32.to_be_bytes().to_vec();
+        wire.extend([0xff, 0xfe]);
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(err, TransportError::Malformed(_)), "{err}");
+    }
+}

@@ -1,0 +1,59 @@
+//! **cpa-transport** — the std-only TCP transport that makes a `cpa-serve`
+//! fleet a deployable service.
+//!
+//! PR 4 left the serving queue in-process; this crate closes the seam with
+//! plain `std::net` — no async runtime, no external protocol crates:
+//!
+//! - [`frame`] — the wire format: 4-byte big-endian length prefix + one
+//!   JSON-serialized `FleetOp`/`FleetReply` per frame, with truncation and
+//!   oversize hardening on both sides;
+//! - [`FleetServer`] — accepts N concurrent clients on the workspace
+//!   thread pool, funnels every op into one `Fleet::apply` driver (one
+//!   global op order, the queue arrival contract enforced per ingest),
+//!   streams replies back per-connection FIFO, and can record the applied
+//!   op stream as a replayable op-log;
+//! - [`FleetClient`] — a blocking client mirroring the `Fleet` method
+//!   surface, one framed round trip per call.
+//!
+//! A client over loopback computes **bit-identical** predictions to the
+//! in-process fleet on the same op stream, and a recorded op-log replays to
+//! a byte-identical snapshot (`tests/transport_roundtrip.rs`).
+//!
+//! ```
+//! use cpa_core::engine::DynEngine;
+//! use cpa_core::{BatchCpa, CpaConfig};
+//! use cpa_serve::Fleet;
+//! use cpa_transport::{FleetClient, FleetServer, ServerConfig};
+//!
+//! let (i, u, c) = (6, 4, 3);
+//! let fleet = Fleet::new(2, 1, i, u, c, |_| {
+//!     Box::new(BatchCpa::new(CpaConfig::default().with_truncation(3, 4), i, u, c)) as DynEngine
+//! });
+//!
+//! let server = FleetServer::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let running = std::thread::spawn(move || server.serve(fleet).unwrap());
+//!
+//! let mut client = FleetClient::connect(addr).unwrap();
+//! client.ingest(vec![0, 1], vec![(0, 0, vec![1]), (2, 1, vec![0, 2])]).unwrap();
+//! client.refit_all().unwrap();
+//! let consensus = client.predict_all().unwrap();
+//! assert_eq!(consensus.len(), i);
+//! client.shutdown().unwrap();
+//!
+//! let outcome = running.join().unwrap();
+//! assert_eq!(outcome.fleet.predict_all(), consensus);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod server;
+
+pub use client::FleetClient;
+pub use error::TransportError;
+pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use server::{FleetServer, ServeOutcome, ServerConfig};

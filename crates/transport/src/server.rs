@@ -1,0 +1,343 @@
+//! The TCP front-end: a [`FleetServer`] accepting concurrent clients and
+//! funnelling their framed ops into one `cpa_serve::Fleet`.
+//!
+//! # Architecture
+//!
+//! `serve` fans out over the workspace thread pool (the PR 2 `rayon` shim —
+//! real OS threads) into `max_clients + 2` long-lived roles:
+//!
+//! - one **driver** owns the fleet and is the only thread that touches it:
+//!   it drains a single mpsc op channel and runs every op through
+//!   [`cpa_serve::Fleet::apply`] — so ops from all connections are applied
+//!   in one global arrival order, with the full queue arrival contract
+//!   (worker partition, range checks) enforced per `Ingest`;
+//! - one **acceptor** polls the listener (non-blocking + shutdown flag) and
+//!   hands accepted sockets to the handler pool;
+//! - `max_clients` **handlers** each serve one connection at a time:
+//!   read a frame, decode the op, round-trip it through the driver, write
+//!   the reply. Requests on one connection are handled strictly in order,
+//!   so replies stream back **per-connection FIFO**.
+//!
+//! # Shutdown and hardening
+//!
+//! A [`cpa_serve::FleetOp::Shutdown`] from any client is acknowledged, then
+//! the driver raises the shutdown flag and stops; every other role winds
+//! down (in-flight requests get a framed error reply). A client that
+//! disconnects mid-frame, sends a truncated frame, or sends bytes that are
+//! not a `FleetOp` never panics the server: the connection gets a framed
+//! error where one can still be delivered and is dropped, and the next
+//! client is served normally — locked by `tests/transport_roundtrip.rs`.
+//!
+//! With `record_ops`, the driver records every op it applies, in order; the
+//! returned [`ServeOutcome::op_log`] serializes through
+//! `cpa_serve::ops_to_jsonl` and replays bit-identically through
+//! `cpa_serve::Fleet::replay`.
+
+use crate::error::TransportError;
+use crate::frame::{read_frame_polling, write_frame};
+use cpa_serve::{Fleet, FleetOp, FleetReply};
+use rayon::prelude::*;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How long blocked reads and idle polls wait before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Tuning knobs for a [`FleetServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections served concurrently (one handler thread each; further
+    /// connections wait in the accept queue).
+    pub max_clients: usize,
+    /// Record every applied op into [`ServeOutcome::op_log`].
+    pub record_ops: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_clients: 4,
+            record_ops: false,
+        }
+    }
+}
+
+/// What a finished serve run hands back.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The fleet in its final state (after every applied op).
+    pub fleet: Fleet,
+    /// Every op the driver applied, in application order (empty unless
+    /// [`ServerConfig::record_ops`] was set).
+    pub op_log: Vec<FleetOp>,
+}
+
+/// A bound, not-yet-serving fleet server.
+#[derive(Debug)]
+pub struct FleetServer {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+/// One long-lived task of the serve fan-out.
+enum Role {
+    Driver {
+        fleet: Fleet,
+        op_rx: Receiver<(FleetOp, Sender<FleetReply>)>,
+        record: bool,
+    },
+    Acceptor {
+        listener: TcpListener,
+        conn_tx: Sender<TcpStream>,
+    },
+    Handler {
+        op_tx: Sender<(FleetOp, Sender<FleetReply>)>,
+    },
+}
+
+impl FleetServer {
+    /// Binds to `addr` (use port 0 for an ephemeral loopback port).
+    ///
+    /// # Errors
+    /// Fails on any bind error.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> Result<Self, TransportError> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            config,
+        })
+    }
+
+    /// The bound address (where clients should connect).
+    ///
+    /// # Errors
+    /// Fails if the socket has no local address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, TransportError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Serves `fleet` until a client sends [`FleetOp::Shutdown`], then
+    /// returns the final fleet (and the recorded op-log, if enabled).
+    /// Blocks the calling thread; the fan-out threads are scoped inside.
+    ///
+    /// # Errors
+    /// Fails if the listener cannot be switched to non-blocking accept
+    /// polling. Per-connection failures (disconnects, truncated or
+    /// malformed frames) are handled inside and never abort the server.
+    pub fn serve(self, fleet: Fleet) -> Result<ServeOutcome, TransportError> {
+        let handlers = self.config.max_clients.max(1);
+        self.listener.set_nonblocking(true)?;
+        let shutdown = AtomicBool::new(false);
+        let (op_tx, op_rx) = channel();
+        let (conn_tx, conn_rx) = channel();
+        let conn_rx = Mutex::new(conn_rx);
+        let record = self.config.record_ops;
+
+        let mut roles = vec![
+            Role::Driver {
+                fleet,
+                op_rx,
+                record,
+            },
+            Role::Acceptor {
+                listener: self.listener,
+                conn_tx,
+            },
+        ];
+        for _ in 0..handlers {
+            roles.push(Role::Handler {
+                op_tx: op_tx.clone(),
+            });
+        }
+        // The driver must see the channel close once every handler exits:
+        // only the handler clones may keep it open.
+        drop(op_tx);
+
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(roles.len())
+            .build()
+            .expect("transport pool builds");
+        let outcomes: Vec<Option<ServeOutcome>> = pool.install(|| {
+            roles
+                .into_par_iter()
+                .map(|role| run_role(role, &shutdown, &conn_rx))
+                .collect()
+        });
+        outcomes
+            .into_iter()
+            .flatten()
+            .next()
+            .ok_or_else(|| TransportError::Malformed("driver produced no outcome".into()))
+    }
+}
+
+/// Runs one role to completion; only the driver returns an outcome.
+fn run_role(
+    role: Role,
+    shutdown: &AtomicBool,
+    conn_rx: &Mutex<Receiver<TcpStream>>,
+) -> Option<ServeOutcome> {
+    match role {
+        Role::Driver {
+            mut fleet,
+            op_rx,
+            record,
+        } => {
+            let mut op_log = Vec::new();
+            while let Ok((op, reply_tx)) = op_rx.recv() {
+                let stop = matches!(op, FleetOp::Shutdown);
+                if record {
+                    op_log.push(op.clone());
+                }
+                let reply = fleet.apply(op);
+                let _ = reply_tx.send(reply);
+                if stop {
+                    shutdown.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            // Also covers the channel-closed path (all handlers gone).
+            shutdown.store(true, Ordering::Relaxed);
+            Some(ServeOutcome { fleet, op_log })
+        }
+        Role::Acceptor { listener, conn_tx } => {
+            // accept() fails transiently in normal operation — a client
+            // resetting mid-handshake (ECONNABORTED/ECONNRESET), a burst of
+            // fd exhaustion — and those must not take the server down.
+            // Only an error that persists across many consecutive polls is
+            // treated as a dead listener.
+            const MAX_CONSECUTIVE_ERRORS: u32 = 50;
+            let mut consecutive_errors = 0u32;
+            loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        consecutive_errors = 0;
+                        // Handlers read with a timeout (shutdown polling);
+                        // writes stay blocking.
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_nodelay(true);
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        consecutive_errors = 0;
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::ConnectionAborted
+                                | std::io::ErrorKind::ConnectionReset
+                        ) =>
+                    {
+                        // The *connection* died during the handshake, not
+                        // the listener; keep accepting.
+                        consecutive_errors = 0;
+                    }
+                    Err(_) => {
+                        consecutive_errors += 1;
+                        if consecutive_errors >= MAX_CONSECUTIVE_ERRORS {
+                            // A listener that has failed every poll for a
+                            // sustained stretch cannot accept anyone ever
+                            // again: wind the whole server down instead of
+                            // serving a half-alive endpoint.
+                            shutdown.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                }
+            }
+            None
+        }
+        Role::Handler { op_tx } => {
+            loop {
+                let stream = match conn_rx
+                    .lock()
+                    .expect("connection queue poisoned")
+                    .try_recv()
+                {
+                    Ok(stream) => Some(stream),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => break,
+                };
+                match stream {
+                    Some(stream) => {
+                        // Connection-level failures are that connection's
+                        // problem, never the server's.
+                        let _ = handle_connection(stream, &op_tx, shutdown);
+                    }
+                    None => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Serves one connection: frame in, op through the driver, frame out —
+/// strictly in request order (per-connection FIFO replies).
+fn handle_connection(
+    mut stream: TcpStream,
+    op_tx: &Sender<(FleetOp, Sender<FleetReply>)>,
+    shutdown: &AtomicBool,
+) -> Result<(), TransportError> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    loop {
+        let payload = match read_frame_polling(&mut stream, shutdown) {
+            Ok(Some(payload)) => payload,
+            // Clean disconnect between frames: the client is done.
+            Ok(None) => return Ok(()),
+            Err(TransportError::ShuttingDown) => {
+                let _ = send_reply(&mut stream, &FleetReply::err("server is shutting down"));
+                return Ok(());
+            }
+            // Truncated/oversized/unreadable frame: drop the connection
+            // (there is no frame boundary left to answer on).
+            Err(e) => return Err(e),
+        };
+        let op: FleetOp = match serde_json::from_str(&payload) {
+            Ok(op) => op,
+            Err(e) => {
+                // A complete frame that is not an op still has a healthy
+                // frame boundary: answer with a framed error, then drop the
+                // connection (its byte stream is not trustworthy).
+                let _ = send_reply(&mut stream, &FleetReply::err(format!("malformed op: {e}")));
+                return Ok(());
+            }
+        };
+        let (reply_tx, reply_rx) = channel();
+        if op_tx.send((op, reply_tx)).is_err() {
+            let _ = send_reply(&mut stream, &FleetReply::err("server is shutting down"));
+            return Ok(());
+        }
+        let reply = match reply_rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => {
+                let _ = send_reply(&mut stream, &FleetReply::err("server is shutting down"));
+                return Ok(());
+            }
+        };
+        send_reply(&mut stream, &reply)?;
+    }
+}
+
+/// Frames one reply onto the stream.
+fn send_reply(stream: &mut TcpStream, reply: &FleetReply) -> Result<(), TransportError> {
+    let payload = serde_json::to_string(reply)
+        .map_err(|e| TransportError::Malformed(format!("reply does not serialize: {e}")))?;
+    write_frame(stream, &payload)
+}

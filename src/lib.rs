@@ -12,7 +12,10 @@
 //!   ablations);
 //! - [`data`] — answer matrices, dataset profiles, crowd simulation;
 //! - [`baselines`] — MV, Dawid–Skene EM, (community) BCC, two-coin;
-//! - [`serve`] — the sharded serving fleet over the uniform engine seam;
+//! - [`serve`] — the sharded serving fleet over the uniform engine seam,
+//!   commanded through the `FleetOp` protocol with a replayable op-log;
+//! - [`transport`] — the std-only TCP front-end (framed op protocol,
+//!   blocking server and client) that serves a fleet to other processes;
 //! - [`eval`] — metrics and the per-table/figure experiment runners;
 //! - [`math`] — the numerical substrate.
 //!
@@ -40,6 +43,7 @@ pub use cpa_data as data;
 pub use cpa_eval as eval;
 pub use cpa_math as math;
 pub use cpa_serve as serve;
+pub use cpa_transport as transport;
 
 /// Everything most applications need, in one import.
 pub mod prelude {
@@ -57,10 +61,11 @@ pub mod prelude {
     pub use cpa_data::labels::LabelSet;
     pub use cpa_data::perturb::{inject_dependencies, inject_spammers, sparsify};
     pub use cpa_data::profile::DatasetProfile;
-    pub use cpa_data::queue::{queue, QueueError, QueueProducer, QueueSource};
+    pub use cpa_data::queue::{queue, validate_batch, QueueError, QueueProducer, QueueSource};
     pub use cpa_data::simulate::{simulate, SimulatedDataset};
     pub use cpa_data::stream::{shard_of, BatchSource, MemorySource, WorkerStream};
     pub use cpa_data::workers::{WorkerMix, WorkerType};
     pub use cpa_eval::metrics::{evaluate, PrMetrics};
-    pub use cpa_serve::{Fleet, FleetError, FleetManifest, ShardRouter};
+    pub use cpa_serve::{Fleet, FleetError, FleetManifest, FleetOp, FleetReply, ShardRouter};
+    pub use cpa_transport::{FleetClient, FleetServer, ServerConfig, TransportError};
 }

@@ -1,0 +1,339 @@
+//! Loopback transport round trip: the serving tier's determinism contract
+//! extended across a real TCP socket.
+//!
+//! Contract 1 (wire fidelity): a server with **two concurrent clients**
+//! running the full ingest/refit/predict/snapshot cycle produces
+//! predictions and a manifest **bit-identical** to the in-process fleet on
+//! the same op stream, at K ∈ {1, 4} shards. The two clients interleave
+//! their connections live but hand the op order back and forth with a
+//! token, so the global op order is deterministic — concurrency in the
+//! transport, determinism in the protocol.
+//!
+//! Contract 2 (op-log): the server's recorded op-log, serialized to JSONL
+//! and parsed back, replays against a fresh fleet to a snapshot
+//! **byte-for-byte identical** to the live run's.
+//!
+//! Contract 3 (hardening): clients that disconnect mid-frame, send garbage
+//! frames, or violate the arrival contract get framed errors (with the
+//! offending worker named) or dropped connections — and the server keeps
+//! serving the next client.
+
+use cpa::core::engine::DynEngine;
+use cpa::data::profile::DatasetProfile;
+use cpa::data::simulate::simulate;
+use cpa::data::stream::{WorkerBatch, WorkerStream};
+use cpa::eval::runner::Method;
+use cpa::math::rng::seeded;
+use cpa::serve::{ops_from_jsonl, ops_to_jsonl, Fleet, FleetOp};
+use cpa::transport::{FleetClient, FleetServer, ServeOutcome, ServerConfig};
+use std::sync::mpsc::channel;
+
+const SEED: u64 = 7719;
+
+fn fixture() -> (cpa::data::dataset::Dataset, Vec<WorkerBatch>) {
+    let sim = simulate(&DatasetProfile::movie().scaled(0.05), SEED);
+    let mut rng = seeded(SEED + 1);
+    let batches = WorkerStream::new(&sim.dataset, 8, &mut rng).into_batches();
+    assert!(batches.len() >= 4, "need batches for both clients");
+    (sim.dataset, batches)
+}
+
+fn fleet_for(d: &cpa::data::dataset::Dataset, shards: usize) -> Fleet {
+    let (i, u, c) = (d.num_items(), d.num_workers(), d.num_labels());
+    Fleet::new(shards, 2, i, u, c, |_| Method::CpaSvi.engine(i, u, c, SEED))
+}
+
+fn ingest_ops(d: &cpa::data::dataset::Dataset, batches: &[WorkerBatch]) -> Vec<FleetOp> {
+    batches
+        .iter()
+        .map(|b| FleetOp::ingest_from(&d.answers, b))
+        .collect()
+}
+
+/// Two live connections, one deterministic global op order: the clients
+/// alternate ingest ops, handing a token back and forth; then client A
+/// refits and predicts, client B predicts, snapshots, and shuts down.
+fn serve_two_clients(
+    fleet: Fleet,
+    ops: Vec<FleetOp>,
+) -> (
+    Vec<cpa::data::labels::LabelSet>,
+    Vec<cpa::data::labels::LabelSet>,
+    cpa::serve::FleetManifest,
+    ServeOutcome,
+) {
+    let server = FleetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_clients: 2,
+            record_ops: true,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let running = std::thread::spawn(move || server.serve(fleet).expect("serve"));
+
+    // Alternation: A owns even-indexed ops, B odd-indexed. Each completed
+    // ingest hands the turn token to the other client; main seeds A and
+    // then sequences the read phase once both ingest loops report done.
+    let (to_a, a_turn) = channel::<()>();
+    let (to_b, b_turn) = channel::<()>();
+    let (done_tx, done_rx) = channel::<()>();
+    let (phase_a_tx, phase_a) = channel::<()>();
+    let (phase_b_tx, phase_b) = channel::<()>();
+    let ops_a: Vec<FleetOp> = ops.iter().step_by(2).cloned().collect();
+    let ops_b: Vec<FleetOp> = ops.iter().skip(1).step_by(2).cloned().collect();
+
+    let client_a = std::thread::spawn({
+        let to_b = to_b.clone();
+        let done_tx = done_tx.clone();
+        move || {
+            let mut client = FleetClient::connect(addr).expect("client A connects");
+            for op in ops_a {
+                a_turn.recv().expect("turn token to A");
+                let FleetOp::Ingest { workers, answers } = op else {
+                    unreachable!()
+                };
+                client.ingest(workers, answers).expect("A ingests");
+                to_b.send(()).ok();
+            }
+            done_tx.send(()).expect("A reports its ingests done");
+            phase_a.recv().expect("read phase for A");
+            client.refit_all().expect("A refits");
+            let preds = client.predict_all().expect("A predicts");
+            done_tx.send(()).expect("A reports the refit done");
+            preds
+        }
+    });
+    let seed_a = to_a.clone();
+    let client_b = std::thread::spawn(move || {
+        let mut client = FleetClient::connect(addr).expect("client B connects");
+        for op in ops_b {
+            b_turn.recv().expect("turn token to B");
+            let FleetOp::Ingest { workers, answers } = op else {
+                unreachable!()
+            };
+            client.ingest(workers, answers).expect("B ingests");
+            to_a.send(()).ok();
+        }
+        done_tx.send(()).expect("B reports its ingests done");
+        phase_b.recv().expect("read phase for B");
+        let preds = client.predict_all().expect("B predicts");
+        let manifest = client.snapshot().expect("B snapshots");
+        client.shutdown().expect("B shuts the server down");
+        (preds, manifest)
+    });
+    seed_a
+        .send(())
+        .expect("seed the alternation: A's first turn");
+    done_rx.recv().expect("one ingest loop done");
+    done_rx.recv().expect("both ingest loops done");
+    phase_a_tx.send(()).expect("A refits and predicts first");
+    done_rx.recv().expect("A's read phase done");
+    phase_b_tx
+        .send(())
+        .expect("then B reads, snapshots, shuts down");
+    let preds_a = client_a.join().expect("client A thread");
+    let (preds_b, manifest) = client_b.join().expect("client B thread");
+    let outcome = running.join().expect("server thread");
+    (preds_a, preds_b, manifest, outcome)
+}
+
+#[test]
+fn two_concurrent_clients_are_bit_identical_to_the_in_process_fleet() {
+    let (d, batches) = fixture();
+    for k in [1usize, 4] {
+        let ops = ingest_ops(&d, &batches);
+
+        // In-process reference: the same global op order, no sockets.
+        let mut reference = fleet_for(&d, k);
+        for op in ops.clone() {
+            let reply = reference.apply(op);
+            assert_eq!(reply.name(), "Ingested", "K={k}");
+        }
+        reference.refit_all();
+
+        let (preds_a, preds_b, manifest, outcome) = serve_two_clients(fleet_for(&d, k), ops);
+
+        let want = reference.predict_all();
+        assert_eq!(preds_a, want, "K={k}: client A diverged over loopback");
+        assert_eq!(preds_b, want, "K={k}: client B diverged over loopback");
+        assert_eq!(
+            manifest.to_json(),
+            reference.snapshot().to_json(),
+            "K={k}: wire manifest diverged from the in-process snapshot"
+        );
+
+        // The live fleet handed back by the server equals the reference too.
+        assert_eq!(outcome.fleet.predict_all(), want, "K={k}");
+
+        // Contract 2: record → JSONL → parse → replay on a fresh fleet
+        // reproduces the live snapshot byte for byte.
+        let jsonl = ops_to_jsonl(&outcome.op_log);
+        let replayed_ops = ops_from_jsonl(&jsonl).expect("recorded op-log parses");
+        assert_eq!(replayed_ops.len(), outcome.op_log.len());
+        let mut replayed = fleet_for(&d, k);
+        replayed.replay(replayed_ops);
+        assert_eq!(
+            replayed.snapshot().to_json(),
+            outcome.fleet.snapshot().to_json(),
+            "K={k}: op-log replay diverged from the live run"
+        );
+    }
+}
+
+#[test]
+fn contract_violations_come_back_as_framed_errors_naming_the_worker() {
+    let (d, batches) = fixture();
+    let server = FleetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let fleet = fleet_for(&d, 2);
+    let running = std::thread::spawn(move || server.serve(fleet).expect("serve"));
+
+    let mut client = FleetClient::connect(addr).expect("connect");
+    let FleetOp::Ingest { workers, answers } = FleetOp::ingest_from(&d.answers, &batches[0]) else {
+        unreachable!()
+    };
+    let first_worker = workers[0];
+    client
+        .ingest(workers.clone(), answers.clone())
+        .expect("first arrival is fine");
+    // The same workers again: rejected with the offending worker named,
+    // and the fleet is untouched.
+    let err = client.ingest(workers, answers).expect_err("re-arrival");
+    assert!(
+        err.to_string().contains(&format!("worker {first_worker}")),
+        "{err}"
+    );
+    // An out-of-range label is rejected before anything is mutated.
+    let err = client
+        .ingest(vec![0], vec![(0, 0, vec![d.num_labels() + 5])])
+        .expect_err("bad label");
+    assert!(err.to_string().contains("label"), "{err}");
+    // The connection is still healthy and the server still serves.
+    client.refit_all().expect("refit after rejections");
+    assert_eq!(client.predict_all().expect("predict").len(), d.num_items());
+    client.shutdown().expect("shutdown");
+    let outcome = running.join().expect("server joins");
+    assert_eq!(
+        outcome.fleet.batches_ingested(),
+        1,
+        "rejections mutated nothing"
+    );
+}
+
+#[test]
+fn truncated_and_garbage_frames_do_not_kill_the_server() {
+    use std::io::{Read, Write};
+    let (d, _) = fixture();
+    let server = FleetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let fleet = fleet_for(&d, 1);
+    let running = std::thread::spawn(move || server.serve(fleet).expect("serve"));
+
+    // A client that dies mid-frame: half a length prefix, then gone.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        raw.write_all(&[0x00, 0x00]).expect("partial prefix");
+    }
+    // A client that dies mid-payload: the prefix promises 100 bytes,
+    // 3 arrive.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        raw.write_all(&100u32.to_be_bytes()).expect("prefix");
+        raw.write_all(b"abc").expect("partial payload");
+    }
+    // A complete frame that is not an op: answered with a framed error,
+    // then the connection is dropped.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        let garbage = b"this is not an op";
+        raw.write_all(&(garbage.len() as u32).to_be_bytes())
+            .expect("prefix");
+        raw.write_all(garbage).expect("payload");
+        let mut prefix = [0u8; 4];
+        raw.read_exact(&mut prefix)
+            .expect("framed error comes back");
+        let mut payload = vec![0u8; u32::from_be_bytes(prefix) as usize];
+        raw.read_exact(&mut payload).expect("error payload");
+        let text = String::from_utf8(payload).expect("utf8 error frame");
+        assert!(text.contains("Error"), "{text}");
+        // ...and the stream ends there: the server dropped the connection.
+        assert_eq!(raw.read(&mut [0u8; 1]).expect("clean close"), 0);
+    }
+    // After all three abuses, a healthy client is served normally.
+    let mut client = FleetClient::connect(addr).expect("healthy connect");
+    client
+        .ingest(vec![0], vec![(0, 0, vec![0])])
+        .expect("healthy ingest");
+    client.refit_all().expect("healthy refit");
+    client.shutdown().expect("shutdown");
+    running.join().expect("server joins");
+}
+
+#[test]
+fn drive_equals_the_same_ops_replayed() {
+    // The legacy drive() surface and raw op replay are the same interpreter:
+    // identical snapshots, including arrival state.
+    let (d, batches) = fixture();
+    let mut driven = fleet_for(&d, 4);
+    driven.drive(&mut cpa::data::stream::MemorySource::new(
+        &d.answers,
+        batches.clone(),
+    ));
+
+    let mut replayed = fleet_for(&d, 4);
+    let mut ops = ingest_ops(&d, &batches);
+    ops.push(FleetOp::Refit);
+    let replies = replayed.replay(ops);
+    assert!(replies.iter().all(|r| r.name() != "Error"));
+    assert_eq!(replayed.snapshot().to_json(), driven.snapshot().to_json());
+    assert_eq!(replayed.batches_ingested(), batches.len());
+}
+
+/// A restore hook is required for Restore ops; without one they are
+/// rejected with a framed error, with one they replace the fleet.
+#[test]
+fn restore_over_the_wire_requires_and_uses_the_hook() {
+    let (d, batches) = fixture();
+    let mut donor = fleet_for(&d, 2);
+    donor.drive(&mut cpa::data::stream::MemorySource::new(
+        &d.answers,
+        batches.clone(),
+    ));
+    let manifest = donor.snapshot();
+
+    // No hook installed: rejected.
+    let server = FleetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let running = std::thread::spawn({
+        let fleet = fleet_for(&d, 2);
+        move || server.serve(fleet).expect("serve")
+    });
+    let mut client = FleetClient::connect(addr).expect("connect");
+    let err = client
+        .restore(manifest.clone())
+        .expect_err("no hook installed");
+    assert!(err.to_string().contains("restore hook"), "{err}");
+    client.shutdown().expect("shutdown");
+    running.join().expect("join");
+
+    // Hook installed: the served fleet becomes the donor, bit-identically.
+    let server = FleetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let running = std::thread::spawn({
+        let fleet = fleet_for(&d, 2).with_restore_hook(cpa::eval::runner::restore_engine);
+        move || server.serve(fleet).expect("serve")
+    });
+    let mut client = FleetClient::connect(addr).expect("connect");
+    client.restore(manifest).expect("restore through the hook");
+    let preds = client.predict_all().expect("predict");
+    assert_eq!(preds, donor.predict_all());
+    client.shutdown().expect("shutdown");
+    running.join().expect("join");
+}
+
+#[allow(dead_code)]
+fn assert_engine_is_send(engine: DynEngine) -> DynEngine {
+    engine
+}
