@@ -4,9 +4,12 @@
 //! Per method: one warmup, then `CPA_BENCH_SAMPLES` (default 3) timed runs
 //! of the full engine protocol (stream every worker batch through `ingest`,
 //! one `refit`, one `predict_all`); the minimum wall-clock is reported as
-//! answers/sec. The checkpoint leg times `snapshot` → JSON → parse →
-//! `restore` on the fitted engine and records the JSON size — the durability
-//! cost a serving layer would pay per pause/resume.
+//! answers/sec. The checkpoint leg times `snapshot` → encode → parse →
+//! `restore` on the fitted engine under **both** checkpoint encodings —
+//! JSON and the binary container — records both document sizes, and
+//! asserts the two restores are bit-identical (same predictions, same
+//! re-snapshot) — the durability cost a serving layer would pay per
+//! pause/resume, and the size/time the binary codec buys back.
 //!
 //! Knobs: `CPA_BENCH_SCALE` (default 0.1), `CPA_BENCH_SAMPLES`,
 //! `CPA_BENCH_OUT` (default `BENCH_engine.json` in the workspace root).
@@ -33,6 +36,9 @@ struct MethodSeries {
     snapshot_secs: f64,
     checkpoint_json_bytes: usize,
     restore_secs: f64,
+    snapshot_binary_secs: f64,
+    checkpoint_binary_bytes: usize,
+    restore_binary_secs: f64,
 }
 
 #[derive(Serialize)]
@@ -120,12 +126,35 @@ fn main() {
             method.name()
         );
 
+        let t = Instant::now();
+        let binary = engine.snapshot().to_binary();
+        let snapshot_binary_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let restored_binary =
+            restore_engine(Checkpoint::from_bytes(&binary).expect("binary checkpoint parses"))
+                .expect("binary checkpoint restores");
+        let restore_binary_secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            restored_binary.predict_all(),
+            restored.predict_all(),
+            "{}: binary restore diverged from JSON restore",
+            method.name()
+        );
+        assert_eq!(
+            restored_binary.snapshot().to_json(),
+            restored.snapshot().to_json(),
+            "{}: binary and JSON restores re-snapshot differently",
+            method.name()
+        );
+
         let answers_per_sec = d.answers.num_answers() as f64 / fit_secs_min;
         eprintln!(
             "  {:8}: fit {fit_secs_min:.3}s ({answers_per_sec:.0} answers/s), \
-             checkpoint {} bytes, snapshot {snapshot_secs:.4}s, restore {restore_secs:.4}s",
+             checkpoint {} B json / {} B binary, snapshot {snapshot_secs:.4}s/{snapshot_binary_secs:.4}s, \
+             restore {restore_secs:.4}s/{restore_binary_secs:.4}s",
             method.name(),
-            json.len()
+            json.len(),
+            binary.len()
         );
         series.push(MethodSeries {
             method: method.name().to_string(),
@@ -135,6 +164,9 @@ fn main() {
             snapshot_secs,
             checkpoint_json_bytes: json.len(),
             restore_secs,
+            snapshot_binary_secs,
+            checkpoint_binary_bytes: binary.len(),
+            restore_binary_secs,
         });
     }
 

@@ -6,12 +6,13 @@
 //! (default 3) timed runs of the full serving protocol — one framed
 //! `Ingest` op per arrival batch, a `Refit`, a merged `Predict` — once
 //! against `Fleet::apply` directly and once over a real loopback TCP
-//! server, both through the shared harness of the `served` experiment
+//! server **per wire codec** (JSON frames and the negotiated binary
+//! codec), all through the shared harness of the `served` experiment
 //! (`cpa_eval::experiments::served`), so the bench measures exactly what
 //! the experiment compares. Loopback predictions are asserted
-//! bit-identical to the warmup each run (the wire adds latency, never
-//! noise). Reported per mode: end-to-end ingest→predict seconds,
-//! answers/sec, ingest ops/sec, mean per-op latency, and the
+//! bit-identical to the warmup each run and across codecs (the wire adds
+//! latency, never noise). Reported per mode: end-to-end ingest→predict
+//! seconds, answers/sec, ingest ops/sec, mean per-op latency, and the
 //! `wire_overhead` ratio (loopback vs in-process wall clock).
 //!
 //! Knobs: `CPA_BENCH_SCALE` (default 0.1), `CPA_BENCH_SAMPLES`,
@@ -19,8 +20,9 @@
 //! (default `BENCH_transport.json` in the workspace root).
 
 use cpa_data::simulate::simulate;
-use cpa_eval::experiments::served::{arrival_ops, fleet_for, run_in_process, run_loopback};
+use cpa_eval::experiments::served::{arrival_ops, fleet_for, run_in_process, run_loopback_with};
 use cpa_eval::runner::Method;
+use cpa_transport::WireFormat;
 use serde::Serialize;
 use std::hint::black_box;
 
@@ -95,16 +97,23 @@ fn main() {
     for &shards in &SHARD_COUNTS {
         let threads = shards.min(max_threads);
         let mut baseline_secs = None;
-        for mode in ["in-process", "loopback"] {
+        let mut reference_preds: Option<Vec<cpa_data::labels::LabelSet>> = None;
+        for mode in ["in-process", "loopback-json", "loopback-binary"] {
             let run = |ops: Vec<cpa_serve::FleetOp>| {
                 let fleet = fleet_for(method, d, shards, threads, SEED);
                 match mode {
                     "in-process" => run_in_process(fleet, ops),
-                    _ => run_loopback(fleet, ops),
+                    "loopback-json" => run_loopback_with(fleet, ops, WireFormat::Json),
+                    _ => run_loopback_with(fleet, ops, WireFormat::Binary),
                 }
             };
             // Warmup (also the fidelity reference), then timed samples.
             let warm = run(ops.clone());
+            let reference = reference_preds.get_or_insert_with(|| warm.predictions.clone());
+            assert_eq!(
+                &warm.predictions, reference,
+                "{mode} K={shards}: codec changed the predictions"
+            );
             let mut totals = Vec::new();
             let mut rtts = Vec::new();
             for _ in 0..samples {

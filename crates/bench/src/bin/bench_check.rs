@@ -1,0 +1,201 @@
+//! `bench_check` — sanity gate over the committed `BENCH_*.json` reports.
+//!
+//! Every bench target writes a JSON report into the workspace root, and
+//! those reports are committed as the repo's performance record. This
+//! binary validates each one: it must parse, carry the shared header
+//! fields (`workload`, `samples_per_series`, `host_available_parallelism`,
+//! a non-empty `series`), and every series entry must carry its
+//! target-specific fields with finite, positive timings. CI runs it after
+//! each bench smoke so a bench that silently drops a field (or commits a
+//! half-written report) fails the build instead of rotting quietly.
+//!
+//! ```text
+//! cargo run -p cpa-bench --bin bench_check [DIR]
+//! ```
+//!
+//! `DIR` defaults to the workspace root. Exit status 0 means every
+//! expected report is present and well-formed; any problem prints the
+//! file and field and exits 1.
+
+use serde::Value;
+use std::path::Path;
+
+/// A report-wide invariant checked over the parsed series entries.
+type SeriesInvariant = fn(&[Value]) -> Result<(), String>;
+
+/// Per-report schema: required series fields, and series values (field,
+/// finite-positive?) beyond the shared header.
+struct Schema {
+    file: &'static str,
+    /// Fields every series entry must carry; `true` = must also be a
+    /// finite, strictly positive number.
+    series_fields: &'static [(&'static str, bool)],
+    /// Extra invariant, given the parsed series entries.
+    extra: Option<SeriesInvariant>,
+}
+
+const SCHEMAS: &[Schema] = &[
+    Schema {
+        file: "BENCH_engine.json",
+        series_fields: &[
+            ("method", false),
+            ("fit_secs_min", true),
+            ("fit_secs_median", true),
+            ("answers_per_sec", true),
+            ("snapshot_secs", true),
+            ("checkpoint_json_bytes", true),
+            ("restore_secs", true),
+            ("snapshot_binary_secs", true),
+            ("checkpoint_binary_bytes", true),
+            ("restore_binary_secs", true),
+        ],
+        extra: Some(|series| {
+            // The binary codec must actually be the smaller encoding.
+            for entry in series {
+                let json_bytes = field_f64(entry, "checkpoint_json_bytes")?;
+                let binary_bytes = field_f64(entry, "checkpoint_binary_bytes")?;
+                if binary_bytes >= json_bytes {
+                    return Err(format!(
+                        "series entry {:?}: checkpoint_binary_bytes ({binary_bytes}) is not \
+                         smaller than checkpoint_json_bytes ({json_bytes})",
+                        entry.get("method").and_then(Value::as_str).unwrap_or("?")
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    },
+    Schema {
+        file: "BENCH_transport.json",
+        series_fields: &[
+            ("mode", false),
+            ("shards", true),
+            ("threads", true),
+            ("total_secs_min", true),
+            ("total_secs_median", true),
+            ("answers_per_sec", true),
+            ("ingest_ops_per_sec", true),
+            ("mean_ingest_rtt_micros", true),
+            ("wire_overhead_vs_in_process", true),
+        ],
+        extra: Some(|series| {
+            // Both wire codecs must be represented alongside the
+            // in-process baseline.
+            for want in ["in-process", "loopback-json", "loopback-binary"] {
+                let present = series
+                    .iter()
+                    .any(|entry| entry.get("mode").and_then(Value::as_str) == Some(want));
+                if !present {
+                    return Err(format!("no series entry with mode {want:?}"));
+                }
+            }
+            Ok(())
+        }),
+    },
+    Schema {
+        file: "BENCH_serve.json",
+        series_fields: &[
+            ("shards", true),
+            ("threads", true),
+            ("fit_secs_min", true),
+            ("answers_per_sec", true),
+            ("manifest_json_bytes", true),
+            ("snapshot_secs", true),
+            ("restore_secs", true),
+        ],
+        extra: None,
+    },
+    Schema {
+        file: "BENCH_parallel_svi.json",
+        series_fields: &[
+            ("threads", true),
+            ("secs_min", true),
+            ("secs_median", true),
+            ("items_per_sec", true),
+            ("answers_per_sec", true),
+        ],
+        extra: None,
+    },
+];
+
+/// Shared header fields every report must carry.
+const HEADER_FIELDS: &[(&str, bool)] = &[
+    ("workload", false),
+    ("samples_per_series", true),
+    ("host_available_parallelism", true),
+];
+
+fn field_f64(entry: &Value, field: &str) -> Result<f64, String> {
+    entry
+        .get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("field {field:?} is missing or not a number"))
+}
+
+/// Checks one field of one object: present, and if `numeric`, a finite
+/// strictly positive number.
+fn check_field(obj: &Value, field: &str, numeric: bool, at: &str) -> Result<(), String> {
+    let value = obj
+        .get(field)
+        .ok_or_else(|| format!("{at}: missing field {field:?}"))?;
+    if numeric {
+        let x = value
+            .as_f64()
+            .ok_or_else(|| format!("{at}: field {field:?} is not a number"))?;
+        if !x.is_finite() || x <= 0.0 {
+            return Err(format!(
+                "{at}: field {field:?} must be finite and positive, got {x}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_report(dir: &Path, schema: &Schema) -> Result<usize, String> {
+    let path = dir.join(schema.file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let report: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{}: not valid JSON: {e}", schema.file))?;
+    for &(field, numeric) in HEADER_FIELDS {
+        check_field(&report, field, numeric, schema.file)?;
+    }
+    let series = report
+        .get("series")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: missing or non-array field \"series\"", schema.file))?;
+    if series.is_empty() {
+        return Err(format!("{}: \"series\" is empty", schema.file));
+    }
+    for (idx, entry) in series.iter().enumerate() {
+        let at = format!("{} series[{idx}]", schema.file);
+        for &(field, numeric) in schema.series_fields {
+            check_field(entry, field, numeric, &at)?;
+        }
+    }
+    if let Some(extra) = schema.extra {
+        extra(series).map_err(|e| format!("{}: {e}", schema.file))?;
+    }
+    Ok(series.len())
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string());
+    let dir = Path::new(&dir);
+    let mut failed = false;
+    for schema in SCHEMAS {
+        match check_report(dir, schema) {
+            Ok(entries) => eprintln!("ok: {} ({entries} series entries)", schema.file),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("all committed bench reports are well-formed");
+}

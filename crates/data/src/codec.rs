@@ -1,0 +1,730 @@
+//! The std-only **binary codec** over the serde shim's self-describing
+//! [`serde::Value`] model — the compact counterpart of `serde_json`.
+//!
+//! Anything the workspace can serialize as JSON it can serialize through
+//! this module instead: both codecs flow through the same [`Value`] tree,
+//! so `value_from_bytes(value_to_bytes(v)) == v` holds for every tree
+//! `serde_json` can produce, and a type decoded from either encoding is
+//! the same value. The binary layout exists for the two hot paths the
+//! ROADMAP names — the wire (`cpa-transport` frames) and the durable
+//! checkpoint/manifest/op-log containers — where JSON's decimal numbers
+//! and repeated field names dominate the byte count.
+//!
+//! # Encoding
+//!
+//! One leading tag byte per value. Unsigned quantities (scalars, lengths,
+//! counts, key references) are **LEB128 varints**; signed scalars are
+//! zigzag varints; floats are fixed 8-byte **little-endian** `f64` bits:
+//!
+//! | tag    | value        | payload |
+//! |--------|--------------|---------|
+//! | `0x00` | null         | — |
+//! | `0x01` | `false`      | — |
+//! | `0x02` | `true`       | — |
+//! | `0x03` | int          | zigzag varint |
+//! | `0x04` | uint         | varint |
+//! | `0x05` | float        | `f64` LE bits |
+//! | `0x06` | string       | varint byte length + UTF-8 bytes |
+//! | `0x07` | array        | varint count + encoded elements |
+//! | `0x08` | object       | varint count + per entry: key token + value |
+//! | `0x09` | packed uints | width byte (1/2/4/8) + varint count + `count × width` LE slab |
+//! | `0x0a` | packed floats| varint count + `count × 8` `f64` LE slab |
+//!
+//! Two compressions carry the format:
+//!
+//! - **Packed slabs.** A homogeneous array of unsigned integers (CSR
+//!   offsets, label-set blocks, worker lists) is stored as one raw slab at
+//!   the smallest width that fits its maximum, and an array of floats
+//!   (variational parameter rows) as a raw `f64` slab — exact bits, no
+//!   decimal round-trip. Both decode back to the plain `Value::Array` they
+//!   came from, so packing is invisible above the codec.
+//! - **Key interning.** Object keys repeat endlessly in CSR entry lists
+//!   (`num_labels`, `blocks`, ...). A key token of `0` introduces a new
+//!   key (varint length + bytes) and appends it to a document-wide table;
+//!   a token `n > 0` references table entry `n − 1`. Encoder and decoder
+//!   walk the tree in the same order, so the tables agree by
+//!   construction.
+//!
+//! Decoding is hardened the same way the transport frames are: every
+//! declared length is checked against the bytes actually remaining
+//! *before* anything is allocated, truncation names what was being read,
+//! and trailing bytes after the root value are rejected.
+
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+
+/// Why a binary payload could not be decoded.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The payload ended before a declared length was satisfied.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+        /// Bytes the declaration still owed.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The payload violates the format (unknown tag, bad width, bad
+    /// varint, bad key reference, bad UTF-8, trailing bytes).
+    Malformed(String),
+    /// The payload decoded as a [`Value`], but the target type rejected it.
+    Decode(serde::Error),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "binary payload truncated while reading {context} \
+                 ({got} of {expected} bytes)"
+            ),
+            CodecError::Malformed(msg) => write!(f, "malformed binary payload: {msg}"),
+            CodecError::Decode(e) => write!(f, "binary payload decodes, but: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---- tags ------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_INT: u8 = 0x03;
+const TAG_UINT: u8 = 0x04;
+const TAG_FLOAT: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_ARRAY: u8 = 0x07;
+const TAG_OBJECT: u8 = 0x08;
+const TAG_PACKED_UINT: u8 = 0x09;
+const TAG_PACKED_FLOAT: u8 = 0x0a;
+
+// ---- encoding --------------------------------------------------------------
+
+/// Serializes any shim-serializable type to the binary encoding.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    value_to_bytes(&value.serialize())
+}
+
+/// Encodes one [`Value`] tree.
+pub fn value_to_bytes(value: &Value) -> Vec<u8> {
+    let mut enc = Encoder {
+        out: Vec::new(),
+        keys: HashMap::new(),
+    };
+    enc.encode(value);
+    enc.out
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(i: i64) -> u64 {
+    ((i << 1) ^ (i >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+struct Encoder {
+    out: Vec<u8>,
+    /// Interned object keys → table index, in first-seen order.
+    keys: HashMap<String, u64>,
+}
+
+impl Encoder {
+    fn encode(&mut self, value: &Value) {
+        match value {
+            Value::Null => self.out.push(TAG_NULL),
+            Value::Bool(false) => self.out.push(TAG_FALSE),
+            Value::Bool(true) => self.out.push(TAG_TRUE),
+            Value::Int(i) => {
+                self.out.push(TAG_INT);
+                push_varint(&mut self.out, zigzag(*i));
+            }
+            Value::UInt(u) => {
+                self.out.push(TAG_UINT);
+                push_varint(&mut self.out, *u);
+            }
+            Value::Float(f) => {
+                self.out.push(TAG_FLOAT);
+                self.out.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Str(s) => {
+                self.out.push(TAG_STR);
+                push_varint(&mut self.out, s.len() as u64);
+                self.out.extend_from_slice(s.as_bytes());
+            }
+            Value::Array(items) => self.encode_array(items),
+            Value::Object(entries) => {
+                self.out.push(TAG_OBJECT);
+                push_varint(&mut self.out, entries.len() as u64);
+                for (key, v) in entries {
+                    self.encode_key(key);
+                    self.encode(v);
+                }
+            }
+        }
+    }
+
+    /// Key token: `0` introduces (and interns) a new key, `n > 0`
+    /// references table entry `n − 1`.
+    fn encode_key(&mut self, key: &str) {
+        match self.keys.get(key) {
+            Some(&index) => push_varint(&mut self.out, index + 1),
+            None => {
+                let index = self.keys.len() as u64;
+                self.keys.insert(key.to_string(), index);
+                self.out.push(0);
+                push_varint(&mut self.out, key.len() as u64);
+                self.out.extend_from_slice(key.as_bytes());
+            }
+        }
+    }
+
+    /// Encodes an array, packing homogeneous numeric runs into raw slabs.
+    fn encode_array(&mut self, items: &[Value]) {
+        if !items.is_empty() {
+            if let Some(max) = uniform_uint_max(items) {
+                let width = uint_width(max);
+                self.out.push(TAG_PACKED_UINT);
+                self.out.push(width);
+                push_varint(&mut self.out, items.len() as u64);
+                for item in items {
+                    let Value::UInt(u) = item else { unreachable!() };
+                    self.out
+                        .extend_from_slice(&u.to_le_bytes()[..width as usize]);
+                }
+                return;
+            }
+            if items.iter().all(|v| matches!(v, Value::Float(_))) {
+                self.out.push(TAG_PACKED_FLOAT);
+                push_varint(&mut self.out, items.len() as u64);
+                for item in items {
+                    let Value::Float(f) = item else {
+                        unreachable!()
+                    };
+                    self.out.extend_from_slice(&f.to_le_bytes());
+                }
+                return;
+            }
+        }
+        self.out.push(TAG_ARRAY);
+        push_varint(&mut self.out, items.len() as u64);
+        for item in items {
+            self.encode(item);
+        }
+    }
+}
+
+/// `Some(max)` when every element is a `Value::UInt`.
+fn uniform_uint_max(items: &[Value]) -> Option<u64> {
+    let mut max = 0u64;
+    for item in items {
+        match item {
+            Value::UInt(u) => max = max.max(*u),
+            _ => return None,
+        }
+    }
+    Some(max)
+}
+
+/// Smallest of {1, 2, 4, 8} bytes that holds `max`.
+fn uint_width(max: u64) -> u8 {
+    match max {
+        0..=0xff => 1,
+        0x100..=0xffff => 2,
+        0x1_0000..=0xffff_ffff => 4,
+        _ => 8,
+    }
+}
+
+// ---- decoding --------------------------------------------------------------
+
+/// Deserializes any shim-deserializable type from the binary encoding.
+///
+/// # Errors
+/// [`CodecError::Truncated`]/[`CodecError::Malformed`] on a bad payload,
+/// [`CodecError::Decode`] when the payload is a well-formed [`Value`] the
+/// target type rejects.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, CodecError> {
+    let value = value_from_bytes(bytes)?;
+    T::deserialize(&value).map_err(CodecError::Decode)
+}
+
+/// Decodes one [`Value`] tree, rejecting trailing bytes.
+///
+/// # Errors
+/// [`CodecError::Truncated`] or [`CodecError::Malformed`] on a bad payload.
+pub fn value_from_bytes(bytes: &[u8]) -> Result<Value, CodecError> {
+    let mut cursor = Cursor {
+        bytes,
+        pos: 0,
+        keys: Vec::new(),
+    };
+    let value = cursor.decode_value()?;
+    if cursor.pos != bytes.len() {
+        return Err(CodecError::Malformed(format!(
+            "{} trailing bytes after the root value",
+            bytes.len() - cursor.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Interned object keys, in first-seen order (mirrors the encoder's).
+    keys: Vec<String>,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Borrows the next `n` bytes, or reports what was being read.
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&[u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                context,
+                expected: n,
+                got: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_varint(&mut self, context: &'static str) -> Result<u64, CodecError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.take(1, context)?[0];
+            let part = (byte & 0x7f) as u64;
+            if shift == 63 && part > 1 {
+                break; // would overflow 64 bits — fall through to the error
+            }
+            value |= part << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(CodecError::Malformed(format!(
+            "varint for {context} exceeds 64 bits"
+        )))
+    }
+
+    /// Varint that must also fit in addressable length space.
+    fn take_len(&mut self, context: &'static str) -> Result<usize, CodecError> {
+        usize::try_from(self.take_varint(context)?)
+            .map_err(|_| CodecError::Malformed(format!("{context} exceeds usize")))
+    }
+
+    fn take_str(&mut self, len_ctx: &'static str, ctx: &'static str) -> Result<String, CodecError> {
+        let len = self.take_len(len_ctx)?;
+        let bytes = self.take(len, ctx)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::Malformed(format!("{ctx} is not UTF-8: {e}")))
+    }
+
+    fn decode_value(&mut self) -> Result<Value, CodecError> {
+        let tag = self.take(1, "value tag")?[0];
+        match tag {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_INT => Ok(Value::Int(unzigzag(self.take_varint("int scalar")?))),
+            TAG_UINT => Ok(Value::UInt(self.take_varint("uint scalar")?)),
+            TAG_FLOAT => {
+                let b = self.take(8, "float payload")?;
+                Ok(Value::Float(f64::from_le_bytes(b.try_into().expect("8"))))
+            }
+            TAG_STR => Ok(Value::Str(
+                self.take_str("string length", "string payload")?,
+            )),
+            TAG_ARRAY => {
+                let count = self.take_len("array count")?;
+                // Each element costs at least its tag byte, so a count the
+                // remaining bytes cannot cover is rejected before decoding.
+                if count > self.remaining() {
+                    return Err(CodecError::Truncated {
+                        context: "array elements",
+                        expected: count,
+                        got: self.remaining(),
+                    });
+                }
+                let mut items = Vec::new();
+                for _ in 0..count {
+                    items.push(self.decode_value()?);
+                }
+                Ok(Value::Array(items))
+            }
+            TAG_OBJECT => {
+                let count = self.take_len("object count")?;
+                // Each entry costs at least a key token + value tag.
+                if count.saturating_mul(2) > self.remaining() {
+                    return Err(CodecError::Truncated {
+                        context: "object entries",
+                        expected: count.saturating_mul(2),
+                        got: self.remaining(),
+                    });
+                }
+                let mut entries = Vec::new();
+                for _ in 0..count {
+                    let key = self.decode_key()?;
+                    entries.push((key, self.decode_value()?));
+                }
+                Ok(Value::Object(entries))
+            }
+            TAG_PACKED_UINT => {
+                let width = self.take(1, "packed width")?[0];
+                if !matches!(width, 1 | 2 | 4 | 8) {
+                    return Err(CodecError::Malformed(format!(
+                        "packed uint width {width} (expected 1, 2, 4, or 8)"
+                    )));
+                }
+                let count = self.take_len("packed count")?;
+                let need = count
+                    .checked_mul(width as usize)
+                    .ok_or_else(|| CodecError::Malformed("packed slab overflows".into()))?;
+                let slab = self.take(need, "packed uint slab")?;
+                let mut items = Vec::with_capacity(count);
+                for chunk in slab.chunks_exact(width as usize) {
+                    let mut le = [0u8; 8];
+                    le[..chunk.len()].copy_from_slice(chunk);
+                    items.push(Value::UInt(u64::from_le_bytes(le)));
+                }
+                Ok(Value::Array(items))
+            }
+            TAG_PACKED_FLOAT => {
+                let count = self.take_len("packed count")?;
+                let need = count
+                    .checked_mul(8)
+                    .ok_or_else(|| CodecError::Malformed("packed slab overflows".into()))?;
+                let slab = self.take(need, "packed float slab")?;
+                let mut items = Vec::with_capacity(count);
+                for chunk in slab.chunks_exact(8) {
+                    items.push(Value::Float(f64::from_le_bytes(
+                        chunk.try_into().expect("8"),
+                    )));
+                }
+                Ok(Value::Array(items))
+            }
+            other => Err(CodecError::Malformed(format!(
+                "unknown value tag 0x{other:02x}"
+            ))),
+        }
+    }
+
+    fn decode_key(&mut self) -> Result<String, CodecError> {
+        let token = self.take_varint("object key token")?;
+        if token == 0 {
+            let key = self.take_str("object key length", "object key")?;
+            self.keys.push(key.clone());
+            return Ok(key);
+        }
+        let index = (token - 1) as usize;
+        self.keys.get(index).cloned().ok_or_else(|| {
+            CodecError::Malformed(format!(
+                "object key reference {index} exceeds the {} interned keys",
+                self.keys.len()
+            ))
+        })
+    }
+}
+
+// ---- versioned containers --------------------------------------------------
+
+/// Frames a binary document: 4-byte magic + `u32` LE format version + one
+/// encoded [`Value`]. The magic makes binary and JSON documents
+/// self-distinguishing (no JSON document starts with these byte ranges),
+/// and the version sits **before** the payload so readers can reject an
+/// incompatible format without decoding it — the same version-first
+/// discipline as every JSON container in this workspace.
+pub fn encode_container(magic: [u8; 4], version: u32, value: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&value_to_bytes(value));
+    out
+}
+
+/// Splits a binary container into its format version and payload bytes,
+/// letting the caller check the version *before* decoding the payload.
+///
+/// # Errors
+/// [`CodecError::Malformed`] on a magic mismatch, [`CodecError::Truncated`]
+/// on a header cut short.
+pub fn split_container(bytes: &[u8], magic: [u8; 4]) -> Result<(u32, &[u8]), CodecError> {
+    if bytes.len() < 4 || bytes[..4] != magic {
+        return Err(CodecError::Malformed(format!(
+            "bad container magic (expected {:?})",
+            std::str::from_utf8(&magic).unwrap_or("?")
+        )));
+    }
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated {
+            context: "container version",
+            expected: 4,
+            got: bytes.len() - 4,
+        });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    Ok((version, &bytes[8..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(value: Value) {
+        let bytes = value_to_bytes(&value);
+        assert_eq!(value_from_bytes(&bytes).unwrap(), value, "{bytes:?}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-7),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::UInt(0),
+            Value::UInt(u64::MAX),
+            Value::Float(0.1),
+            Value::Float(-f64::MIN_POSITIVE),
+            Value::Str(String::new()),
+            Value::Str("héllo\n\"world\"".into()),
+        ] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn varints_stay_small_for_small_scalars() {
+        // Tag + 1 varint byte for anything under 128.
+        assert_eq!(value_to_bytes(&Value::UInt(127)).len(), 2);
+        assert_eq!(value_to_bytes(&Value::Int(-63)).len(), 2);
+        assert_eq!(value_to_bytes(&Value::UInt(u64::MAX)).len(), 11);
+    }
+
+    #[test]
+    fn non_finite_floats_keep_their_bits() {
+        // JSON degrades non-finite floats to null; the binary codec is
+        // exact.
+        let bytes = value_to_bytes(&Value::Float(f64::NEG_INFINITY));
+        assert_eq!(
+            value_from_bytes(&bytes).unwrap(),
+            Value::Float(f64::NEG_INFINITY)
+        );
+        let bytes = value_to_bytes(&Value::Array(vec![
+            Value::Float(f64::NAN),
+            Value::Float(2.0),
+        ]));
+        let Value::Array(items) = value_from_bytes(&bytes).unwrap() else {
+            panic!("array expected");
+        };
+        assert!(matches!(items[0], Value::Float(f) if f.is_nan()));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(Value::Array(vec![]));
+        roundtrip(Value::Object(vec![]));
+        roundtrip(Value::Array(vec![
+            Value::UInt(1),
+            Value::Str("mixed".into()),
+            Value::Array(vec![Value::Float(1.5), Value::Float(2.5)]),
+        ]));
+        roundtrip(Value::Object(vec![
+            ("offsets".into(), Value::Array(vec![Value::UInt(300)])),
+            (
+                "nested".into(),
+                Value::Object(vec![("k".into(), Value::Null)]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn repeated_object_keys_are_interned() {
+        let entry = |n: u64| {
+            Value::Object(vec![
+                ("num_labels".into(), Value::UInt(n)),
+                ("blocks".into(), Value::Array(vec![Value::UInt(n)])),
+            ])
+        };
+        let many = Value::Array((0..100).map(entry).collect());
+        let bytes = value_to_bytes(&many);
+        // Keys are spelled out once; every later entry pays ~1 byte per key.
+        let key_bytes = "num_labelsblocks".len();
+        assert!(
+            bytes.len() < key_bytes + 100 * 12,
+            "{} bytes — keys not interned?",
+            bytes.len()
+        );
+        roundtrip(many);
+    }
+
+    #[test]
+    fn uint_arrays_pack_at_minimal_width() {
+        let small = value_to_bytes(&Value::Array(vec![Value::UInt(9); 100]));
+        // 1 tag + 1 width + 1 varint count + 100 × 1 byte.
+        assert_eq!(small.len(), 103);
+        assert_eq!(small[0], TAG_PACKED_UINT);
+        assert_eq!(small[1], 1);
+        let wide = value_to_bytes(&Value::Array(vec![Value::UInt(1 << 40); 100]));
+        assert_eq!(wide.len(), 3 + 800);
+        roundtrip(Value::Array(
+            (0..1000u64).map(|u| Value::UInt(u * 77)).collect(),
+        ));
+    }
+
+    #[test]
+    fn float_arrays_pack_as_f64_slabs() {
+        let values: Vec<Value> = (0..64).map(|i| Value::Float(i as f64 / 7.0)).collect();
+        let bytes = value_to_bytes(&Value::Array(values.clone()));
+        assert_eq!(bytes[0], TAG_PACKED_FLOAT);
+        assert_eq!(bytes.len(), 2 + 64 * 8);
+        roundtrip(Value::Array(values));
+    }
+
+    #[test]
+    fn mixed_numeric_arrays_stay_generic() {
+        // An Int disqualifies uint packing; exactness survives either way.
+        roundtrip(Value::Array(vec![Value::Int(-1), Value::UInt(1)]));
+        roundtrip(Value::Array(vec![Value::Float(1.0), Value::UInt(1)]));
+    }
+
+    #[test]
+    fn typed_values_roundtrip_like_json() {
+        let v: Vec<(u32, String)> = vec![(1, "a".into()), (2, "b\n".into())];
+        let back: Vec<(u32, String)> = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(back, v);
+        let offsets: Vec<usize> = (0..257).collect();
+        let back: Vec<usize> = from_bytes(&to_bytes(&offsets)).unwrap();
+        assert_eq!(back, offsets);
+    }
+
+    #[test]
+    fn truncations_name_what_was_cut() {
+        let bytes = value_to_bytes(&Value::Str("hello".into()));
+        let err = value_from_bytes(&bytes[..bytes.len() - 2]).unwrap_err();
+        assert!(
+            matches!(err, CodecError::Truncated { context, expected: 5, got: 3 }
+                if context == "string payload"),
+            "{err}"
+        );
+        let err = value_from_bytes(&[TAG_FLOAT, 1, 2]).unwrap_err();
+        assert!(
+            matches!(err, CodecError::Truncated { context, .. } if context == "float payload"),
+            "{err}"
+        );
+        // A varint cut mid-continuation.
+        let err = value_from_bytes(&[TAG_UINT, 0x80]).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected_before_allocation() {
+        // An array claiming ~u32::MAX elements with 2 bytes behind it.
+        let mut bytes = vec![TAG_ARRAY];
+        push_varint(&mut bytes, u64::from(u32::MAX));
+        bytes.extend_from_slice(&[TAG_NULL, TAG_NULL]);
+        let err = value_from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }), "{err}");
+        // A packed slab claiming more than remains.
+        let mut bytes = vec![TAG_PACKED_UINT, 8];
+        push_varint(&mut bytes, u64::from(u32::MAX));
+        let err = value_from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }), "{err}");
+        // An object claiming entries its bytes cannot carry.
+        let mut bytes = vec![TAG_OBJECT];
+        push_varint(&mut bytes, 1000);
+        let err = value_from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_tags_widths_and_key_refs_are_malformed() {
+        assert!(matches!(
+            value_from_bytes(&[0x7f]).unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+        let mut bytes = vec![TAG_PACKED_UINT, 3];
+        push_varint(&mut bytes, 0);
+        assert!(matches!(
+            value_from_bytes(&bytes).unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+        // A key token referencing an entry that was never interned.
+        let mut bytes = vec![TAG_OBJECT];
+        push_varint(&mut bytes, 1);
+        push_varint(&mut bytes, 5); // reference to key 4 in an empty table
+        bytes.push(TAG_NULL);
+        let err = value_from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, CodecError::Malformed(msg) if msg.contains("key reference")),
+            "{err}"
+        );
+        // An 11-byte varint (overflowing 64 bits).
+        let bytes = [
+            TAG_UINT, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+        ];
+        assert!(matches!(
+            value_from_bytes(&bytes).unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = value_to_bytes(&Value::Null);
+        bytes.push(0);
+        let err = value_from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, CodecError::Malformed(msg) if msg.contains("trailing")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn containers_split_version_first() {
+        const MAGIC: [u8; 4] = *b"TEST";
+        let doc = encode_container(MAGIC, 7, &Value::Str("payload".into()));
+        let (version, payload) = split_container(&doc, MAGIC).unwrap();
+        assert_eq!(version, 7);
+        assert_eq!(
+            value_from_bytes(payload).unwrap(),
+            Value::Str("payload".into())
+        );
+        assert!(matches!(
+            split_container(&doc, *b"ELSE").unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+        assert!(matches!(
+            split_container(&doc[..6], MAGIC).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+    }
+}

@@ -426,6 +426,95 @@ pub fn oplog_from_jsonl<T: serde::Deserialize>(text: &str) -> Result<Vec<T>, IoE
     Ok(ops)
 }
 
+/// Magic prefix of a binary op-log (followed by `u32` LE [`OP_LOG_VERSION`],
+/// a `u32` LE record count, then length-prefixed binary records).
+pub const OP_LOG_MAGIC: [u8; 4] = *b"CPAL";
+
+/// Serializes a recorded op stream as a **versioned binary op-log**: the
+/// compact counterpart of [`oplog_to_jsonl`], same op sequence, same
+/// version-first discipline. Layout: [`OP_LOG_MAGIC`], `u32` LE
+/// [`OP_LOG_VERSION`], `u32` LE record count, then each op as a `u32` LE
+/// byte length + its [`crate::codec`] encoding.
+pub fn oplog_to_binary<T: serde::Serialize>(ops: &[T]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&OP_LOG_MAGIC);
+    out.extend_from_slice(&OP_LOG_VERSION.to_le_bytes());
+    let count = u32::try_from(ops.len()).expect("op-log record count fits u32");
+    out.extend_from_slice(&count.to_le_bytes());
+    for op in ops {
+        let record = crate::codec::to_bytes(op);
+        let len = u32::try_from(record.len()).expect("op record fits u32");
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&record);
+    }
+    out
+}
+
+/// Parses a binary op-log written by [`oplog_to_binary`] back into its op
+/// sequence. The header's version is checked **before** any record is
+/// decoded ([`IoError::Version`] on mismatch), and a log cut mid-record
+/// fails as a [`IoError::BadRecord`] naming the cut record's 1-based
+/// ordinal — the same truncation hardening as the JSONL path.
+///
+/// # Errors
+/// Fails on a missing/malformed header, a version mismatch, or any record
+/// that does not decode as a `T`.
+pub fn oplog_from_binary<T: serde::Deserialize>(bytes: &[u8]) -> Result<Vec<T>, IoError> {
+    let header = |message: &str| IoError::BadRecord {
+        line: 1,
+        message: message.into(),
+    };
+    if bytes.len() < 4 || bytes[..4] != OP_LOG_MAGIC {
+        return Err(header("missing binary op-log magic"));
+    }
+    if bytes.len() < 12 {
+        return Err(header("truncated binary op-log header"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != OP_LOG_VERSION {
+        return Err(IoError::Version {
+            found: version,
+            expected: OP_LOG_VERSION,
+        });
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let mut rest = &bytes[12..];
+    let mut ops = Vec::new();
+    for ordinal in 1..=count {
+        let record_err = |message: String| IoError::BadRecord {
+            line: ordinal,
+            message,
+        };
+        if rest.len() < 4 {
+            return Err(record_err(format!(
+                "bad op record: log cut inside the record's length prefix \
+                 ({} of 4 bytes)",
+                rest.len()
+            )));
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        rest = &rest[4..];
+        if rest.len() < len {
+            return Err(record_err(format!(
+                "bad op record: log cut inside the record ({} of {len} bytes)",
+                rest.len()
+            )));
+        }
+        ops.push(
+            crate::codec::from_bytes(&rest[..len])
+                .map_err(|e| record_err(format!("bad op record: {e}")))?,
+        );
+        rest = &rest[len..];
+    }
+    if !rest.is_empty() {
+        return Err(IoError::BadRecord {
+            line: count.max(1),
+            message: format!("{} trailing bytes after the final record", rest.len()),
+        });
+    }
+    Ok(ops)
+}
+
 /// Writes a whole dataset (answers + truth) into a directory as two CSV
 /// files, `answers.csv` and `truth.csv`.
 pub fn save_dataset_csv(dataset: &Dataset, dir: &std::path::Path) -> Result<(), IoError> {
@@ -722,6 +811,50 @@ mod tests {
             msg.contains("line 2") && msg.contains("bad op record"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn binary_oplog_roundtrips_and_matches_jsonl() {
+        let ops = test_ops();
+        let bytes = oplog_to_binary(&ops);
+        assert_eq!(&bytes[..4], &OP_LOG_MAGIC);
+        let back: Vec<TestOp> = oplog_from_binary(&bytes).unwrap();
+        assert_eq!(back, ops);
+        // Same sequence as the JSONL codec.
+        let jsonl: Vec<TestOp> = oplog_from_jsonl(&oplog_to_jsonl(&ops)).unwrap();
+        assert_eq!(back, jsonl);
+        let empty: Vec<TestOp> = oplog_from_binary(&oplog_to_binary::<TestOp>(&[])).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn binary_oplog_version_is_checked_before_any_record() {
+        let mut bytes = oplog_to_binary(&test_ops());
+        bytes[4..8].copy_from_slice(&(OP_LOG_VERSION + 1).to_le_bytes());
+        let err = oplog_from_binary::<TestOp>(&bytes).unwrap_err();
+        assert!(
+            matches!(err, IoError::Version { found, .. } if found == OP_LOG_VERSION + 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_oplog_truncation_names_the_cut_record() {
+        let bytes = oplog_to_binary(&test_ops());
+        let err = oplog_from_binary::<TestOp>(&bytes[..bytes.len() - 3]).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 3") && msg.contains("cut inside"),
+            "{msg}"
+        );
+        // No magic at all: reported as a missing header, not a panic.
+        let err = oplog_from_binary::<TestOp>(b"not a log").unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        // Trailing bytes after the declared records are rejected.
+        let mut padded = oplog_to_binary(&test_ops());
+        padded.push(0xee);
+        let err = oplog_from_binary::<TestOp>(&padded).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
     }
 
     #[test]

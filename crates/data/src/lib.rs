@@ -25,6 +25,7 @@
 
 pub mod agreement;
 pub mod answers;
+pub mod codec;
 pub mod dataset;
 pub mod io;
 pub mod labels;

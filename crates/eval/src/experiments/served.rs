@@ -23,7 +23,7 @@ use cpa_data::profile::DatasetProfile;
 use cpa_data::simulate::simulate;
 use cpa_data::stream::BatchSource;
 use cpa_serve::{Fleet, FleetOp};
-use cpa_transport::{FleetClient, FleetServer, ServerConfig};
+use cpa_transport::{FleetClient, FleetServer, ServerConfig, WireFormat};
 
 /// Default roster: the streaming engine (the serving story) plus the batch
 /// engine for a refit-style contrast.
@@ -95,14 +95,26 @@ pub fn run_in_process(mut fleet: Fleet, ops: Vec<FleetOp>) -> ServedRun {
 }
 
 /// Drives the same op stream through a loopback TCP server (bound on an
-/// ephemeral port, shut down before returning).
+/// ephemeral port, shut down before returning), under the wire codec named
+/// by `CPA_WIRE_FORMAT` (JSON when unset).
 pub fn run_loopback(fleet: Fleet, ops: Vec<FleetOp>) -> ServedRun {
+    run_loopback_with(fleet, ops, WireFormat::from_env())
+}
+
+/// [`run_loopback`] pinned to a specific wire codec — the JSON-vs-binary
+/// comparison surface of the transport bench.
+pub fn run_loopback_with(fleet: Fleet, ops: Vec<FleetOp>, format: WireFormat) -> ServedRun {
     let server =
         FleetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("loopback bind succeeds");
     let addr = server.local_addr().expect("bound address");
     let running = std::thread::spawn(move || server.serve(fleet).expect("serve completes"));
 
-    let mut client = FleetClient::connect(addr).expect("loopback connect succeeds");
+    let mut client = FleetClient::connect_with(addr, format).expect("loopback connect succeeds");
+    assert_eq!(
+        client.wire_format(),
+        format,
+        "loopback server must grant the requested codec"
+    );
     let count = ops.len() + 2;
     let mut rtt_total = 0.0;
     let mut ingests = 0usize;

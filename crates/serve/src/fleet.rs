@@ -50,6 +50,12 @@ use std::collections::BTreeSet;
 /// batch exactly as the uninterrupted run would.
 pub const FLEET_MANIFEST_VERSION: u32 = 2;
 
+/// Magic prefix of a **binary** fleet manifest (followed by a `u32` LE
+/// format version and the `cpa_data::codec` payload). JSON manifests never
+/// start with these bytes, so [`FleetManifest::from_bytes`] dispatches on
+/// this tag.
+pub const FLEET_MANIFEST_MAGIC: [u8; 4] = *b"CPAM";
+
 /// A sharded serving fleet: K engines, one per item shard, driven together.
 ///
 /// Every mutation flows through one interpreter, [`Fleet::apply`], taking a
@@ -673,6 +679,55 @@ impl FleetManifest {
         }
         serde::Deserialize::deserialize(&value).map_err(|e| FleetError::Json(e.to_string()))
     }
+
+    /// Serializes the manifest as one binary document: the compact format
+    /// for durable fleet snapshots (per-shard CSR arrays and parameters
+    /// become raw little-endian slabs). [`FleetManifest::to_json`] remains
+    /// the debug path; both restore bit-identically.
+    pub fn to_binary(&self) -> Vec<u8> {
+        cpa_data::codec::encode_container(
+            FLEET_MANIFEST_MAGIC,
+            self.version,
+            &serde::Serialize::serialize(self),
+        )
+    }
+
+    /// Parses a manifest from either encoding, dispatching on the format
+    /// tag: documents starting with [`FLEET_MANIFEST_MAGIC`] decode as
+    /// binary, anything else as UTF-8 JSON. Both paths check the format
+    /// version *before* the payload is decoded.
+    ///
+    /// # Errors
+    /// As [`FleetManifest::from_json`] / the binary equivalent.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FleetError> {
+        if bytes.starts_with(&FLEET_MANIFEST_MAGIC) {
+            return Self::from_binary(bytes);
+        }
+        let text = std::str::from_utf8(bytes).map_err(|e| {
+            FleetError::Json(format!(
+                "manifest is neither binary (no magic) nor UTF-8 JSON: {e}"
+            ))
+        })?;
+        Self::from_json(text)
+    }
+
+    /// Parses a binary manifest written by [`FleetManifest::to_binary`],
+    /// rejecting unknown format versions before the payload is decoded.
+    ///
+    /// # Errors
+    /// Fails on a malformed document or a version mismatch.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, FleetError> {
+        let (version, payload) = cpa_data::codec::split_container(bytes, FLEET_MANIFEST_MAGIC)
+            .map_err(|e| FleetError::Json(format!("binary manifest: {e}")))?;
+        if version != FLEET_MANIFEST_VERSION {
+            return Err(FleetError::Version {
+                found: version,
+                expected: FLEET_MANIFEST_VERSION,
+            });
+        }
+        cpa_data::codec::from_bytes(payload)
+            .map_err(|e| FleetError::Json(format!("binary manifest: {e}")))
+    }
 }
 
 /// Why a fleet manifest could not be parsed or restored.
@@ -685,7 +740,7 @@ pub enum FleetError {
         /// Version this build understands.
         expected: u32,
     },
-    /// The JSON could not be parsed into a manifest.
+    /// The document (JSON or binary) could not be parsed into a manifest.
     Json(String),
     /// One shard's checkpoint failed to restore.
     Shard {

@@ -9,9 +9,17 @@
 //! each connection's requests FIFO, so a client sees exactly the semantics
 //! of calling the in-process fleet under a lock — bit-identically
 //! (`tests/transport_roundtrip.rs`).
+//!
+//! Each connection speaks one [`WireFormat`]: JSON by default, or the
+//! negotiated binary codec when [`FleetClient::connect_with`] is given
+//! [`WireFormat::Binary`] (see [`crate::codec`] for the handshake). A
+//! binary request the server refuses degrades to JSON on the same
+//! connection — the client never fails just because the server is older
+//! or pinned to JSON.
 
+use crate::codec::{self, WireFormat};
 use crate::error::TransportError;
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame_bytes, write_frame_bytes};
 use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
@@ -22,33 +30,58 @@ use std::net::{TcpStream, ToSocketAddrs};
 #[derive(Debug)]
 pub struct FleetClient {
     stream: TcpStream,
+    format: WireFormat,
 }
 
 impl FleetClient {
-    /// Connects to a serving fleet.
+    /// Connects to a serving fleet, requesting the codec named by
+    /// `CPA_WIRE_FORMAT` (`binary`, or JSON when unset — see
+    /// [`WireFormat::from_env`]).
     ///
     /// # Errors
     /// Fails on any connect error.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, TransportError> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        Ok(Self { stream })
+        Self::connect_with(addr, WireFormat::from_env())
     }
 
-    /// One framed round trip: op out, reply in. A protocol-level `Error`
-    /// reply surfaces as [`TransportError::Rejected`].
+    /// Connects requesting a specific codec. [`WireFormat::Json`] skips
+    /// the handshake entirely (the pre-negotiation wire, byte for byte);
+    /// [`WireFormat::Binary`] performs the `CPAW` handshake and falls back
+    /// to JSON if the server declines.
+    ///
+    /// # Errors
+    /// Fails on any connect or handshake error.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        format: WireFormat,
+    ) -> Result<Self, TransportError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let format = match format {
+            WireFormat::Json => WireFormat::Json,
+            WireFormat::Binary => codec::client_handshake(&mut stream)?,
+        };
+        Ok(Self { stream, format })
+    }
+
+    /// The codec this connection settled on — what was requested, or the
+    /// JSON fallback if the server declined binary.
+    pub fn wire_format(&self) -> WireFormat {
+        self.format
+    }
+
+    /// One framed round trip: op out, reply in, both under the
+    /// connection's codec. A protocol-level `Error` reply surfaces as
+    /// [`TransportError::Rejected`].
     fn call(&mut self, op: &FleetOp) -> Result<FleetReply, TransportError> {
-        let payload = serde_json::to_string(op)
-            .map_err(|e| TransportError::Malformed(format!("op does not serialize: {e}")))?;
-        write_frame(&mut self.stream, &payload)?;
-        let reply = read_frame(&mut self.stream)?.ok_or(TransportError::Truncated {
+        let payload = codec::encode(self.format, op)?;
+        write_frame_bytes(&mut self.stream, &payload)?;
+        let reply = read_frame_bytes(&mut self.stream)?.ok_or(TransportError::Truncated {
             context: "reply frame",
             expected: 4,
             got: 0,
         })?;
-        let reply: FleetReply = serde_json::from_str(&reply)
-            .map_err(|e| TransportError::Malformed(format!("undecodable reply: {e}")))?;
-        match reply {
+        match codec::decode::<FleetReply>(self.format, &reply)? {
             FleetReply::Error { message } => Err(TransportError::Rejected(message)),
             other => Ok(other),
         }

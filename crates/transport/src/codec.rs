@@ -1,0 +1,314 @@
+//! Per-connection wire codec: JSON by default, binary by negotiation.
+//!
+//! Every frame body is one serialized `FleetOp` or `FleetReply`. Under the
+//! default [`WireFormat::Json`] codec that body is UTF-8 JSON — readable in
+//! a packet capture, diffable in an op-log, and the compatibility floor
+//! every peer speaks. Under [`WireFormat::Binary`] it is a
+//! `cpa_data::codec` document: the same value tree, varint-packed with
+//! interned keys, no JSON string in the middle.
+//!
+//! # Negotiation
+//!
+//! The codec is chosen **per connection**, by the first bytes the client
+//! sends:
+//!
+//! - A JSON client sends nothing special — its first four bytes are the
+//!   first frame's length prefix, and the connection proceeds in JSON
+//!   exactly as before this module existed. Old clients keep working
+//!   against new servers with zero changes.
+//! - A binary-capable client opens with an 8-byte preamble:
+//!   [`WIRE_MAGIC`] (`"CPAW"`) then a big-endian `u32` requested version.
+//!   The server answers with an 8-byte ack — the magic echoed back, then
+//!   the **accepted** version (big-endian), where `0` means "refused, speak
+//!   JSON". On a non-zero ack both sides switch to binary frames; on a
+//!   zero ack the client falls back to JSON on the same connection.
+//!
+//! The preamble cannot be mistaken for a JSON frame: read as a big-endian
+//! length, `"CPAW"` is `0x43504157` ≈ 1.1 GiB, far beyond the 64 MiB
+//! [`crate::frame::MAX_FRAME_BYTES`] cap, so a pre-negotiation server
+//! would have rejected it rather than misparse it — and a negotiating
+//! server can classify the first four bytes unambiguously.
+//!
+//! Servers apply a [`WirePolicy`]: [`WirePolicy::Auto`] accepts either
+//! codec (the default), [`WirePolicy::JsonOnly`] refuses the preamble so
+//! clients fall back, and [`WirePolicy::BinaryOnly`] rejects JSON clients
+//! with a framed JSON `Error` reply (readable by definition) and drops the
+//! connection.
+
+use crate::error::TransportError;
+use crate::frame;
+use std::io::{Read, Write};
+use std::sync::atomic::AtomicBool;
+
+/// First four bytes of a binary client's preamble. Never a valid JSON
+/// frame prefix (see module docs), so the two codecs cannot be confused.
+pub const WIRE_MAGIC: [u8; 4] = *b"CPAW";
+
+/// Current binary wire version. The server accepts exactly this version
+/// and refuses anything newer (the client then falls back to JSON), so a
+/// future v2 client degrades gracefully against a v1 server.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Environment variable read by [`WireFormat::from_env`] (and therefore by
+/// `FleetClient::connect`): `binary` selects the binary codec, anything
+/// else — including unset — selects JSON. The CI `wire-binary` leg sets
+/// this to rerun the whole transport suite over binary frames.
+pub const WIRE_FORMAT_ENV: &str = "CPA_WIRE_FORMAT";
+
+/// How one connection's frame bodies are encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormat {
+    /// UTF-8 JSON bodies — the default and the universal fallback.
+    Json,
+    /// `cpa_data::codec` binary bodies, after a successful handshake.
+    Binary,
+}
+
+impl WireFormat {
+    /// The format requested by [`WIRE_FORMAT_ENV`], defaulting to JSON.
+    pub fn from_env() -> Self {
+        match std::env::var(WIRE_FORMAT_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("binary") => WireFormat::Binary,
+            _ => WireFormat::Json,
+        }
+    }
+}
+
+/// Which codecs a server will speak (per-server, applied per-connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WirePolicy {
+    /// Accept the binary preamble, serve JSON to everyone else.
+    #[default]
+    Auto,
+    /// Refuse the binary preamble (ack version `0`); every connection
+    /// proceeds in JSON. The debugging switch.
+    JsonOnly,
+    /// Require the binary handshake; JSON clients get a framed JSON
+    /// `Error` reply explaining the requirement, then the connection is
+    /// dropped.
+    BinaryOnly,
+}
+
+/// Encodes one op or reply under `format`.
+///
+/// # Errors
+/// [`TransportError::Malformed`] if the value cannot be serialized (JSON
+/// only; the binary codec is total over serializable values).
+pub fn encode<T: serde::Serialize + ?Sized>(
+    format: WireFormat,
+    value: &T,
+) -> Result<Vec<u8>, TransportError> {
+    match format {
+        WireFormat::Json => serde_json::to_string(value)
+            .map(String::into_bytes)
+            .map_err(|e| TransportError::Malformed(format!("encoding op as JSON: {e}"))),
+        WireFormat::Binary => Ok(cpa_data::codec::to_bytes(value)),
+    }
+}
+
+/// Decodes one op or reply under `format`.
+///
+/// # Errors
+/// [`TransportError::Malformed`] if the bytes are not a valid document of
+/// the expected type under `format`.
+pub fn decode<T: serde::Deserialize>(
+    format: WireFormat,
+    bytes: &[u8],
+) -> Result<T, TransportError> {
+    match format {
+        WireFormat::Json => {
+            let text = std::str::from_utf8(bytes).map_err(|e| {
+                TransportError::Malformed(format!("frame payload is not UTF-8: {e}"))
+            })?;
+            serde_json::from_str(text)
+                .map_err(|e| TransportError::Malformed(format!("decoding JSON frame: {e}")))
+        }
+        WireFormat::Binary => cpa_data::codec::from_bytes(bytes)
+            .map_err(|e| TransportError::Malformed(format!("decoding binary frame: {e}"))),
+    }
+}
+
+/// Client side of the handshake: sends the preamble requesting
+/// [`WIRE_VERSION`], reads the ack, and reports the codec the server
+/// granted — [`WireFormat::Binary`] on acceptance, [`WireFormat::Json`]
+/// when the server refused (ack version `0`).
+///
+/// # Errors
+/// [`TransportError::Truncated`] if the server hangs up mid-ack,
+/// [`TransportError::Malformed`] if the ack does not echo the magic, or
+/// any socket error.
+pub fn client_handshake<S: Read + Write>(stream: &mut S) -> Result<WireFormat, TransportError> {
+    let mut preamble = [0u8; 8];
+    preamble[..4].copy_from_slice(&WIRE_MAGIC);
+    preamble[4..].copy_from_slice(&WIRE_VERSION.to_be_bytes());
+    stream.write_all(&preamble)?;
+    stream.flush()?;
+
+    let mut ack = [0u8; 8];
+    let mut got = 0;
+    while got < ack.len() {
+        match stream.read(&mut ack[got..]) {
+            Ok(0) => {
+                return Err(TransportError::Truncated {
+                    context: "wire handshake ack",
+                    expected: ack.len(),
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+    if ack[..4] != WIRE_MAGIC {
+        return Err(TransportError::Malformed(format!(
+            "wire handshake ack does not start with {WIRE_MAGIC:?}: {:?}",
+            &ack[..4]
+        )));
+    }
+    let accepted = u32::from_be_bytes([ack[4], ack[5], ack[6], ack[7]]);
+    Ok(if accepted == 0 {
+        WireFormat::Json
+    } else {
+        WireFormat::Binary
+    })
+}
+
+/// What the server learned from a connection's first four bytes.
+pub(crate) enum Negotiated {
+    /// The connection closed before sending anything.
+    Closed,
+    /// The codec to use, plus — for a JSON client — the first frame's
+    /// payload, which arrived interleaved with the classification read.
+    Format {
+        /// The codec both sides will speak from here on.
+        format: WireFormat,
+        /// A JSON client's first op, already framed behind the length
+        /// prefix we consumed to classify the connection. `None` for
+        /// binary clients (their first op follows the acked preamble).
+        pending: Option<Vec<u8>>,
+    },
+}
+
+/// Server side of the handshake. Reads the first four bytes: the
+/// [`WIRE_MAGIC`] preamble is answered with an ack per `policy`; anything
+/// else is a JSON frame's length prefix, whose frame is read here and
+/// handed back as `pending`.
+///
+/// Under [`WirePolicy::BinaryOnly`] a JSON client is an error —
+/// [`TransportError::Rejected`] — and the caller is expected to send a
+/// framed JSON `Error` reply before dropping the connection (JSON, because
+/// that is the one codec the refused client certainly reads).
+///
+/// # Errors
+/// Framing errors as [`frame::read_frame_bytes_polling`], plus
+/// [`TransportError::Rejected`] under `BinaryOnly` with a JSON peer.
+pub(crate) fn server_handshake<S: Read + Write>(
+    stream: &mut S,
+    policy: WirePolicy,
+    shutdown: &AtomicBool,
+) -> Result<Negotiated, TransportError> {
+    let Some(first) = frame::read_prefix(stream, Some(shutdown))? else {
+        return Ok(Negotiated::Closed);
+    };
+
+    if first == WIRE_MAGIC {
+        let version_bytes = frame::read_body(stream, 4, "wire handshake version", Some(shutdown))?;
+        let requested = u32::from_be_bytes([
+            version_bytes[0],
+            version_bytes[1],
+            version_bytes[2],
+            version_bytes[3],
+        ]);
+        // Accept only versions we implement, and only if policy allows
+        // binary at all; `0` in the ack tells the client to fall back.
+        let accepted = if policy != WirePolicy::JsonOnly && requested == WIRE_VERSION {
+            requested
+        } else {
+            0
+        };
+        let mut ack = [0u8; 8];
+        ack[..4].copy_from_slice(&WIRE_MAGIC);
+        ack[4..].copy_from_slice(&accepted.to_be_bytes());
+        stream.write_all(&ack)?;
+        stream.flush()?;
+        let format = if accepted == 0 {
+            WireFormat::Json
+        } else {
+            WireFormat::Binary
+        };
+        return Ok(Negotiated::Format {
+            format,
+            pending: None,
+        });
+    }
+
+    // Not the magic: these four bytes are a JSON frame's length prefix.
+    if policy == WirePolicy::BinaryOnly {
+        return Err(TransportError::Rejected(
+            "server requires the binary wire codec; reconnect with a CPAW handshake".to_string(),
+        ));
+    }
+    let len = frame::check_frame_len(u32::from_be_bytes(first) as usize)?;
+    let pending = frame::read_body(stream, len, "frame payload", Some(shutdown))?;
+    Ok(Negotiated::Format {
+        format: WireFormat::Json,
+        pending: Some(pending),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_reads_as_an_impossible_frame_length() {
+        // The whole fallback story rests on this: a server that predates
+        // negotiation sees the preamble as an oversized frame, never as a
+        // plausible payload length.
+        let as_len = u32::from_be_bytes(WIRE_MAGIC) as usize;
+        assert!(as_len > frame::MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn env_selects_the_binary_format_case_insensitively() {
+        // Sequential because the variable is process-global; the value is
+        // restored so other tests see a clean environment.
+        std::env::set_var(WIRE_FORMAT_ENV, "BiNaRy");
+        assert_eq!(WireFormat::from_env(), WireFormat::Binary);
+        std::env::set_var(WIRE_FORMAT_ENV, "json");
+        assert_eq!(WireFormat::from_env(), WireFormat::Json);
+        std::env::remove_var(WIRE_FORMAT_ENV);
+        assert_eq!(WireFormat::from_env(), WireFormat::Json);
+    }
+
+    #[test]
+    fn both_codecs_roundtrip_a_value() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Probe {
+            name: String,
+            weights: Vec<f64>,
+        }
+        let probe = Probe {
+            name: "q7".to_string(),
+            weights: vec![0.25, -1.5, 3.0],
+        };
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            let bytes = encode(format, &probe).unwrap();
+            let back: Probe = decode(format, &bytes).unwrap();
+            assert_eq!(back, probe, "{format:?}");
+        }
+    }
+
+    #[test]
+    fn binary_garbage_is_malformed_under_both_codecs() {
+        let junk = [0xfeu8, 0xed, 0xfa, 0xce];
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            let err = decode::<String>(format, &junk).unwrap_err();
+            assert!(
+                matches!(err, TransportError::Malformed(_)),
+                "{format:?}: {err}"
+            );
+        }
+    }
+}

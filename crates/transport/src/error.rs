@@ -26,7 +26,8 @@ pub enum TransportError {
         /// The enforced ceiling.
         max: usize,
     },
-    /// A frame's payload was not valid UTF-8 JSON of the expected type.
+    /// A frame's payload did not decode as the expected type under the
+    /// connection's codec (UTF-8 JSON or the binary codec).
     Malformed(String),
     /// The server answered with a protocol-level `Error` reply (the op was
     /// rejected; the fleet is unchanged).
@@ -41,6 +42,31 @@ pub enum TransportError {
     },
     /// The server is shutting down; no further ops will be served.
     ShuttingDown,
+}
+
+impl TransportError {
+    /// For [`TransportError::FrameTooLarge`], the offending declared size
+    /// and the enforced ceiling, as `(size, max)`. `None` for every other
+    /// variant, so callers can branch without a full `match`.
+    pub fn oversize(&self) -> Option<(usize, usize)> {
+        match self {
+            TransportError::FrameTooLarge { size, max } => Some((*size, *max)),
+            _ => None,
+        }
+    }
+
+    /// For [`TransportError::Truncated`], what was being read and the byte
+    /// accounting, as `(context, expected, got)`. `None` otherwise.
+    pub fn truncation(&self) -> Option<(&'static str, usize, usize)> {
+        match self {
+            TransportError::Truncated {
+                context,
+                expected,
+                got,
+            } => Some((context, *expected, *got)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TransportError {

@@ -1,13 +1,16 @@
-//! Length-prefixed JSON framing: the wire format of the fleet protocol.
+//! Length-prefixed framing: the wire format of the fleet protocol.
 //!
 //! One frame is a 4-byte **big-endian** `u32` payload length followed by
-//! that many bytes of UTF-8 JSON (one serialized `FleetOp` or `FleetReply`).
-//! Frames larger than [`MAX_FRAME_BYTES`] are rejected before any payload is
-//! buffered, on both sides.
+//! that many payload bytes — UTF-8 JSON under the default codec, a
+//! `cpa_data::codec` document under the negotiated binary codec (see
+//! [`crate::codec`]); one serialized `FleetOp` or `FleetReply` either way.
+//! Frames larger than [`MAX_FRAME_BYTES`] are rejected before any payload
+//! is buffered, on both sides, under **both** codecs (the cap guards the
+//! length prefix, which the codecs share).
 //!
 //! Reads distinguish three endings:
 //!
-//! - a full frame — the payload string;
+//! - a full frame — the payload;
 //! - a **clean** close (EOF exactly on a frame boundary) — `Ok(None)`, the
 //!   peer simply hung up;
 //! - a **truncated** close (EOF inside the length prefix or payload) —
@@ -15,8 +18,11 @@
 //!   half-read frame.
 //!
 //! The server reads with a socket timeout and polls a shutdown flag between
-//! partial reads ([`read_frame_polling`]), so a connection blocked on an
-//! idle client cannot hold the server open past shutdown.
+//! partial reads ([`read_frame_bytes_polling`]), so a connection blocked on
+//! an idle client cannot hold the server open past shutdown. The prefix
+//! and body reads are split internally (`read_prefix`, `read_body`)
+//! because codec negotiation inspects a connection's first four bytes
+//! before knowing whether they are a length prefix or a preamble magic.
 
 use crate::error::TransportError;
 use std::io::{ErrorKind, Read, Write};
@@ -32,7 +38,7 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// # Errors
 /// Fails if the payload exceeds [`MAX_FRAME_BYTES`] (nothing is written) or
 /// on any socket error.
-pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> Result<(), TransportError> {
+pub fn write_frame_bytes<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), TransportError> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(TransportError::FrameTooLarge {
             size: payload.len(),
@@ -40,9 +46,17 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> Result<(), TransportEr
         });
     }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload.as_bytes())?;
+    w.write_all(payload)?;
     w.flush()?;
     Ok(())
+}
+
+/// [`write_frame_bytes`] for string payloads (the JSON codec).
+///
+/// # Errors
+/// As [`write_frame_bytes`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> Result<(), TransportError> {
+    write_frame_bytes(w, payload.as_bytes())
 }
 
 /// How one buffered read ended.
@@ -85,59 +99,106 @@ fn fill(
     Ok(Fill::Full)
 }
 
-fn read_frame_inner(
+/// Reads a frame's 4-byte prefix. `Ok(None)` is a clean close on the
+/// boundary; the caller decides whether the bytes are a length or a
+/// negotiation magic.
+pub(crate) fn read_prefix(
     r: &mut impl Read,
     shutdown: Option<&AtomicBool>,
-) -> Result<Option<String>, TransportError> {
-    let mut len_bytes = [0u8; 4];
-    match fill(r, &mut len_bytes, shutdown)? {
-        Fill::Eof { got: 0 } => return Ok(None), // clean close on the boundary
-        Fill::Eof { got } => {
-            return Err(TransportError::Truncated {
-                context: "frame length prefix",
-                expected: 4,
-                got,
-            })
-        }
-        Fill::Full => {}
+) -> Result<Option<[u8; 4]>, TransportError> {
+    let mut prefix = [0u8; 4];
+    match fill(r, &mut prefix, shutdown)? {
+        Fill::Eof { got: 0 } => Ok(None), // clean close on the boundary
+        Fill::Eof { got } => Err(TransportError::Truncated {
+            context: "frame length prefix",
+            expected: 4,
+            got,
+        }),
+        Fill::Full => Ok(Some(prefix)),
     }
-    let len = u32::from_be_bytes(len_bytes) as usize;
+}
+
+/// Reads a frame body of `len` bytes (the cap having been checked against
+/// the declared length by the caller or [`check_frame_len`]).
+pub(crate) fn read_body(
+    r: &mut impl Read,
+    len: usize,
+    context: &'static str,
+    shutdown: Option<&AtomicBool>,
+) -> Result<Vec<u8>, TransportError> {
+    let mut payload = vec![0u8; len];
+    match fill(r, &mut payload, shutdown)? {
+        Fill::Full => Ok(payload),
+        Fill::Eof { got } => Err(TransportError::Truncated {
+            context,
+            expected: len,
+            got,
+        }),
+    }
+}
+
+/// Enforces [`MAX_FRAME_BYTES`] on a declared payload length — before any
+/// buffering, identically under both codecs.
+pub(crate) fn check_frame_len(len: usize) -> Result<usize, TransportError> {
     if len > MAX_FRAME_BYTES {
         return Err(TransportError::FrameTooLarge {
             size: len,
             max: MAX_FRAME_BYTES,
         });
     }
-    let mut payload = vec![0u8; len];
-    match fill(r, &mut payload, shutdown)? {
-        Fill::Full => {}
-        Fill::Eof { got } => {
-            return Err(TransportError::Truncated {
-                context: "frame payload",
-                expected: len,
-                got,
-            })
-        }
-    }
-    String::from_utf8(payload)
-        .map(Some)
-        .map_err(|e| TransportError::Malformed(format!("frame payload is not UTF-8: {e}")))
+    Ok(len)
 }
 
-/// Reads one frame, blocking until it is complete or the peer closes.
-/// `Ok(None)` is a clean close on a frame boundary.
+fn read_frame_inner(
+    r: &mut impl Read,
+    shutdown: Option<&AtomicBool>,
+) -> Result<Option<Vec<u8>>, TransportError> {
+    let Some(prefix) = read_prefix(r, shutdown)? else {
+        return Ok(None);
+    };
+    let len = check_frame_len(u32::from_be_bytes(prefix) as usize)?;
+    read_body(r, len, "frame payload", shutdown).map(Some)
+}
+
+/// Reads one frame's raw payload, blocking until it is complete or the
+/// peer closes. `Ok(None)` is a clean close on a frame boundary.
 ///
 /// # Errors
 /// [`TransportError::Truncated`] on EOF mid-frame,
 /// [`TransportError::FrameTooLarge`] on an oversized declaration, or any
 /// socket error.
-pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, TransportError> {
+pub fn read_frame_bytes(r: &mut impl Read) -> Result<Option<Vec<u8>>, TransportError> {
     read_frame_inner(r, None)
 }
 
-/// [`read_frame`] for sockets with a read timeout: timeouts poll `shutdown`
-/// and keep waiting, returning [`TransportError::ShuttingDown`] once the
-/// flag is raised.
+/// [`read_frame_bytes`] for sockets with a read timeout: timeouts poll
+/// `shutdown` and keep waiting, returning [`TransportError::ShuttingDown`]
+/// once the flag is raised.
+///
+/// # Errors
+/// As [`read_frame_bytes`], plus [`TransportError::ShuttingDown`].
+pub fn read_frame_bytes_polling(
+    r: &mut impl Read,
+    shutdown: &AtomicBool,
+) -> Result<Option<Vec<u8>>, TransportError> {
+    read_frame_inner(r, Some(shutdown))
+}
+
+fn utf8_frame(payload: Vec<u8>) -> Result<String, TransportError> {
+    String::from_utf8(payload)
+        .map_err(|e| TransportError::Malformed(format!("frame payload is not UTF-8: {e}")))
+}
+
+/// [`read_frame_bytes`] for the JSON codec: additionally requires the
+/// payload to be UTF-8.
+///
+/// # Errors
+/// As [`read_frame_bytes`], plus [`TransportError::Malformed`] on non-UTF-8.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, TransportError> {
+    read_frame_bytes(r)?.map(utf8_frame).transpose()
+}
+
+/// [`read_frame`] with shutdown polling (see [`read_frame_bytes_polling`]).
 ///
 /// # Errors
 /// As [`read_frame`], plus [`TransportError::ShuttingDown`].
@@ -145,7 +206,9 @@ pub fn read_frame_polling(
     r: &mut impl Read,
     shutdown: &AtomicBool,
 ) -> Result<Option<String>, TransportError> {
-    read_frame_inner(r, Some(shutdown))
+    read_frame_bytes_polling(r, shutdown)?
+        .map(utf8_frame)
+        .transpose()
 }
 
 #[cfg(test)]
@@ -170,6 +233,19 @@ mod tests {
     }
 
     #[test]
+    fn byte_frames_carry_arbitrary_bytes() {
+        let payload = [0u8, 0xff, 0x05, 0x80];
+        let mut wire = Vec::new();
+        write_frame_bytes(&mut wire, &payload).unwrap();
+        let mut r = Cursor::new(wire);
+        assert_eq!(
+            read_frame_bytes(&mut r).unwrap().as_deref(),
+            Some(&payload[..])
+        );
+        assert!(read_frame_bytes(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
     fn truncated_prefix_and_payload_are_named() {
         let wire = framed("hello");
         // Cut inside the length prefix.
@@ -179,6 +255,7 @@ mod tests {
                 if context == "frame length prefix"),
             "{err}"
         );
+        assert_eq!(err.truncation(), Some(("frame length prefix", 4, 2)));
         // Cut inside the payload.
         let err = read_frame(&mut Cursor::new(&wire[..6])).unwrap_err();
         assert!(
@@ -186,6 +263,7 @@ mod tests {
                 if context == "frame payload"),
             "{err}"
         );
+        assert_eq!(err.truncation(), Some(("frame payload", 5, 2)));
     }
 
     #[test]
@@ -194,13 +272,23 @@ mod tests {
         wire.extend(b"irrelevant");
         let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
         assert!(matches!(err, TransportError::FrameTooLarge { .. }), "{err}");
+        // The error carries the offending length and the cap.
+        assert_eq!(err.oversize(), Some((MAX_FRAME_BYTES + 1, MAX_FRAME_BYTES)));
+        // Writers refuse equally, before anything hits the wire.
+        let mut sink = Vec::new();
+        let err = write_frame_bytes(&mut sink, &vec![0u8; MAX_FRAME_BYTES + 1]).unwrap_err();
+        assert_eq!(err.oversize(), Some((MAX_FRAME_BYTES + 1, MAX_FRAME_BYTES)));
+        assert!(sink.is_empty());
     }
 
     #[test]
-    fn non_utf8_payload_is_malformed() {
+    fn non_utf8_payload_is_malformed_for_the_json_reader_only() {
         let mut wire = 2u32.to_be_bytes().to_vec();
         wire.extend([0xff, 0xfe]);
-        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        let err = read_frame(&mut Cursor::new(wire.clone())).unwrap_err();
         assert!(matches!(err, TransportError::Malformed(_)), "{err}");
+        // The byte reader hands the payload through untouched.
+        let payload = read_frame_bytes(&mut Cursor::new(wire)).unwrap().unwrap();
+        assert_eq!(payload, [0xff, 0xfe]);
     }
 }

@@ -5,8 +5,12 @@
 //! plain `std::net` — no async runtime, no external protocol crates:
 //!
 //! - [`frame`] — the wire format: 4-byte big-endian length prefix + one
-//!   JSON-serialized `FleetOp`/`FleetReply` per frame, with truncation and
+//!   serialized `FleetOp`/`FleetReply` per frame, with truncation and
 //!   oversize hardening on both sides;
+//! - [`codec`] — the per-connection payload codec: UTF-8 JSON by default
+//!   (and as the universal fallback), or the `cpa_data::codec` binary
+//!   encoding after a `CPAW` preamble handshake — old JSON clients keep
+//!   working against binary-capable servers unchanged;
 //! - [`FleetServer`] — accepts N concurrent clients on the workspace
 //!   thread pool, funnels every op into one `Fleet::apply` driver (one
 //!   global op order, the queue arrival contract enforced per ingest),
@@ -16,8 +20,10 @@
 //!   surface, one framed round trip per call.
 //!
 //! A client over loopback computes **bit-identical** predictions to the
-//! in-process fleet on the same op stream, and a recorded op-log replays to
-//! a byte-identical snapshot (`tests/transport_roundtrip.rs`).
+//! in-process fleet on the same op stream — under either codec, and with
+//! mixed-codec clients connected concurrently — and a recorded op-log
+//! replays to a byte-identical snapshot (`tests/transport_roundtrip.rs`,
+//! `tests/codec_invariance.rs`).
 //!
 //! ```
 //! use cpa_core::engine::DynEngine;
@@ -49,11 +55,13 @@
 #![deny(unsafe_code)]
 
 pub mod client;
+pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod server;
 
 pub use client::FleetClient;
+pub use codec::{WireFormat, WirePolicy, WIRE_FORMAT_ENV, WIRE_MAGIC, WIRE_VERSION};
 pub use error::TransportError;
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
 pub use server::{FleetServer, ServeOutcome, ServerConfig};

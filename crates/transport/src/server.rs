@@ -32,9 +32,16 @@
 //! returned [`ServeOutcome::op_log`] serializes through
 //! `cpa_serve::ops_to_jsonl` and replays bit-identically through
 //! `cpa_serve::Fleet::replay`.
+//!
+//! Each accepted connection negotiates its codec before the first op (see
+//! [`crate::codec`]): a `CPAW` preamble requests binary frames, anything
+//! else is the first JSON frame. [`ServerConfig::wire_policy`] decides
+//! what the server will grant; connections with different codecs are
+//! served concurrently and see identical fleet semantics.
 
+use crate::codec::{self, Negotiated, WireFormat, WirePolicy};
 use crate::error::TransportError;
-use crate::frame::{read_frame_polling, write_frame};
+use crate::frame::{read_frame_bytes_polling, write_frame_bytes};
 use cpa_serve::{Fleet, FleetOp, FleetReply};
 use rayon::prelude::*;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -55,6 +62,9 @@ pub struct ServerConfig {
     pub max_clients: usize,
     /// Record every applied op into [`ServeOutcome::op_log`].
     pub record_ops: bool,
+    /// Which wire codecs to grant ([`WirePolicy::Auto`] by default:
+    /// binary to clients that ask, JSON to everyone else).
+    pub wire_policy: WirePolicy,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +72,7 @@ impl Default for ServerConfig {
         Self {
             max_clients: 4,
             record_ops: false,
+            wire_policy: WirePolicy::default(),
         }
     }
 }
@@ -96,6 +107,7 @@ enum Role {
     },
     Handler {
         op_tx: Sender<(FleetOp, Sender<FleetReply>)>,
+        policy: WirePolicy,
     },
 }
 
@@ -150,6 +162,7 @@ impl FleetServer {
         for _ in 0..handlers {
             roles.push(Role::Handler {
                 op_tx: op_tx.clone(),
+                policy: self.config.wire_policy,
             });
         }
         // The driver must see the channel close once every handler exits:
@@ -258,7 +271,7 @@ fn run_role(
             }
             None
         }
-        Role::Handler { op_tx } => {
+        Role::Handler { op_tx, policy } => {
             loop {
                 let stream = match conn_rx
                     .lock()
@@ -273,7 +286,7 @@ fn run_role(
                     Some(stream) => {
                         // Connection-level failures are that connection's
                         // problem, never the server's.
-                        let _ = handle_connection(stream, &op_tx, shutdown);
+                        let _ = handle_connection(stream, &op_tx, shutdown, policy);
                     }
                     None => {
                         if shutdown.load(Ordering::Relaxed) {
@@ -288,56 +301,94 @@ fn run_role(
     }
 }
 
-/// Serves one connection: frame in, op through the driver, frame out —
-/// strictly in request order (per-connection FIFO replies).
+/// Serves one connection: negotiate the codec, then frame in, op through
+/// the driver, frame out — strictly in request order (per-connection FIFO
+/// replies).
 fn handle_connection(
     mut stream: TcpStream,
     op_tx: &Sender<(FleetOp, Sender<FleetReply>)>,
     shutdown: &AtomicBool,
+    policy: WirePolicy,
 ) -> Result<(), TransportError> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let (format, mut pending) = match codec::server_handshake(&mut stream, policy, shutdown) {
+        Ok(Negotiated::Closed) => return Ok(()),
+        Ok(Negotiated::Format { format, pending }) => (format, pending),
+        Err(TransportError::Rejected(message)) => {
+            // BinaryOnly refusing a JSON peer: the one codec that peer
+            // certainly reads is JSON, so the goodbye is a JSON reply.
+            let _ = send_reply(&mut stream, WireFormat::Json, &FleetReply::err(message));
+            return Ok(());
+        }
+        // Truncated preamble/first frame: nothing answerable remains.
+        Err(e) => return Err(e),
+    };
     loop {
-        let payload = match read_frame_polling(&mut stream, shutdown) {
-            Ok(Some(payload)) => payload,
-            // Clean disconnect between frames: the client is done.
-            Ok(None) => return Ok(()),
-            Err(TransportError::ShuttingDown) => {
-                let _ = send_reply(&mut stream, &FleetReply::err("server is shutting down"));
-                return Ok(());
-            }
-            // Truncated/oversized/unreadable frame: drop the connection
-            // (there is no frame boundary left to answer on).
-            Err(e) => return Err(e),
+        // The negotiation read may have consumed a JSON client's first
+        // frame along with the prefix; serve it before touching the socket.
+        let payload = match pending.take() {
+            Some(payload) => payload,
+            None => match read_frame_bytes_polling(&mut stream, shutdown) {
+                Ok(Some(payload)) => payload,
+                // Clean disconnect between frames: the client is done.
+                Ok(None) => return Ok(()),
+                Err(TransportError::ShuttingDown) => {
+                    let _ = send_reply(
+                        &mut stream,
+                        format,
+                        &FleetReply::err("server is shutting down"),
+                    );
+                    return Ok(());
+                }
+                // Truncated/oversized/unreadable frame: drop the connection
+                // (there is no frame boundary left to answer on).
+                Err(e) => return Err(e),
+            },
         };
-        let op: FleetOp = match serde_json::from_str(&payload) {
+        let op: FleetOp = match codec::decode(format, &payload) {
             Ok(op) => op,
             Err(e) => {
                 // A complete frame that is not an op still has a healthy
                 // frame boundary: answer with a framed error, then drop the
                 // connection (its byte stream is not trustworthy).
-                let _ = send_reply(&mut stream, &FleetReply::err(format!("malformed op: {e}")));
+                let _ = send_reply(
+                    &mut stream,
+                    format,
+                    &FleetReply::err(format!("malformed op: {e}")),
+                );
                 return Ok(());
             }
         };
         let (reply_tx, reply_rx) = channel();
         if op_tx.send((op, reply_tx)).is_err() {
-            let _ = send_reply(&mut stream, &FleetReply::err("server is shutting down"));
+            let _ = send_reply(
+                &mut stream,
+                format,
+                &FleetReply::err("server is shutting down"),
+            );
             return Ok(());
         }
         let reply = match reply_rx.recv() {
             Ok(reply) => reply,
             Err(_) => {
-                let _ = send_reply(&mut stream, &FleetReply::err("server is shutting down"));
+                let _ = send_reply(
+                    &mut stream,
+                    format,
+                    &FleetReply::err("server is shutting down"),
+                );
                 return Ok(());
             }
         };
-        send_reply(&mut stream, &reply)?;
+        send_reply(&mut stream, format, &reply)?;
     }
 }
 
-/// Frames one reply onto the stream.
-fn send_reply(stream: &mut TcpStream, reply: &FleetReply) -> Result<(), TransportError> {
-    let payload = serde_json::to_string(reply)
-        .map_err(|e| TransportError::Malformed(format!("reply does not serialize: {e}")))?;
-    write_frame(stream, &payload)
+/// Frames one reply onto the stream under the connection's codec.
+fn send_reply(
+    stream: &mut TcpStream,
+    format: WireFormat,
+    reply: &FleetReply,
+) -> Result<(), TransportError> {
+    let payload = codec::encode(format, reply)?;
+    write_frame_bytes(stream, &payload)
 }

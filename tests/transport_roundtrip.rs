@@ -67,6 +67,7 @@ fn serve_two_clients(
         ServerConfig {
             max_clients: 2,
             record_ops: true,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
