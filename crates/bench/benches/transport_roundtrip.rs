@@ -15,14 +15,27 @@
 //! seconds, answers/sec, ingest ops/sec, mean per-op latency, and the
 //! `wire_overhead` ratio (loopback vs in-process wall clock).
 //!
+//! A second family of series measures the **read-mostly** serving shape
+//! the epoch-published read views exist for: after preloading half the
+//! arrival stream and a refit, R reader clients (R ∈ {1, 2, 4}) hammer
+//! `Predict` concurrently while one writer streams further ingests at a
+//! ~5% share of the op mix. Each (K, R) pair runs twice — once with the
+//! view fast path (`read_path: "view"`, replies served handler-side from
+//! the current `ReadView`'s pre-encoded bytes) and once forced through
+//! the driver (`read_path: "driver"`, every read a driver round trip,
+//! the serialized baseline) — reported as reads/sec and mean per-read
+//! RTT in `read_series`.
+//!
 //! Knobs: `CPA_BENCH_SCALE` (default 0.1), `CPA_BENCH_SAMPLES`,
-//! `CPA_BENCH_THREADS` (fleet pool cap, default 4), `CPA_BENCH_OUT`
-//! (default `BENCH_transport.json` in the workspace root).
+//! `CPA_BENCH_THREADS` (fleet pool cap, default 4), `CPA_BENCH_READS`
+//! (predicts per reader in the read-mostly series, default 300),
+//! `CPA_BENCH_OUT` (default `BENCH_transport.json` in the workspace
+//! root).
 
 use cpa_data::simulate::simulate;
 use cpa_eval::experiments::served::{arrival_ops, fleet_for, run_in_process, run_loopback_with};
 use cpa_eval::runner::Method;
-use cpa_transport::WireFormat;
+use cpa_transport::{FleetClient, FleetServer, ServerConfig, WireFormat};
 use serde::Serialize;
 use std::hint::black_box;
 
@@ -42,6 +55,20 @@ struct ModeSeries {
     wire_overhead_vs_in_process: f64,
 }
 
+/// One read-mostly contention run: R readers vs one ~5%-share writer,
+/// with reads either view-served or forced through the driver.
+#[derive(Serialize)]
+struct ReadSeries {
+    read_path: String,
+    shards: usize,
+    readers: usize,
+    reads: usize,
+    writes: usize,
+    read_secs: f64,
+    reads_per_sec: f64,
+    mean_read_rtt_micros: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     workload: String,
@@ -54,6 +81,7 @@ struct BenchReport {
     samples_per_series: usize,
     host_available_parallelism: usize,
     series: Vec<ModeSeries>,
+    read_series: Vec<ReadSeries>,
 }
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -61,6 +89,96 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Boots a loopback server (view fast path on or off per `read_path`),
+/// preloads half the arrival ops plus a refit, then times `readers`
+/// concurrent `Predict` clients racing one writer that streams a ~5%
+/// share of further ingests.
+fn read_mostly_run(
+    d: &cpa_data::dataset::Dataset,
+    shards: usize,
+    threads: usize,
+    ops: &[cpa_serve::FleetOp],
+    readers: usize,
+    reads_per_reader: usize,
+    read_path: &str,
+) -> ReadSeries {
+    assert!(ops.len() >= 2, "need arrival ops to preload and to contend");
+    let fleet = fleet_for(Method::CpaSvi, d, shards, threads, SEED);
+    let server = FleetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_clients: readers + 1,
+            serve_reads_from_views: read_path == "view",
+            ..ServerConfig::default()
+        },
+    )
+    .expect("loopback bind succeeds");
+    let addr = server.local_addr().expect("bound address");
+    let running = std::thread::spawn(move || server.serve(fleet).expect("serve completes"));
+
+    // Preload half the arrival stream and refit so readers see a fitted
+    // model; the tail is the writer's share during the timed window.
+    let half = ops.len() / 2;
+    let mut writer = FleetClient::connect(addr).expect("writer connects");
+    let ingest = |writer: &mut FleetClient, op: &cpa_serve::FleetOp| {
+        let cpa_serve::FleetOp::Ingest { workers, answers } = op.clone() else {
+            unreachable!("arrival_ops produces only ingest ops");
+        };
+        writer.ingest(workers, answers).expect("arrival ingest");
+    };
+    for op in &ops[..half] {
+        ingest(&mut writer, op);
+    }
+    writer.refit_all().expect("preload refit");
+
+    let reads = readers * reads_per_reader;
+    // ~5% writes in the op mix, bounded by the unplayed tail (≥ 1 so the
+    // readers race a real mutation).
+    let writes = (reads / 19).clamp(1, ops.len() - half);
+
+    let start = std::time::Instant::now();
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = FleetClient::connect(addr).expect("reader connects");
+                let mut rtt = 0.0;
+                let mut last = 0u64;
+                for _ in 0..reads_per_reader {
+                    let t = std::time::Instant::now();
+                    let (preds, epoch) = client.predict_tagged().expect("predict round trip");
+                    rtt += t.elapsed().as_secs_f64();
+                    assert!(epoch >= last, "reader epoch went backwards");
+                    last = epoch;
+                    black_box(preds);
+                }
+                rtt
+            })
+        })
+        .collect();
+    for op in &ops[half..half + writes] {
+        ingest(&mut writer, op);
+    }
+    let rtt_total: f64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread"))
+        .sum();
+    let read_secs = start.elapsed().as_secs_f64();
+    writer.shutdown().expect("shutdown acknowledged");
+    drop(writer);
+    running.join().expect("server thread joins");
+
+    ReadSeries {
+        read_path: read_path.to_string(),
+        shards,
+        readers,
+        reads,
+        writes,
+        read_secs,
+        reads_per_sec: reads as f64 / read_secs.max(1e-12),
+        mean_read_rtt_micros: rtt_total / reads as f64 * 1e6,
+    }
 }
 
 fn main() {
@@ -151,6 +269,38 @@ fn main() {
         }
     }
 
+    // Read-mostly contention: per (K, reader-count), the driver-serialized
+    // baseline first, then the view fast path, so the progress line can
+    // report the speedup directly.
+    let reads_per_reader: usize = env_or("CPA_BENCH_READS", 300).max(1);
+    let mut read_series = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let threads = shards.min(max_threads);
+        for readers in [1usize, 2, 4] {
+            let mut driver_rps = None;
+            for read_path in ["driver", "view"] {
+                let s = read_mostly_run(
+                    d,
+                    shards,
+                    threads,
+                    &ops,
+                    readers,
+                    reads_per_reader,
+                    read_path,
+                );
+                let baseline = *driver_rps.get_or_insert(s.reads_per_sec);
+                eprintln!(
+                    "  K={shards} readers={readers} {read_path}: {:.0} reads/s, \
+                     {:.1}µs/read ({:.2}× driver)",
+                    s.reads_per_sec,
+                    s.mean_read_rtt_micros,
+                    s.reads_per_sec / baseline.max(1e-12)
+                );
+                read_series.push(s);
+            }
+        }
+    }
+
     let report = BenchReport {
         workload: format!("movie ×{scale}, framed arrival stream, ingest→refit→predict"),
         method: method.name().to_string(),
@@ -164,6 +314,7 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1),
         series,
+        read_series,
     };
     let json = serde_json::to_string(&report).expect("report serialises");
     std::fs::write(&out_path, &json).expect("write bench report");

@@ -5,9 +5,13 @@
 //! binary validates each one: it must parse, carry the shared header
 //! fields (`workload`, `samples_per_series`, `host_available_parallelism`,
 //! a non-empty `series`), and every series entry must carry its
-//! target-specific fields with finite, positive timings. CI runs it after
-//! each bench smoke so a bench that silently drops a field (or commits a
-//! half-written report) fails the build instead of rotting quietly.
+//! target-specific fields with finite, positive timings. The transport
+//! report additionally carries a `read_series` block (the read-mostly
+//! contention runs), checked for schema and for the cross-series
+//! invariant that the view read path never regresses against the
+//! driver-serialized baseline. CI runs it after each bench smoke so a
+//! bench that silently drops a field (or commits a half-written report)
+//! fails the build instead of rotting quietly.
 //!
 //! ```text
 //! cargo run -p cpa-bench --bin bench_check [DIR]
@@ -23,6 +27,10 @@ use std::path::Path;
 /// A report-wide invariant checked over the parsed series entries.
 type SeriesInvariant = fn(&[Value]) -> Result<(), String>;
 
+/// An invariant checked over the whole parsed report (for reports that
+/// carry fields beyond the shared `series` array).
+type ReportInvariant = fn(&Value) -> Result<(), String>;
+
 /// Per-report schema: required series fields, and series values (field,
 /// finite-positive?) beyond the shared header.
 struct Schema {
@@ -32,6 +40,8 @@ struct Schema {
     series_fields: &'static [(&'static str, bool)],
     /// Extra invariant, given the parsed series entries.
     extra: Option<SeriesInvariant>,
+    /// Extra invariant, given the whole parsed report.
+    report_extra: Option<ReportInvariant>,
 }
 
 const SCHEMAS: &[Schema] = &[
@@ -64,6 +74,7 @@ const SCHEMAS: &[Schema] = &[
             }
             Ok(())
         }),
+        report_extra: None,
     },
     Schema {
         file: "BENCH_transport.json",
@@ -91,6 +102,7 @@ const SCHEMAS: &[Schema] = &[
             }
             Ok(())
         }),
+        report_extra: Some(check_read_series),
     },
     Schema {
         file: "BENCH_serve.json",
@@ -104,6 +116,7 @@ const SCHEMAS: &[Schema] = &[
             ("restore_secs", true),
         ],
         extra: None,
+        report_extra: None,
     },
     Schema {
         file: "BENCH_parallel_svi.json",
@@ -115,8 +128,83 @@ const SCHEMAS: &[Schema] = &[
             ("answers_per_sec", true),
         ],
         extra: None,
+        report_extra: None,
     },
 ];
+
+/// Fields every `read_series` entry of the transport report must carry.
+const READ_SERIES_FIELDS: &[(&str, bool)] = &[
+    ("read_path", false),
+    ("shards", true),
+    ("readers", true),
+    ("reads", true),
+    ("writes", true),
+    ("read_secs", true),
+    ("reads_per_sec", true),
+    ("mean_read_rtt_micros", true),
+];
+
+/// `BENCH_transport.json` invariant over the read-mostly series: both read
+/// paths present per (shards, readers) pair, every entry well-formed, and
+/// the view fast path at least holding the line against the
+/// driver-serialized baseline. Loopback reads are RTT-dominated, so the
+/// regression check compares **mean reads/sec across all pairs** (with a
+/// 0.9× tolerance) rather than gating each pair on one noisy sample.
+fn check_read_series(report: &Value) -> Result<(), String> {
+    let entries = report
+        .get("read_series")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing or non-array field \"read_series\"".to_string())?;
+    if entries.is_empty() {
+        return Err("\"read_series\" is empty".to_string());
+    }
+    for (idx, entry) in entries.iter().enumerate() {
+        let at = format!("read_series[{idx}]");
+        for &(field, numeric) in READ_SERIES_FIELDS {
+            check_field(entry, field, numeric, &at)?;
+        }
+    }
+    let path_of = |e: &Value| {
+        e.get("read_path")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+    };
+    let drivers: Vec<&Value> = entries
+        .iter()
+        .filter(|e| path_of(e).as_deref() == Some("driver"))
+        .collect();
+    if drivers.is_empty() {
+        return Err("read_series has no \"driver\" baseline entries".to_string());
+    }
+    let mut driver_total = 0.0;
+    let mut view_total = 0.0;
+    for driver in &drivers {
+        let shards = field_f64(driver, "shards")?;
+        let readers = field_f64(driver, "readers")?;
+        let view = entries
+            .iter()
+            .find(|e| {
+                path_of(e).as_deref() == Some("view")
+                    && e.get("shards").and_then(Value::as_f64) == Some(shards)
+                    && e.get("readers").and_then(Value::as_f64) == Some(readers)
+            })
+            .ok_or_else(|| {
+                format!("read_series: no \"view\" entry for shards={shards} readers={readers}")
+            })?;
+        driver_total += field_f64(driver, "reads_per_sec")?;
+        view_total += field_f64(view, "reads_per_sec")?;
+    }
+    if view_total < 0.9 * driver_total {
+        return Err(format!(
+            "read_series: view read path regressed vs the driver baseline: \
+             {:.0} < 0.9 × {:.0} mean reads/s across {} pairs",
+            view_total / drivers.len() as f64,
+            driver_total / drivers.len() as f64,
+            drivers.len()
+        ));
+    }
+    Ok(())
+}
 
 /// Shared header fields every report must carry.
 const HEADER_FIELDS: &[(&str, bool)] = &[
@@ -175,6 +263,9 @@ fn check_report(dir: &Path, schema: &Schema) -> Result<usize, String> {
     }
     if let Some(extra) = schema.extra {
         extra(series).map_err(|e| format!("{}: {e}", schema.file))?;
+    }
+    if let Some(report_extra) = schema.report_extra {
+        report_extra(&report).map_err(|e| format!("{}: {e}", schema.file))?;
     }
     Ok(series.len())
 }

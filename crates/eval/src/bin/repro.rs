@@ -149,6 +149,7 @@ fn serve_main(args: Vec<String>) {
     let mut max_clients = 4usize;
     let mut op_log: Option<std::path::PathBuf> = None;
     let mut wire_policy = cpa_transport::WirePolicy::Auto;
+    let mut reads_via_driver = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -209,11 +210,12 @@ fn serve_main(args: Vec<String>) {
                     )),
                 };
             }
+            "--reads-via-driver" => reads_via_driver = true,
             "--help" | "-h" => {
                 println!(
                     "repro serve [--addr A] [--shards K] [--threads T] [--method M] \
                      [--scale F] [--seed S] [--max-clients N] [--op-log PATH] \
-                     [--wire auto|json|binary]"
+                     [--wire auto|json|binary] [--reads-via-driver]"
                 );
                 return;
             }
@@ -238,6 +240,10 @@ fn serve_main(args: Vec<String>) {
         max_clients,
         record_ops: op_log.is_some(),
         wire_policy,
+        // Default: Predict/Estimate answered from the epoch-published view
+        // in the connection handlers; the flag forces every read through
+        // the driver (the serialized baseline).
+        serve_reads_from_views: !reads_via_driver,
     };
     let server = cpa_transport::FleetServer::bind(&addr, config)
         .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
@@ -254,9 +260,10 @@ fn serve_main(args: Vec<String>) {
         .serve(fleet)
         .unwrap_or_else(|e| die(&format!("serve failed: {e}")));
     eprintln!(
-        "# shut down after {} arrival batches ({} answers absorbed)",
+        "# shut down after {} arrival batches ({} answers absorbed), final epoch {}",
         outcome.fleet.batches_ingested(),
-        outcome.fleet.num_answers_seen()
+        outcome.fleet.num_answers_seen(),
+        outcome.fleet.epoch()
     );
     if let Some(path) = op_log {
         let jsonl = cpa_serve::ops_to_jsonl(&outcome.op_log);

@@ -41,6 +41,10 @@ pub struct ServedRun {
     pub mean_ingest_rtt_secs: f64,
     /// Ops issued (ingest batches + refit + predict).
     pub ops: usize,
+    /// The epoch tag on the final predictions — the accepted-mutation count
+    /// the read view reflects. Identical across transports on the same op
+    /// stream (N ingests + 1 refit ⇒ N+1).
+    pub final_epoch: u64,
 }
 
 /// The canonical arrival stream as self-contained ingest ops — the same
@@ -91,6 +95,7 @@ pub fn run_in_process(mut fleet: Fleet, ops: Vec<FleetOp>) -> ServedRun {
         total_secs: start.elapsed().as_secs_f64(),
         mean_ingest_rtt_secs: op_total / ingests.max(1) as f64,
         ops: count,
+        final_epoch: fleet.epoch(),
     }
 }
 
@@ -131,7 +136,7 @@ pub fn run_loopback_with(fleet: Fleet, ops: Vec<FleetOp>, format: WireFormat) ->
         ingests += 1;
     }
     client.refit_all().expect("refit round trip");
-    let predictions = client.predict_all().expect("predict round trip");
+    let (predictions, final_epoch) = client.predict_tagged().expect("predict round trip");
     let total_secs = start.elapsed().as_secs_f64();
     client.shutdown().expect("shutdown acknowledged");
     drop(client);
@@ -141,6 +146,7 @@ pub fn run_loopback_with(fleet: Fleet, ops: Vec<FleetOp>, format: WireFormat) ->
         total_secs,
         mean_ingest_rtt_secs: rtt_total / ingests.max(1) as f64,
         ops: count,
+        final_epoch,
     }
 }
 
@@ -175,6 +181,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
             "ops",
             "answers/s",
             "rtt_ms",
+            "epoch",
             "identical",
         ],
     );
@@ -194,6 +201,12 @@ pub fn run(cfg: &EvalConfig) -> Report {
             "{}: loopback predictions diverged from the in-process fleet",
             method.name()
         );
+        assert_eq!(
+            served.final_epoch,
+            in_process.final_epoch,
+            "{}: loopback epoch tag diverged from the in-process fleet",
+            method.name()
+        );
         for (mode, run) in [("in-process", &in_process), ("loopback", &served)] {
             r.push_row(vec![
                 method.name().to_string(),
@@ -202,6 +215,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
                 run.ops.to_string(),
                 format!("{:.0}", answers as f64 / run.total_secs.max(1e-9)),
                 format!("{:.3}", run.mean_ingest_rtt_secs * 1e3),
+                run.final_epoch.to_string(),
                 f3(1.0),
             ]);
         }
@@ -211,6 +225,10 @@ pub fn run(cfg: &EvalConfig) -> Report {
          bit-identical to the in-process fleet on the same op stream",
     );
     r.note("one Ingest op per arrival batch, then Refit + Predict, over framed loopback TCP");
+    r.note(
+        "epoch = the tag on the final Predict reply (accepted mutations: N ingests + 1 refit); \
+         asserted equal across transports",
+    );
     r
 }
 
@@ -228,8 +246,12 @@ mod tests {
         };
         let r = run(&cfg);
         assert_eq!(r.rows.len(), 2);
-        assert_eq!(r.columns.len(), 7);
+        assert_eq!(r.columns.len(), 8);
         assert!(r.rows.iter().any(|row| row[2] == "loopback"));
         assert!(r.notes.iter().any(|n| n.contains("bit-identical")));
+        // Both modes report the same (nonzero) final epoch.
+        let epochs: Vec<&String> = r.rows.iter().map(|row| &row[6]).collect();
+        assert_eq!(epochs[0], epochs[1]);
+        assert_ne!(epochs[0], "0");
     }
 }

@@ -45,6 +45,12 @@ pub struct ShardedRun {
     pub fit_secs: f64,
     /// Answers ingested per second.
     pub answers_per_sec: f64,
+    /// Seconds for the first `predict_all` after the fit — the cold path
+    /// that runs the full shard merge and fills the epoch's read view.
+    pub predict_cold_secs: f64,
+    /// Seconds for a repeat `predict_all` at the same epoch — the memoized
+    /// path reading the filled view cell (see `cpa_serve::view`).
+    pub predict_memo_secs: f64,
 }
 
 /// Drives a K-shard fleet of `method` engines over the canonical arrival
@@ -79,12 +85,25 @@ pub fn sharded_run(
     fleet.drive(&mut live);
     let fit_secs = start.elapsed().as_secs_f64();
     let answers = fleet.num_answers_seen();
+
+    // First predict after the fit pays the shard merge (and fills the
+    // epoch's read view); a repeat at the same epoch is the memoized path.
+    let t = std::time::Instant::now();
+    let predictions = fleet.predict_all();
+    let predict_cold_secs = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let again = fleet.predict_all();
+    let predict_memo_secs = t.elapsed().as_secs_f64();
+    assert_eq!(again, predictions, "memoized predict diverged");
+
     ShardedRun {
         method,
         shards,
-        predictions: fleet.predict_all(),
+        predictions,
         fit_secs,
         answers_per_sec: answers as f64 / fit_secs.max(1e-9),
+        predict_cold_secs,
+        predict_memo_secs,
     }
 }
 
@@ -122,6 +141,8 @@ pub fn run(cfg: &EvalConfig) -> Report {
             "recall",
             "f1",
             "answers/s",
+            "predict_ms",
+            "repredict_ms",
             "J(vs K=1)",
         ],
     );
@@ -145,6 +166,8 @@ pub fn run(cfg: &EvalConfig) -> Report {
                 f3(m.recall),
                 f3(m.f1),
                 format!("{:.0}", run.answers_per_sec),
+                format!("{:.3}", run.predict_cold_secs * 1e3),
+                format!("{:.3}", run.predict_memo_secs * 1e3),
                 f3(j),
             ]);
             if baseline.is_none() {
@@ -157,6 +180,10 @@ pub fn run(cfg: &EvalConfig) -> Report {
          measures what cross-item pooling is worth"
     ));
     r.note("batches enter through a live queue (cpa_data::queue), the serving ingest path");
+    r.note(
+        "predict_ms = first predict after the fit (full shard merge, fills the epoch's read \
+         view); repredict_ms = repeat at the same epoch (memoized view cell)",
+    );
     r
 }
 
@@ -198,7 +225,7 @@ mod tests {
         };
         let r = run(&cfg);
         assert_eq!(r.rows.len(), 2);
-        assert_eq!(r.columns.len(), 7);
+        assert_eq!(r.columns.len(), 9);
         assert!(r.notes.iter().any(|n| n.contains("queue")));
     }
 }

@@ -7,16 +7,32 @@
 //! (the PR 2 `rayon` shim), one task per shard; results are merged back in
 //! shard order, so any pool width is bit-identical to the serial path.
 //!
+//! # Split read/write paths
+//!
+//! Mutations (`Ingest`/`Refit`/`Restore`) flow through one interpreter,
+//! [`Fleet::apply`], in one global order; each accepted mutation bumps the
+//! fleet **epoch** and publishes a fresh immutable [`crate::view::ReadView`]
+//! through the fleet's [`crate::view::ViewHandle`]. Reads
+//! (`Predict`/`Estimate`) are answered **from the published view**, not by
+//! re-driving the shards: the first read of an epoch runs the shard merge
+//! and fills the view's cells, every later read of that epoch is a cache
+//! hit — in-process callers get memoized `predict_all`/`estimate_all`, and
+//! transport connection handlers serve reads concurrently with mutations
+//! without a driver round trip (see `cpa-transport`).
+//!
 //! # Determinism contract
 //!
-//! Locked by `tests/shard_determinism.rs`:
+//! Locked by `tests/shard_determinism.rs` and `tests/read_view_stress.rs`:
 //!
 //! - the fleet's merged predictions are **bit-identical** to driving each
 //!   shard's engine standalone over that shard's universe and batch split;
 //! - [`Fleet::snapshot`] → JSON → [`Fleet::restore`] → continue is
-//!   bit-identical to never pausing, at every thread count.
+//!   bit-identical to never pausing, at every thread count;
+//! - replaying the recorded mutation prefix up to epoch E
+//!   ([`Fleet::replay_to_epoch`]) reproduces exactly the predictions a
+//!   reader was served at E.
 //!
-//! Both follow from the engines' own checkpoint contract plus two fleet
+//! These follow from the engines' own checkpoint contract plus two fleet
 //! invariants: the shard split is deterministic, and merges always read
 //! shards in shard order.
 //!
@@ -30,6 +46,7 @@
 
 use crate::protocol::{FleetOp, FleetReply};
 use crate::router::ShardRouter;
+use crate::view::ViewHandle;
 use cpa_core::engine::{Checkpoint, CheckpointError, DynEngine, RestoreFn};
 use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::{AnswerMatrix, AnswerMatrixBuilder};
@@ -47,8 +64,11 @@ use std::collections::BTreeSet;
 /// manifest additionally captures the fleet's **arrival state**
 /// (`arrived_workers`, `batches_ingested`), so a restored fleet keeps
 /// enforcing the worker-partition contract and numbers its next arrival
-/// batch exactly as the uninterrupted run would.
-pub const FLEET_MANIFEST_VERSION: u32 = 2;
+/// batch exactly as the uninterrupted run would; v3 — the manifest records
+/// the fleet **epoch** (accepted-mutation count), so a restored fleet tags
+/// read replies exactly as the uninterrupted run would and
+/// [`Fleet::replay_to_epoch`] works across a restore.
+pub const FLEET_MANIFEST_VERSION: u32 = 3;
 
 /// Magic prefix of a **binary** fleet manifest (followed by a `u32` LE
 /// format version and the `cpa_data::codec` payload). JSON manifests never
@@ -80,6 +100,12 @@ pub struct Fleet {
     /// Engine-construction hook for [`FleetOp::Restore`]; `None` until
     /// installed by [`Fleet::with_restore_hook`] or [`Fleet::restore`].
     restore_hook: Option<RestoreFn>,
+    /// Accepted mutations applied so far; every read reply is tagged with
+    /// the epoch of the view it was answered from.
+    epoch: u64,
+    /// The fleet's published read view: swapped (empty) on every accepted
+    /// mutation, filled lazily by the first read of each epoch.
+    views: ViewHandle,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -96,6 +122,7 @@ impl std::fmt::Debug for Fleet {
             .field("num_labels", &self.num_labels)
             .field("arrived_workers", &self.arrived.len())
             .field("batches_ingested", &self.batches_ingested)
+            .field("epoch", &self.epoch)
             .finish()
     }
 }
@@ -159,6 +186,8 @@ impl Fleet {
             arrived: BTreeSet::new(),
             batches_ingested: 0,
             restore_hook: None,
+            epoch: 0,
+            views: ViewHandle::new(0),
         }
     }
 
@@ -205,19 +234,29 @@ impl Fleet {
     ///   indices, non-empty labels) **before anything is mutated**, then
     ///   shard-splits and ingests it, numbering it `batches_ingested + 1`;
     /// - `Refit` refits every shard concurrently;
-    /// - `Predict` / `Estimate` / `Snapshot` are reads, answered from the
-    ///   current state;
+    /// - `Predict` / `Estimate` are reads, answered from (and memoized in)
+    ///   the current epoch's published [`crate::view::ReadView`] — the
+    ///   first read of an epoch runs the shard merge and fills the view's
+    ///   cell, later reads of the same epoch are cache hits;
+    /// - `Snapshot` reads the raw engine state (never the view) into a
+    ///   manifest;
     /// - `Restore` replaces the whole fleet from a manifest through the
     ///   installed restore hook (rejected if none is installed);
     /// - `Shutdown` is acknowledged and leaves the fleet untouched — it is
     ///   a signal to whatever is consuming the op stream.
     ///
-    /// A rejected op returns [`FleetReply::Error`] and leaves the fleet
-    /// exactly as it was.
+    /// Every **accepted mutation** bumps the fleet epoch and publishes a
+    /// fresh (empty) view *before* the ack reply is built, so a client that
+    /// observes the ack reads at least that epoch afterwards. A rejected op
+    /// returns [`FleetReply::Error`], leaves the fleet exactly as it was,
+    /// and does not bump the epoch.
     pub fn apply(&mut self, op: FleetOp) -> FleetReply {
         match op {
             FleetOp::Ingest { workers, answers } => match self.apply_ingest(workers, answers) {
-                Ok(batch) => FleetReply::Ingested { batch },
+                Ok(batch) => {
+                    let epoch = self.bump_epoch();
+                    FleetReply::Ingested { batch, epoch }
+                }
                 Err(e) => FleetReply::err(e),
             },
             FleetOp::Refit => {
@@ -226,22 +265,39 @@ impl Fleet {
                     engine.refit();
                     engine
                 });
-                FleetReply::Refitted
+                let epoch = self.bump_epoch();
+                FleetReply::Refitted { epoch }
             }
-            FleetOp::Predict => FleetReply::Predictions {
-                predictions: self.predict_all(),
-            },
-            FleetOp::Estimate => FleetReply::Estimated {
-                estimate: self.estimate_all(),
-            },
+            FleetOp::Predict => {
+                let view = self.views.current();
+                let predictions = view.predictions_or_init(|| self.merge_predictions());
+                FleetReply::Predictions {
+                    predictions: (*predictions).clone(),
+                    epoch: view.epoch(),
+                }
+            }
+            FleetOp::Estimate => {
+                let view = self.views.current();
+                let estimate = view.estimate_or_init(|| self.merge_estimate());
+                FleetReply::Estimated {
+                    estimate: (*estimate).clone(),
+                    epoch: view.epoch(),
+                }
+            }
             FleetOp::Snapshot => FleetReply::Manifest {
                 manifest: self.snapshot(),
             },
             FleetOp::Restore { manifest } => match self.restore_hook {
                 Some(hook) => match Fleet::restore(manifest, self.threads, hook) {
-                    Ok(restored) => {
+                    Ok(mut restored) => {
+                        // Keep existing reader handles live across the
+                        // restore: re-attach this fleet's handle and publish
+                        // a fresh view at the restored (manifest) epoch.
+                        restored.views = self.views.clone();
+                        restored.views.publish(restored.epoch);
+                        let epoch = restored.epoch;
                         *self = restored;
-                        FleetReply::Restored
+                        FleetReply::Restored { epoch }
                     }
                     Err(e) => FleetReply::err(e),
                 },
@@ -249,6 +305,15 @@ impl Fleet {
             },
             FleetOp::Shutdown => FleetReply::ShuttingDown,
         }
+    }
+
+    /// Commits one accepted mutation to the read path: bump the epoch and
+    /// publish a fresh (empty, lazily-filled) view for it. Returns the new
+    /// epoch.
+    fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.views.publish(self.epoch);
+        self.epoch
     }
 
     /// The `Ingest` arm of [`Fleet::apply`]: validate against the arrival
@@ -411,7 +476,7 @@ impl Fleet {
     /// a thin wrapper over [`FleetOp::Refit`].
     pub fn refit_all(&mut self) {
         let reply = self.apply(FleetOp::Refit);
-        debug_assert!(matches!(reply, FleetReply::Refitted));
+        debug_assert!(matches!(reply, FleetReply::Refitted { .. }));
     }
 
     /// Pulls every batch out of `source`, lowers each into a
@@ -449,9 +514,65 @@ impl Fleet {
         self.batches_ingested
     }
 
-    /// Merged consensus predictions in global item order: each item's label
-    /// set comes from the shard that owns it.
+    /// Accepted mutations applied so far — the epoch every read reply is
+    /// tagged with. After a `Restore` this is the *manifest's* recorded
+    /// epoch, which may be lower than before (a new lineage).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A cloneable handle onto the fleet's published read view. Transport
+    /// handlers (and any other concurrent reader) answer `Predict` /
+    /// `Estimate` through this without touching the fleet; the handle stays
+    /// valid across every mutation, including `Restore`.
+    pub fn view_handle(&self) -> ViewHandle {
+        self.views.clone()
+    }
+
+    /// Replays ops from `ops` until the fleet's epoch reaches `epoch`, then
+    /// stops (without consuming further ops). Returns one reply per op
+    /// consumed, like [`Fleet::replay`]; also stops after a `Shutdown` op or
+    /// when `ops` runs dry, whichever comes first.
+    ///
+    /// This is the **replay-to-epoch guarantee** behind read-reply tags:
+    /// replaying a recorded mutation prefix until the epoch a client was
+    /// served at reproduces that view's predictions bit for bit (locked by
+    /// `tests/read_view_stress.rs`).
+    pub fn replay_to_epoch(
+        &mut self,
+        ops: impl IntoIterator<Item = FleetOp>,
+        epoch: u64,
+    ) -> Vec<FleetReply> {
+        let mut replies = Vec::new();
+        if self.epoch == epoch {
+            return replies;
+        }
+        for op in ops {
+            let stop = matches!(op, FleetOp::Shutdown);
+            replies.push(self.apply(op));
+            if stop || self.epoch == epoch {
+                break;
+            }
+        }
+        replies
+    }
+
+    /// Merged consensus predictions in global item order, **memoized per
+    /// epoch**: the first call after a mutation runs the shard merge and
+    /// fills the current [`crate::view::ReadView`]'s cell; repeated calls at
+    /// the same epoch are cache hits (any accepted mutation publishes a
+    /// fresh view, which is what invalidates).
     pub fn predict_all(&self) -> Vec<LabelSet> {
+        (*self
+            .views
+            .current()
+            .predictions_or_init(|| self.merge_predictions()))
+        .clone()
+    }
+
+    /// The uncached shard merge behind [`Fleet::predict_all`]: each item's
+    /// label set comes from the shard that owns it.
+    fn merge_predictions(&self) -> Vec<LabelSet> {
         let shard_preds: Vec<Vec<LabelSet>> = per_shard(
             self.pool.as_ref(),
             self.engines.iter().collect::<Vec<_>>(),
@@ -462,7 +583,8 @@ impl Fleet {
             .collect()
     }
 
-    /// Merged soft-truth estimate in global item order.
+    /// Merged soft-truth estimate in global item order, **memoized per
+    /// epoch** exactly like [`Fleet::predict_all`].
     ///
     /// Per-item fields (`soft`, `expected_size`) come from the owning shard.
     /// A worker's weight is the answer-count-weighted mean of its weights in
@@ -470,6 +592,15 @@ impl Fleet {
     /// weight 1). `community_reliability` is left empty: community structure
     /// is a per-shard notion — read it from [`Fleet::shard`] estimates.
     pub fn estimate_all(&self) -> TruthEstimate {
+        (*self
+            .views
+            .current()
+            .estimate_or_init(|| self.merge_estimate()))
+        .clone()
+    }
+
+    /// The uncached shard merge behind [`Fleet::estimate_all`].
+    fn merge_estimate(&self) -> TruthEstimate {
         let shard_ests: Vec<TruthEstimate> = per_shard(
             self.pool.as_ref(),
             self.engines.iter().collect::<Vec<_>>(),
@@ -523,6 +654,7 @@ impl Fleet {
             num_labels: self.num_labels,
             arrived_workers: self.arrived.iter().copied().collect(),
             batches_ingested: self.batches_ingested,
+            epoch: self.epoch,
             shards: self.engines.iter().map(|e| e.snapshot()).collect(),
         }
     }
@@ -612,6 +744,8 @@ impl Fleet {
             arrived,
             batches_ingested: manifest.batches_ingested,
             restore_hook: Some(restore),
+            epoch: manifest.epoch,
+            views: ViewHandle::new(manifest.epoch),
         })
     }
 }
@@ -648,6 +782,10 @@ pub struct FleetManifest {
     /// Arrival batches absorbed at snapshot time — restored so the next
     /// batch is numbered exactly as the uninterrupted run would number it.
     pub batches_ingested: usize,
+    /// The fleet epoch (accepted-mutation count) at snapshot time — a
+    /// restored fleet resumes tagging read replies from here, so
+    /// replay-to-epoch works across the restore.
+    pub epoch: u64,
     /// Per-shard engine checkpoints, indexed by shard.
     pub shards: Vec<Checkpoint>,
 }

@@ -18,8 +18,15 @@
 //!   thin wrappers), with per-item results merged back into global item
 //!   order;
 //! - [`fleet::FleetManifest`] — fleet-wide snapshot/restore as a versioned
-//!   manifest of per-shard checkpoints plus arrival state, with the same
-//!   **bit-identical resume** guarantee the single-engine checkpoints give.
+//!   manifest of per-shard checkpoints plus arrival state (and the fleet
+//!   epoch), with the same **bit-identical resume** guarantee the
+//!   single-engine checkpoints give;
+//! - [`view`] — the epoch-published read path: every accepted mutation
+//!   bumps the fleet epoch and publishes an immutable
+//!   [`view::ReadView`] through an `Arc`-swapped [`view::ViewHandle`], so
+//!   `Predict`/`Estimate` are answered (and their replies cached, value and
+//!   encoded bytes alike, once per epoch) without re-driving the shards —
+//!   and, over `cpa-transport`, without a driver round trip.
 //!
 //! Live traffic enters through `cpa_data::queue::QueueSource` (any
 //! `BatchSource` works — recorded JSONL replays and in-memory shuffles
@@ -59,10 +66,12 @@
 pub mod fleet;
 pub mod protocol;
 pub mod router;
+pub mod view;
 
 pub use fleet::{Fleet, FleetError, FleetManifest, FLEET_MANIFEST_MAGIC, FLEET_MANIFEST_VERSION};
 pub use protocol::{ops_from_jsonl, ops_to_jsonl, FleetOp, FleetReply};
 pub use router::ShardRouter;
+pub use view::{ReadKind, ReadView, ViewHandle, WIRE_SLOTS};
 
 #[cfg(test)]
 mod tests {
@@ -133,6 +142,59 @@ mod tests {
         let preds = fleet.predict_all();
         assert_eq!(preds.len(), i);
         assert!(preds.iter().all(|p| p.universe() == c));
+    }
+
+    #[test]
+    fn epochs_count_accepted_mutations_and_survive_restore() {
+        let sim = simulate(&DatasetProfile::movie().scaled(0.04), 41);
+        let d = &sim.dataset;
+        let (i, u, c) = (d.num_items(), d.num_workers(), d.num_labels());
+        let mut rng = seeded(42);
+        let batches = WorkerStream::new(d, 5, &mut rng).into_batches();
+        let mut fleet = batch_fleet(2, 1, i, u, c);
+        assert_eq!(fleet.epoch(), 0);
+        fleet.drive(&mut MemorySource::new(&d.answers, batches));
+        // drive = one Ingest per batch + one final Refit, all accepted.
+        assert_eq!(fleet.epoch(), fleet.batches_ingested() as u64 + 1);
+        let epoch = fleet.epoch();
+
+        // Reads never bump the epoch, and fill the published view's cells
+        // exactly once (the memoized in-process path).
+        let preds = fleet.predict_all();
+        assert_eq!(fleet.epoch(), epoch);
+        let view = fleet.view_handle().current();
+        assert_eq!(view.epoch(), epoch);
+        assert_eq!(*view.predictions().expect("cell filled by read"), preds);
+        match fleet.apply(FleetOp::Predict) {
+            FleetReply::Predictions {
+                predictions,
+                epoch: tag,
+            } => {
+                assert_eq!(tag, epoch);
+                assert_eq!(predictions, preds);
+            }
+            other => panic!("unexpected reply {}", other.name()),
+        }
+
+        // Rejected ops leave the epoch (and the published view) untouched.
+        let manifest = fleet.snapshot();
+        assert_eq!(manifest.epoch, epoch);
+        let reply = fleet.apply(FleetOp::Restore {
+            manifest: manifest.clone(),
+        });
+        assert!(
+            matches!(reply, FleetReply::Error { .. }),
+            "no hook installed"
+        );
+        assert_eq!(fleet.epoch(), epoch);
+
+        // A restored fleet resumes tagging from the manifest's epoch.
+        let restored = Fleet::restore(manifest, 1, |cp| {
+            BatchCpa::restore(cp).map(|e| Box::new(e) as DynEngine)
+        })
+        .unwrap();
+        assert_eq!(restored.epoch(), epoch);
+        assert_eq!(restored.view_handle().current().epoch(), epoch);
     }
 
     #[test]
@@ -260,6 +322,7 @@ mod tests {
             num_labels: 1,
             arrived_workers: Vec::new(),
             batches_ingested: 0,
+            epoch: 0,
             shards: Vec::new(),
         };
         let err = Fleet::restore(manifest, 1, |cp| {

@@ -118,32 +118,56 @@ impl FleetOp {
 /// The typed result of applying one [`FleetOp`]. Each accepted op maps to
 /// exactly one success variant; any rejection is [`FleetReply::Error`] with
 /// a human-readable message, and the fleet is left untouched.
+///
+/// # Epoch tags
+///
+/// Every state-bearing reply carries the fleet **epoch** it reflects — the
+/// number of accepted mutations applied so far (see `Fleet::epoch`).
+/// Mutation acks (`Ingested`, `Refitted`, `Restored`) report the epoch the
+/// mutation *created*; read replies (`Predictions`, `Estimated`) report the
+/// epoch of the published view they were answered from, so replaying the
+/// recorded mutation prefix up to that epoch reproduces the reply's payload
+/// bit for bit (`Fleet::replay_to_epoch`). `Manifest` carries its epoch
+/// inside the manifest itself.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum FleetReply {
     /// An `Ingest` was absorbed as arrival batch number `batch` (1-based).
     Ingested {
         /// The arrival index assigned to the batch.
         batch: usize,
+        /// The fleet epoch this ingest created.
+        epoch: u64,
     },
     /// A `Refit` completed on every shard.
-    Refitted,
+    Refitted {
+        /// The fleet epoch this refit created.
+        epoch: u64,
+    },
     /// A `Predict`'s merged consensus label sets, in global item order.
     Predictions {
         /// One label set per item.
         predictions: Vec<LabelSet>,
+        /// The epoch of the read view these predictions came from.
+        epoch: u64,
     },
     /// An `Estimate`'s merged soft-truth estimate.
     Estimated {
         /// The merged estimate (see `Fleet::estimate_all` for the merge).
         estimate: TruthEstimate,
+        /// The epoch of the read view this estimate came from.
+        epoch: u64,
     },
     /// A `Snapshot`'s versioned fleet manifest.
     Manifest {
-        /// The captured manifest.
+        /// The captured manifest (carries the epoch it was captured at).
         manifest: FleetManifest,
     },
     /// A `Restore` replaced the fleet state.
-    Restored,
+    Restored {
+        /// The restored fleet's epoch — adopted from the manifest, so it
+        /// may jump backwards relative to the pre-restore lineage.
+        epoch: u64,
+    },
     /// A `Shutdown` was acknowledged; no further ops will be consumed.
     ShuttingDown,
     /// The op was rejected; the fleet is unchanged.
@@ -158,13 +182,28 @@ impl FleetReply {
     pub fn name(&self) -> &'static str {
         match self {
             FleetReply::Ingested { .. } => "Ingested",
-            FleetReply::Refitted => "Refitted",
+            FleetReply::Refitted { .. } => "Refitted",
             FleetReply::Predictions { .. } => "Predictions",
             FleetReply::Estimated { .. } => "Estimated",
             FleetReply::Manifest { .. } => "Manifest",
-            FleetReply::Restored => "Restored",
+            FleetReply::Restored { .. } => "Restored",
             FleetReply::ShuttingDown => "ShuttingDown",
             FleetReply::Error { .. } => "Error",
+        }
+    }
+
+    /// The epoch tag carried by a state-bearing reply ([`FleetReply`] docs):
+    /// `None` for `Shutdown` acks and errors; a `Manifest` reply reports the
+    /// epoch recorded inside the manifest.
+    pub fn epoch(&self) -> Option<u64> {
+        match self {
+            FleetReply::Ingested { epoch, .. }
+            | FleetReply::Refitted { epoch }
+            | FleetReply::Predictions { epoch, .. }
+            | FleetReply::Estimated { epoch, .. }
+            | FleetReply::Restored { epoch } => Some(*epoch),
+            FleetReply::Manifest { manifest } => Some(manifest.epoch),
+            FleetReply::ShuttingDown | FleetReply::Error { .. } => None,
         }
     }
 

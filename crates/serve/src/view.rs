@@ -1,0 +1,267 @@
+//! Epoch-published immutable read views: the fleet's read path.
+//!
+//! Every accepted fleet mutation (`Ingest` / `Refit` / `Restore`) bumps the
+//! fleet's **epoch** — a monotonically increasing count of accepted
+//! mutations — and publishes a fresh [`ReadView`] for it by atomically
+//! swapping the `Arc` inside the fleet's [`ViewHandle`]. A view is an
+//! immutable token of "the fleet as of epoch E":
+//!
+//! - readers (transport connection handlers, in-process callers) grab the
+//!   current view with [`ViewHandle::current`] — one `Arc` clone, no lock
+//!   held afterwards — and answer `Predict`/`Estimate` from it without
+//!   touching the fleet or its driver thread;
+//! - the view's payload cells (merged predictions, merged soft-truth
+//!   estimate, and the wire-encoded reply bytes per codec) are **lazily
+//!   filled, once per epoch**: publication after a mutation costs one small
+//!   allocation, and the full shard merge runs only when the epoch is
+//!   actually read. The first read of an epoch pays the merge (through the
+//!   fleet, which owns the engines); every later read of the same epoch is
+//!   a cache hit, and on the wire it is a zero-copy write of bytes encoded
+//!   once for that epoch.
+//!
+//! # Consistency
+//!
+//! A view can never tear: all of its cells are derived from the fleet state
+//! at one epoch (the fleet fills them while it is at that epoch, and a
+//! mutation publishes a *new* view rather than touching the old one).
+//! Replies built from a view carry its epoch tag, and replaying the
+//! recorded mutation prefix up to epoch E on a fresh fleet of the same
+//! construction reproduces exactly the predictions a client read at E
+//! (`Fleet::replay_to_epoch`, locked by `tests/read_view_stress.rs`).
+//!
+//! Epoch tags are comparable within one mutation lineage: a `Restore` op
+//! adopts the manifest's recorded epoch (so replaying a log that contains
+//! the restore reproduces the same tags), which may jump the counter
+//! backwards — clients caching by epoch across a restore must treat the
+//! restore as a new lineage.
+
+use crate::protocol::{FleetOp, FleetReply};
+use cpa_core::truth::TruthEstimate;
+use cpa_data::labels::LabelSet;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of wire-encoding slots each read reply is cached under — one per
+/// wire codec (`cpa-transport` maps its JSON codec to slot 0 and the binary
+/// codec to slot 1). `cpa-serve` itself never encodes; it only provides the
+/// per-epoch cells.
+pub const WIRE_SLOTS: usize = 2;
+
+/// Which read a [`ReadView`] cell answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadKind {
+    /// `FleetOp::Predict` — merged consensus label sets.
+    Predictions,
+    /// `FleetOp::Estimate` — merged soft-truth estimate.
+    Estimate,
+}
+
+impl ReadKind {
+    /// Classifies an op as a view-servable read, or `None` for everything
+    /// else (mutations, `Snapshot` — which reads the raw engine state, not
+    /// the view — and `Shutdown`).
+    pub fn of(op: &FleetOp) -> Option<ReadKind> {
+        match op {
+            FleetOp::Predict => Some(ReadKind::Predictions),
+            FleetOp::Estimate => Some(ReadKind::Estimate),
+            _ => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ReadKind::Predictions => 0,
+            ReadKind::Estimate => 1,
+        }
+    }
+}
+
+/// One epoch's immutable read state: the epoch number plus lazily-filled,
+/// fill-once cells for the merged predictions, the merged estimate, and the
+/// encoded reply bytes per [`ReadKind`] × wire slot.
+///
+/// Views are only ever constructed (and their value cells only ever filled)
+/// by the owning `Fleet`; readers observe them through
+/// [`ViewHandle::current`].
+#[derive(Debug)]
+pub struct ReadView {
+    epoch: u64,
+    predictions: OnceLock<Arc<Vec<LabelSet>>>,
+    estimate: OnceLock<Arc<TruthEstimate>>,
+    encoded: [OnceLock<Arc<Vec<u8>>>; 2 * WIRE_SLOTS],
+}
+
+impl ReadView {
+    pub(crate) fn new(epoch: u64) -> Self {
+        Self {
+            epoch,
+            predictions: OnceLock::new(),
+            estimate: OnceLock::new(),
+            encoded: Default::default(),
+        }
+    }
+
+    /// The epoch this view was published at: the number of accepted
+    /// mutations the fleet had applied.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The merged predictions, if this epoch's merge has run.
+    pub fn predictions(&self) -> Option<Arc<Vec<LabelSet>>> {
+        self.predictions.get().cloned()
+    }
+
+    /// The merged soft-truth estimate, if this epoch's merge has run.
+    pub fn estimate(&self) -> Option<Arc<TruthEstimate>> {
+        self.estimate.get().cloned()
+    }
+
+    /// Fills (or reads) the predictions cell — called by the fleet, which
+    /// owns the engines the merge reads.
+    pub(crate) fn predictions_or_init(
+        &self,
+        init: impl FnOnce() -> Vec<LabelSet>,
+    ) -> Arc<Vec<LabelSet>> {
+        self.predictions.get_or_init(|| Arc::new(init())).clone()
+    }
+
+    /// Fills (or reads) the estimate cell — called by the fleet.
+    pub(crate) fn estimate_or_init(
+        &self,
+        init: impl FnOnce() -> TruthEstimate,
+    ) -> Arc<TruthEstimate> {
+        self.estimate.get_or_init(|| Arc::new(init())).clone()
+    }
+
+    /// Builds the epoch-tagged [`FleetReply`] for `kind` from the filled
+    /// value cells, or `None` if this epoch's merge has not run yet (the
+    /// reader should fall back to the fleet driver, whose `apply` fills the
+    /// cell).
+    pub fn reply(&self, kind: ReadKind) -> Option<FleetReply> {
+        match kind {
+            ReadKind::Predictions => self.predictions().map(|p| FleetReply::Predictions {
+                predictions: (*p).clone(),
+                epoch: self.epoch,
+            }),
+            ReadKind::Estimate => self.estimate().map(|e| FleetReply::Estimated {
+                estimate: (*e).clone(),
+                epoch: self.epoch,
+            }),
+        }
+    }
+
+    /// The cached encoded reply bytes for `kind` under wire `slot`, if some
+    /// reader already encoded this epoch's reply under that codec.
+    ///
+    /// # Panics
+    /// Panics if `slot >= WIRE_SLOTS`.
+    pub fn encoded(&self, kind: ReadKind, slot: usize) -> Option<Arc<Vec<u8>>> {
+        assert!(slot < WIRE_SLOTS, "wire slot {slot} out of range");
+        self.encoded[kind.index() * WIRE_SLOTS + slot]
+            .get()
+            .cloned()
+    }
+
+    /// Publishes encoded reply bytes for `kind` under wire `slot` and
+    /// returns the cell's content (the given bytes, or whatever another
+    /// reader raced in first — both encode the same reply value, so the
+    /// bytes are identical either way).
+    ///
+    /// # Panics
+    /// Panics if `slot >= WIRE_SLOTS`.
+    pub fn fill_encoded(&self, kind: ReadKind, slot: usize, bytes: Vec<u8>) -> Arc<Vec<u8>> {
+        assert!(slot < WIRE_SLOTS, "wire slot {slot} out of range");
+        self.encoded[kind.index() * WIRE_SLOTS + slot]
+            .get_or_init(|| Arc::new(bytes))
+            .clone()
+    }
+}
+
+/// A cloneable handle onto a fleet's current [`ReadView`].
+///
+/// The fleet swaps the inner `Arc` on every accepted mutation; readers call
+/// [`ViewHandle::current`] per request and hold only the returned `Arc`
+/// (never the lock), so reads proceed fully concurrently with each other
+/// and with fleet mutations. Handles stay valid across `Restore` ops: the
+/// fleet re-attaches the same handle to the restored state.
+#[derive(Debug, Clone)]
+pub struct ViewHandle {
+    slot: Arc<RwLock<Arc<ReadView>>>,
+}
+
+impl ViewHandle {
+    pub(crate) fn new(epoch: u64) -> Self {
+        Self {
+            slot: Arc::new(RwLock::new(Arc::new(ReadView::new(epoch)))),
+        }
+    }
+
+    /// The currently published view (one `Arc` clone under a read lock).
+    pub fn current(&self) -> Arc<ReadView> {
+        self.slot.read().expect("view slot poisoned").clone()
+    }
+
+    /// Swaps in a fresh, empty view for `epoch` — the publication step of
+    /// every accepted mutation.
+    pub(crate) fn publish(&self, epoch: u64) {
+        *self.slot.write().expect("view slot poisoned") = Arc::new(ReadView::new(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpa_data::labels::LabelSet;
+
+    #[test]
+    fn read_kind_classifies_only_view_servable_reads() {
+        assert_eq!(ReadKind::of(&FleetOp::Predict), Some(ReadKind::Predictions));
+        assert_eq!(ReadKind::of(&FleetOp::Estimate), Some(ReadKind::Estimate));
+        assert_eq!(ReadKind::of(&FleetOp::Refit), None);
+        assert_eq!(ReadKind::of(&FleetOp::Snapshot), None);
+        assert_eq!(ReadKind::of(&FleetOp::Shutdown), None);
+    }
+
+    #[test]
+    fn cells_fill_once_and_replies_carry_the_epoch() {
+        let view = ReadView::new(7);
+        assert!(view.reply(ReadKind::Predictions).is_none());
+        let first = view.predictions_or_init(|| vec![LabelSet::from_labels(3, vec![1])]);
+        // A second init closure never runs: the cell is fill-once.
+        let again = view.predictions_or_init(|| unreachable!("cell already filled"));
+        assert!(Arc::ptr_eq(&first, &again));
+        match view.reply(ReadKind::Predictions) {
+            Some(FleetReply::Predictions { predictions, epoch }) => {
+                assert_eq!(epoch, 7);
+                assert_eq!(predictions.len(), 1);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encoded_cells_are_per_kind_and_slot() {
+        let view = ReadView::new(1);
+        assert!(view.encoded(ReadKind::Predictions, 0).is_none());
+        let bytes = view.fill_encoded(ReadKind::Predictions, 0, vec![1, 2, 3]);
+        assert_eq!(*bytes, vec![1, 2, 3]);
+        // Other slots and kinds are independent cells.
+        assert!(view.encoded(ReadKind::Predictions, 1).is_none());
+        assert!(view.encoded(ReadKind::Estimate, 0).is_none());
+        // Racing fills keep the first value.
+        let kept = view.fill_encoded(ReadKind::Predictions, 0, vec![9]);
+        assert_eq!(*kept, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn handle_swaps_views_atomically() {
+        let handle = ViewHandle::new(0);
+        let before = handle.current();
+        assert_eq!(before.epoch(), 0);
+        handle.publish(1);
+        assert_eq!(handle.current().epoch(), 1);
+        // The old view is untouched by the swap — readers that grabbed it
+        // keep a consistent epoch-0 token.
+        assert_eq!(before.epoch(), 0);
+    }
+}

@@ -5,10 +5,18 @@
 //! (`ingest` / `refit_all` / `predict_all` / `estimate_all` / `snapshot` /
 //! `restore`) plus [`FleetClient::shutdown`]; each call frames one
 //! `FleetOp`, blocks for the server's `FleetReply`, and decodes it. The
-//! server applies ops from all connections in one global order and answers
-//! each connection's requests FIFO, so a client sees exactly the semantics
+//! server applies **mutations** from all connections in one global order
+//! and answers each connection's requests FIFO; **reads** are answered from
+//! the server's epoch-published view (see `cpa_serve::view`), concurrently
+//! with other connections' traffic, so a client sees exactly the semantics
 //! of calling the in-process fleet under a lock — bit-identically
 //! (`tests/transport_roundtrip.rs`).
+//!
+//! Every state-bearing reply carries the fleet **epoch** it reflects. The
+//! `*_tagged` variants ([`FleetClient::predict_tagged`],
+//! [`FleetClient::estimate_tagged`], [`FleetClient::ingest_tagged`],
+//! [`FleetClient::refit_tagged`], [`FleetClient::restore_tagged`]) surface
+//! it; the untagged methods keep the original signatures and drop the tag.
 //!
 //! Each connection speaks one [`WireFormat`]: JSON by default, or the
 //! negotiated binary codec when [`FleetClient::connect_with`] is given
@@ -106,8 +114,21 @@ impl FleetClient {
         workers: Vec<usize>,
         answers: Vec<(usize, usize, Vec<usize>)>,
     ) -> Result<usize, TransportError> {
+        self.ingest_tagged(workers, answers).map(|(batch, _)| batch)
+    }
+
+    /// As [`FleetClient::ingest`], also returning the fleet epoch the
+    /// ingest created.
+    ///
+    /// # Errors
+    /// As [`FleetClient::ingest`].
+    pub fn ingest_tagged(
+        &mut self,
+        workers: Vec<usize>,
+        answers: Vec<(usize, usize, Vec<usize>)>,
+    ) -> Result<(usize, u64), TransportError> {
         match self.call(&FleetOp::Ingest { workers, answers })? {
-            FleetReply::Ingested { batch } => Ok(batch),
+            FleetReply::Ingested { batch, epoch } => Ok((batch, epoch)),
             other => Err(Self::unexpected("Ingested", other)),
         }
     }
@@ -140,8 +161,17 @@ impl FleetClient {
     /// # Errors
     /// Any transport failure.
     pub fn refit_all(&mut self) -> Result<(), TransportError> {
+        self.refit_tagged().map(|_| ())
+    }
+
+    /// As [`FleetClient::refit_all`], returning the fleet epoch the refit
+    /// created.
+    ///
+    /// # Errors
+    /// As [`FleetClient::refit_all`].
+    pub fn refit_tagged(&mut self) -> Result<u64, TransportError> {
         match self.call(&FleetOp::Refit)? {
-            FleetReply::Refitted => Ok(()),
+            FleetReply::Refitted { epoch } => Ok(epoch),
             other => Err(Self::unexpected("Refitted", other)),
         }
     }
@@ -151,8 +181,19 @@ impl FleetClient {
     /// # Errors
     /// Any transport failure.
     pub fn predict_all(&mut self) -> Result<Vec<LabelSet>, TransportError> {
+        self.predict_tagged().map(|(predictions, _)| predictions)
+    }
+
+    /// As [`FleetClient::predict_all`], also returning the epoch of the
+    /// read view the predictions came from — replaying the mutation prefix
+    /// up to that epoch reproduces them bit for bit
+    /// (`cpa_serve::Fleet::replay_to_epoch`).
+    ///
+    /// # Errors
+    /// Any transport failure.
+    pub fn predict_tagged(&mut self) -> Result<(Vec<LabelSet>, u64), TransportError> {
         match self.call(&FleetOp::Predict)? {
-            FleetReply::Predictions { predictions } => Ok(predictions),
+            FleetReply::Predictions { predictions, epoch } => Ok((predictions, epoch)),
             other => Err(Self::unexpected("Predictions", other)),
         }
     }
@@ -162,8 +203,17 @@ impl FleetClient {
     /// # Errors
     /// Any transport failure.
     pub fn estimate_all(&mut self) -> Result<TruthEstimate, TransportError> {
+        self.estimate_tagged().map(|(estimate, _)| estimate)
+    }
+
+    /// As [`FleetClient::estimate_all`], also returning the epoch of the
+    /// read view the estimate came from.
+    ///
+    /// # Errors
+    /// Any transport failure.
+    pub fn estimate_tagged(&mut self) -> Result<(TruthEstimate, u64), TransportError> {
         match self.call(&FleetOp::Estimate)? {
-            FleetReply::Estimated { estimate } => Ok(estimate),
+            FleetReply::Estimated { estimate, epoch } => Ok((estimate, epoch)),
             other => Err(Self::unexpected("Estimated", other)),
         }
     }
@@ -185,8 +235,18 @@ impl FleetClient {
     /// [`TransportError::Rejected`] if the server has no restore hook or
     /// the manifest does not restore, or any transport failure.
     pub fn restore(&mut self, manifest: FleetManifest) -> Result<(), TransportError> {
+        self.restore_tagged(manifest).map(|_| ())
+    }
+
+    /// As [`FleetClient::restore`], returning the restored fleet's epoch
+    /// (adopted from the manifest — a new lineage, possibly lower than the
+    /// epochs this connection saw before).
+    ///
+    /// # Errors
+    /// As [`FleetClient::restore`].
+    pub fn restore_tagged(&mut self, manifest: FleetManifest) -> Result<u64, TransportError> {
         match self.call(&FleetOp::Restore { manifest })? {
-            FleetReply::Restored => Ok(()),
+            FleetReply::Restored { epoch } => Ok(epoch),
             other => Err(Self::unexpected("Restored", other)),
         }
     }

@@ -89,6 +89,16 @@ pub enum WirePolicy {
     BinaryOnly,
 }
 
+/// The `cpa_serve::view::ReadView` encoded-reply slot this codec caches
+/// under: JSON → 0, binary → 1. `cpa_serve::WIRE_SLOTS` is sized to match,
+/// so every codec gets its own per-epoch byte cache on the read fast path.
+pub fn wire_slot(format: WireFormat) -> usize {
+    match format {
+        WireFormat::Json => 0,
+        WireFormat::Binary => 1,
+    }
+}
+
 /// Encodes one op or reply under `format`.
 ///
 /// # Errors
@@ -280,6 +290,14 @@ mod tests {
         assert_eq!(WireFormat::from_env(), WireFormat::Json);
         std::env::remove_var(WIRE_FORMAT_ENV);
         assert_eq!(WireFormat::from_env(), WireFormat::Json);
+    }
+
+    #[test]
+    fn every_codec_has_a_view_cache_slot() {
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            assert!(wire_slot(format) < cpa_serve::WIRE_SLOTS, "{format:?}");
+        }
+        assert_ne!(wire_slot(WireFormat::Json), wire_slot(WireFormat::Binary));
     }
 
     #[test]

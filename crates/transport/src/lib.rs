@@ -12,12 +12,16 @@
 //!   encoding after a `CPAW` preamble handshake — old JSON clients keep
 //!   working against binary-capable servers unchanged;
 //! - [`FleetServer`] — accepts N concurrent clients on the workspace
-//!   thread pool, funnels every op into one `Fleet::apply` driver (one
-//!   global op order, the queue arrival contract enforced per ingest),
-//!   streams replies back per-connection FIFO, and can record the applied
-//!   op stream as a replayable op-log;
+//!   thread pool, funnels every **mutation** into one `Fleet::apply` driver
+//!   (one global op order, the queue arrival contract enforced per ingest),
+//!   answers **reads** handler-side from the fleet's epoch-published
+//!   `cpa_serve::ReadView` (cached value *and* encoded bytes, once per
+//!   epoch per codec — no driver round trip), streams replies back
+//!   per-connection FIFO, and can record the applied op stream as a
+//!   replayable op-log;
 //! - [`FleetClient`] — a blocking client mirroring the `Fleet` method
-//!   surface, one framed round trip per call.
+//!   surface, one framed round trip per call, with `*_tagged` variants
+//!   exposing each reply's fleet epoch.
 //!
 //! A client over loopback computes **bit-identical** predictions to the
 //! in-process fleet on the same op stream — under either codec, and with

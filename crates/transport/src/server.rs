@@ -8,15 +8,32 @@
 //!
 //! - one **driver** owns the fleet and is the only thread that touches it:
 //!   it drains a single mpsc op channel and runs every op through
-//!   [`cpa_serve::Fleet::apply`] — so ops from all connections are applied
-//!   in one global arrival order, with the full queue arrival contract
-//!   (worker partition, range checks) enforced per `Ingest`;
+//!   [`cpa_serve::Fleet::apply`] — so **mutations** from all connections
+//!   are applied in one global arrival order, with the full queue arrival
+//!   contract (worker partition, range checks) enforced per `Ingest`;
 //! - one **acceptor** polls the listener (non-blocking + shutdown flag) and
 //!   hands accepted sockets to the handler pool;
 //! - `max_clients` **handlers** each serve one connection at a time:
-//!   read a frame, decode the op, round-trip it through the driver, write
-//!   the reply. Requests on one connection are handled strictly in order,
-//!   so replies stream back **per-connection FIFO**.
+//!   read a frame, decode the op, answer it (see the read path below), and
+//!   write the reply. Requests on one connection are handled strictly in
+//!   order, so replies stream back **per-connection FIFO**.
+//!
+//! # Read path
+//!
+//! `Predict` and `Estimate` never round-trip through the driver (unless
+//! [`ServerConfig::serve_reads_from_views`] is switched off): the handler
+//! answers them from the fleet's current epoch-published
+//! [`cpa_serve::ReadView`] — reads proceed fully concurrently with each
+//! other *and* with mutations the driver is applying. The first read of an
+//! epoch whose view is still empty falls through to the driver (whose
+//! `apply` fills the view's value cells); the first read under a given
+//! codec encodes the reply once into the view; every later read of that
+//! epoch is a zero-copy write of the cached bytes. Replies carry the view's
+//! epoch tag, so a client can replay the recorded mutation prefix up to
+//! that epoch and reproduce the served payload bit for bit
+//! (`cpa_serve::Fleet::replay_to_epoch`). Because a mutation's ack is sent
+//! only after the new view is published, a client that observed its own
+//! ack never reads an older epoch afterwards.
 //!
 //! # Shutdown and hardening
 //!
@@ -31,7 +48,9 @@
 //! With `record_ops`, the driver records every op it applies, in order; the
 //! returned [`ServeOutcome::op_log`] serializes through
 //! `cpa_serve::ops_to_jsonl` and replays bit-identically through
-//! `cpa_serve::Fleet::replay`.
+//! `cpa_serve::Fleet::replay`. Reads answered from the view never reach
+//! the driver, so the log is the mutation history (plus any reads that
+//! fell through) — exactly what replay needs, since reads mutate nothing.
 //!
 //! Each accepted connection negotiates its codec before the first op (see
 //! [`crate::codec`]): a `CPAW` preamble requests binary frames, anything
@@ -42,11 +61,11 @@
 use crate::codec::{self, Negotiated, WireFormat, WirePolicy};
 use crate::error::TransportError;
 use crate::frame::{read_frame_bytes_polling, write_frame_bytes};
-use cpa_serve::{Fleet, FleetOp, FleetReply};
+use cpa_serve::{Fleet, FleetOp, FleetReply, ReadKind, ViewHandle};
 use rayon::prelude::*;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -65,6 +84,11 @@ pub struct ServerConfig {
     /// Which wire codecs to grant ([`WirePolicy::Auto`] by default:
     /// binary to clients that ask, JSON to everyone else).
     pub wire_policy: WirePolicy,
+    /// Answer `Predict`/`Estimate` from the epoch-published read view in
+    /// the connection handler (the default; see the module docs). Switch
+    /// off to force every read through the driver — the pre-view serialized
+    /// behaviour, kept as the bench baseline and a debugging escape hatch.
+    pub serve_reads_from_views: bool,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +97,7 @@ impl Default for ServerConfig {
             max_clients: 4,
             record_ops: false,
             wire_policy: WirePolicy::default(),
+            serve_reads_from_views: true,
         }
     }
 }
@@ -108,6 +133,9 @@ enum Role {
     Handler {
         op_tx: Sender<(FleetOp, Sender<FleetReply>)>,
         policy: WirePolicy,
+        /// The served fleet's read-view handle; `None` when
+        /// [`ServerConfig::serve_reads_from_views`] is off.
+        views: Option<ViewHandle>,
     },
 }
 
@@ -147,6 +175,10 @@ impl FleetServer {
         let (conn_tx, conn_rx) = channel();
         let conn_rx = Mutex::new(conn_rx);
         let record = self.config.record_ops;
+        let views = self
+            .config
+            .serve_reads_from_views
+            .then(|| fleet.view_handle());
 
         let mut roles = vec![
             Role::Driver {
@@ -163,6 +195,7 @@ impl FleetServer {
             roles.push(Role::Handler {
                 op_tx: op_tx.clone(),
                 policy: self.config.wire_policy,
+                views: views.clone(),
             });
         }
         // The driver must see the channel close once every handler exits:
@@ -271,29 +304,27 @@ fn run_role(
             }
             None
         }
-        Role::Handler { op_tx, policy } => {
+        Role::Handler {
+            op_tx,
+            policy,
+            views,
+        } => {
+            // Block on the connection queue — no idle sleep-poll. This is
+            // shutdown-safe because the acceptor owns the only `conn_tx`
+            // and drops it within one poll interval of the shutdown flag
+            // rising, which wakes every handler parked here with a
+            // disconnect. The lock is held only while waiting for a
+            // connection, never while serving one, so `max_clients`
+            // connections are still served concurrently.
             loop {
-                let stream = match conn_rx
-                    .lock()
-                    .expect("connection queue poisoned")
-                    .try_recv()
-                {
-                    Ok(stream) => Some(stream),
-                    Err(TryRecvError::Empty) => None,
-                    Err(TryRecvError::Disconnected) => break,
-                };
-                match stream {
-                    Some(stream) => {
+                let received = conn_rx.lock().expect("connection queue poisoned").recv();
+                match received {
+                    Ok(stream) => {
                         // Connection-level failures are that connection's
                         // problem, never the server's.
-                        let _ = handle_connection(stream, &op_tx, shutdown, policy);
+                        let _ = handle_connection(stream, &op_tx, shutdown, policy, views.as_ref());
                     }
-                    None => {
-                        if shutdown.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        std::thread::sleep(POLL_INTERVAL);
-                    }
+                    Err(_) => break,
                 }
             }
             None
@@ -301,14 +332,16 @@ fn run_role(
     }
 }
 
-/// Serves one connection: negotiate the codec, then frame in, op through
-/// the driver, frame out — strictly in request order (per-connection FIFO
-/// replies).
+/// Serves one connection: negotiate the codec, then frame in, answer —
+/// reads from the published view when `views` is given, everything else
+/// through the driver — frame out, strictly in request order
+/// (per-connection FIFO replies).
 fn handle_connection(
     mut stream: TcpStream,
     op_tx: &Sender<(FleetOp, Sender<FleetReply>)>,
     shutdown: &AtomicBool,
     policy: WirePolicy,
+    views: Option<&ViewHandle>,
 ) -> Result<(), TransportError> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     let (format, mut pending) = match codec::server_handshake(&mut stream, policy, shutdown) {
@@ -359,6 +392,31 @@ fn handle_connection(
                 return Ok(());
             }
         };
+        // Read fast path: answer `Predict`/`Estimate` from the current
+        // epoch's published view, no driver round trip. A read of an epoch
+        // whose value cell is still empty falls through to the driver
+        // (whose `apply` fills it); the first read under this codec
+        // encodes the reply once into the view, and every later read of
+        // the epoch writes those cached bytes straight to the socket.
+        if let Some(views) = views {
+            if let Some(kind) = ReadKind::of(&op) {
+                let view = views.current();
+                let slot = codec::wire_slot(format);
+                let encoded = match view.encoded(kind, slot) {
+                    Some(bytes) => Some(bytes),
+                    None => match view.reply(kind) {
+                        Some(reply) => {
+                            Some(view.fill_encoded(kind, slot, codec::encode(format, &reply)?))
+                        }
+                        None => None,
+                    },
+                };
+                if let Some(bytes) = encoded {
+                    write_frame_bytes(&mut stream, &bytes)?;
+                    continue;
+                }
+            }
+        }
         let (reply_tx, reply_rx) = channel();
         if op_tx.send((op, reply_tx)).is_err() {
             let _ = send_reply(
