@@ -24,7 +24,11 @@
 //! the current `ReadView`'s pre-encoded bytes) and once forced through
 //! the driver (`read_path: "driver"`, every read a driver round trip,
 //! the serialized baseline) — reported as reads/sec and mean per-read
-//! RTT in `read_series`.
+//! RTT in `read_series`. A third leg per (K, R) runs the view path with
+//! item-ranged reads (`read_op: "ranged32"`, 32 rotating items per
+//! `PredictItems` spliced from the per-shard row caches); every series
+//! also reports `dirty_shards`, the mean shards each timed-window write
+//! dirties under the incremental views.
 //!
 //! Knobs: `CPA_BENCH_SCALE` (default 0.1), `CPA_BENCH_SAMPLES`,
 //! `CPA_BENCH_THREADS` (fleet pool cap, default 4), `CPA_BENCH_READS`
@@ -56,14 +60,22 @@ struct ModeSeries {
 }
 
 /// One read-mostly contention run: R readers vs one ~5%-share writer,
-/// with reads either view-served or forced through the driver.
+/// with reads either view-served or forced through the driver, and either
+/// full-universe `Predict` or 32-item rotating `PredictItems`.
 #[derive(Serialize)]
 struct ReadSeries {
     read_path: String,
+    /// `"full"` (whole-universe `Predict`) or `"ranged32"` (32 rotating
+    /// items per `PredictItems`).
+    read_op: String,
     shards: usize,
     readers: usize,
     reads: usize,
     writes: usize,
+    /// Mean shards dirtied per timed-window write — the incremental-view
+    /// cost of each mutation (≤ shards; 1.0 when every ingest routes to a
+    /// single shard).
+    dirty_shards: f64,
     read_secs: f64,
     reads_per_sec: f64,
     mean_read_rtt_micros: f64,
@@ -91,10 +103,36 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
-/// Boots a loopback server (view fast path on or off per `read_path`),
-/// preloads half the arrival ops plus a refit, then times `readers`
-/// concurrent `Predict` clients racing one writer that streams a ~5%
-/// share of further ingests.
+/// Mean distinct shards each op's answers route to under a K-way router —
+/// what the incremental views will mark dirty when these ops land.
+fn mean_dirty_shards(ops: &[cpa_serve::FleetOp], shards: usize) -> f64 {
+    let router = cpa_serve::ShardRouter::new(shards);
+    let counts: Vec<f64> = ops
+        .iter()
+        .filter_map(|op| {
+            let cpa_serve::FleetOp::Ingest { answers, .. } = op else {
+                return None;
+            };
+            let mut hit = vec![false; shards];
+            for (item, _, _) in answers {
+                hit[router.route(*item)] = true;
+            }
+            Some(hit.iter().filter(|&&h| h).count() as f64)
+        })
+        .collect();
+    if counts.is_empty() {
+        0.0
+    } else {
+        counts.iter().sum::<f64>() / counts.len() as f64
+    }
+}
+
+/// Boots a loopback server (view fast path on or off per the `leg`'s
+/// `read_path`), preloads half the arrival ops plus a refit, then times
+/// `readers` concurrent read clients racing one writer that streams a ~5%
+/// share of further ingests. `leg` is `(read_path, read_op)`: the path is
+/// `"view"` or `"driver"`, the op `"full"` whole-universe `Predict` or
+/// `"ranged32"` 32 rotating items per `PredictItems`.
 fn read_mostly_run(
     d: &cpa_data::dataset::Dataset,
     shards: usize,
@@ -102,8 +140,9 @@ fn read_mostly_run(
     ops: &[cpa_serve::FleetOp],
     readers: usize,
     reads_per_reader: usize,
-    read_path: &str,
+    leg: (&str, &str),
 ) -> ReadSeries {
+    let (read_path, read_op) = leg;
     assert!(ops.len() >= 2, "need arrival ops to preload and to contend");
     let fleet = fleet_for(Method::CpaSvi, d, shards, threads, SEED);
     let server = FleetServer::bind(
@@ -138,20 +177,38 @@ fn read_mostly_run(
     // readers race a real mutation).
     let writes = (reads / 19).clamp(1, ops.len() - half);
 
+    let ranged = read_op == "ranged32";
+    let num_items = d.num_items();
     let start = std::time::Instant::now();
     let handles: Vec<_> = (0..readers)
-        .map(|_| {
+        .map(|r| {
             std::thread::spawn(move || {
                 let mut client = FleetClient::connect(addr).expect("reader connects");
                 let mut rtt = 0.0;
                 let mut last = 0u64;
-                for _ in 0..reads_per_reader {
-                    let t = std::time::Instant::now();
-                    let (preds, epoch) = client.predict_tagged().expect("predict round trip");
-                    rtt += t.elapsed().as_secs_f64();
-                    assert!(epoch >= last, "reader epoch went backwards");
-                    last = epoch;
-                    black_box(preds);
+                for n in 0..reads_per_reader {
+                    if ranged {
+                        // 32 rotating items, offset per reader and per
+                        // read, so the probe sweeps the whole universe.
+                        let probe: Vec<usize> = (0..32.min(num_items))
+                            .map(|k| (r * 131 + n * 37 + k * 7) % num_items)
+                            .collect();
+                        let t = std::time::Instant::now();
+                        let (preds, epoch) = client
+                            .predict_items_tagged(probe)
+                            .expect("ranged round trip");
+                        rtt += t.elapsed().as_secs_f64();
+                        assert!(epoch >= last, "reader epoch went backwards");
+                        last = epoch;
+                        black_box(preds);
+                    } else {
+                        let t = std::time::Instant::now();
+                        let (preds, epoch) = client.predict_tagged().expect("predict round trip");
+                        rtt += t.elapsed().as_secs_f64();
+                        assert!(epoch >= last, "reader epoch went backwards");
+                        last = epoch;
+                        black_box(preds);
+                    }
                 }
                 rtt
             })
@@ -171,10 +228,12 @@ fn read_mostly_run(
 
     ReadSeries {
         read_path: read_path.to_string(),
+        read_op: read_op.to_string(),
         shards,
         readers,
         reads,
         writes,
+        dirty_shards: mean_dirty_shards(&ops[half..half + writes], shards),
         read_secs,
         reads_per_sec: reads as f64 / read_secs.max(1e-12),
         mean_read_rtt_micros: rtt_total / reads as f64 * 1e6,
@@ -278,23 +337,17 @@ fn main() {
         let threads = shards.min(max_threads);
         for readers in [1usize, 2, 4] {
             let mut driver_rps = None;
-            for read_path in ["driver", "view"] {
-                let s = read_mostly_run(
-                    d,
-                    shards,
-                    threads,
-                    &ops,
-                    readers,
-                    reads_per_reader,
-                    read_path,
-                );
+            for leg in [("driver", "full"), ("view", "full"), ("view", "ranged32")] {
+                let (read_path, read_op) = leg;
+                let s = read_mostly_run(d, shards, threads, &ops, readers, reads_per_reader, leg);
                 let baseline = *driver_rps.get_or_insert(s.reads_per_sec);
                 eprintln!(
-                    "  K={shards} readers={readers} {read_path}: {:.0} reads/s, \
-                     {:.1}µs/read ({:.2}× driver)",
+                    "  K={shards} readers={readers} {read_path}/{read_op}: {:.0} reads/s, \
+                     {:.1}µs/read ({:.2}× driver-full), {:.2} dirty shards/write",
                     s.reads_per_sec,
                     s.mean_read_rtt_micros,
-                    s.reads_per_sec / baseline.max(1e-12)
+                    s.reads_per_sec / baseline.max(1e-12),
+                    s.dirty_shards
                 );
                 read_series.push(s);
             }

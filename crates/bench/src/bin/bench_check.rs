@@ -135,21 +135,26 @@ const SCHEMAS: &[Schema] = &[
 /// Fields every `read_series` entry of the transport report must carry.
 const READ_SERIES_FIELDS: &[(&str, bool)] = &[
     ("read_path", false),
+    ("read_op", false),
     ("shards", true),
     ("readers", true),
     ("reads", true),
     ("writes", true),
+    ("dirty_shards", true),
     ("read_secs", true),
     ("reads_per_sec", true),
     ("mean_read_rtt_micros", true),
 ];
 
-/// `BENCH_transport.json` invariant over the read-mostly series: both read
-/// paths present per (shards, readers) pair, every entry well-formed, and
+/// `BENCH_transport.json` invariants over the read-mostly series: both
+/// read paths present per (shards, readers) pair, every entry well-formed,
 /// the view fast path at least holding the line against the
-/// driver-serialized baseline. Loopback reads are RTT-dominated, so the
-/// regression check compares **mean reads/sec across all pairs** (with a
-/// 0.9× tolerance) rather than gating each pair on one noisy sample.
+/// driver-serialized baseline, and item-ranged reads at K=4 no slower than
+/// whole-universe reads on the same view path. Loopback reads are
+/// RTT-dominated, so the regression check compares **mean reads/sec
+/// across all pairs** (with a 0.9× tolerance) and the ranged check
+/// compares mean RTTs across the K=4 pairs, rather than gating each pair
+/// on one noisy sample.
 fn check_read_series(report: &Value) -> Result<(), String> {
     let entries = report
         .get("read_series")
@@ -164,33 +169,35 @@ fn check_read_series(report: &Value) -> Result<(), String> {
             check_field(entry, field, numeric, &at)?;
         }
     }
-    let path_of = |e: &Value| {
-        e.get("read_path")
+    let str_of = |e: &Value, field: &str| {
+        e.get(field)
             .and_then(Value::as_str)
             .map(str::to_owned)
+            .unwrap_or_default()
+    };
+    let find = |path: &str, op: &str, shards: f64, readers: f64| {
+        entries.iter().find(|e| {
+            str_of(e, "read_path") == path
+                && str_of(e, "read_op") == op
+                && e.get("shards").and_then(Value::as_f64) == Some(shards)
+                && e.get("readers").and_then(Value::as_f64) == Some(readers)
+        })
     };
     let drivers: Vec<&Value> = entries
         .iter()
-        .filter(|e| path_of(e).as_deref() == Some("driver"))
+        .filter(|e| str_of(e, "read_path") == "driver" && str_of(e, "read_op") == "full")
         .collect();
     if drivers.is_empty() {
-        return Err("read_series has no \"driver\" baseline entries".to_string());
+        return Err("read_series has no \"driver\"/\"full\" baseline entries".to_string());
     }
     let mut driver_total = 0.0;
     let mut view_total = 0.0;
     for driver in &drivers {
         let shards = field_f64(driver, "shards")?;
         let readers = field_f64(driver, "readers")?;
-        let view = entries
-            .iter()
-            .find(|e| {
-                path_of(e).as_deref() == Some("view")
-                    && e.get("shards").and_then(Value::as_f64) == Some(shards)
-                    && e.get("readers").and_then(Value::as_f64) == Some(readers)
-            })
-            .ok_or_else(|| {
-                format!("read_series: no \"view\" entry for shards={shards} readers={readers}")
-            })?;
+        let view = find("view", "full", shards, readers).ok_or_else(|| {
+            format!("read_series: no \"view\"/\"full\" entry for shards={shards} readers={readers}")
+        })?;
         driver_total += field_f64(driver, "reads_per_sec")?;
         view_total += field_f64(view, "reads_per_sec")?;
     }
@@ -201,6 +208,40 @@ fn check_read_series(report: &Value) -> Result<(), String> {
             view_total / drivers.len() as f64,
             driver_total / drivers.len() as f64,
             drivers.len()
+        ));
+    }
+
+    // Ranged reads exist to move O(probe) rows instead of O(items): at the
+    // sharded K=4 configuration they must not be slower than full reads on
+    // the same view path, comparing mean RTT across the reader counts.
+    let mut full_rtt = 0.0;
+    let mut ranged_rtt = 0.0;
+    let mut ranged_pairs = 0usize;
+    for entry in entries {
+        if str_of(entry, "read_path") != "view" || str_of(entry, "read_op") != "full" {
+            continue;
+        }
+        let shards = field_f64(entry, "shards")?;
+        if shards != 4.0 {
+            continue;
+        }
+        let readers = field_f64(entry, "readers")?;
+        let ranged = find("view", "ranged32", shards, readers).ok_or_else(|| {
+            format!("read_series: no \"view\"/\"ranged32\" entry for shards=4 readers={readers}")
+        })?;
+        full_rtt += field_f64(entry, "mean_read_rtt_micros")?;
+        ranged_rtt += field_f64(ranged, "mean_read_rtt_micros")?;
+        ranged_pairs += 1;
+    }
+    if ranged_pairs == 0 {
+        return Err("read_series has no \"view\"/\"ranged32\" entries at shards=4".to_string());
+    }
+    if ranged_rtt > full_rtt {
+        return Err(format!(
+            "read_series: ranged reads are slower than full reads at K=4: \
+             {:.1}µs > {:.1}µs mean RTT across {ranged_pairs} reader counts",
+            ranged_rtt / ranged_pairs as f64,
+            full_rtt / ranged_pairs as f64,
         ));
     }
     Ok(())

@@ -492,6 +492,58 @@ pub fn split_container(bytes: &[u8], magic: [u8; 4]) -> Result<(u32, &[u8]), Cod
     Ok((version, &bytes[8..]))
 }
 
+// ---- raw assembly ----------------------------------------------------------
+
+/// Low-level emitters for assembling a binary document by **splicing
+/// pre-encoded fragments** instead of building a [`Value`] tree — the
+/// transport read path uses these to concatenate per-item reply rows that
+/// were encoded once and cached.
+///
+/// Every key emitted here uses the **introducer** token form (never a
+/// table reference), and spliced fragments must themselves be standalone
+/// encodes (their keys are introducers too). That makes concatenation
+/// valid: the decoder's key-intern table tolerates duplicate
+/// introductions, so an assembled document decodes to exactly the value
+/// the equivalent [`value_to_bytes`] tree would — it just spends a few
+/// more bytes on repeated keys than a whole-tree encode would.
+pub mod raw {
+    use super::{push_varint, Value, TAG_ARRAY, TAG_OBJECT, TAG_UINT};
+
+    /// Emits an object header for `count` key/value pairs. The caller must
+    /// follow with exactly `count` [`push_key`] + value pairs.
+    pub fn push_object(out: &mut Vec<u8>, count: usize) {
+        out.push(TAG_OBJECT);
+        push_varint(out, count as u64);
+    }
+
+    /// Emits an object key in introducer form.
+    pub fn push_key(out: &mut Vec<u8>, key: &str) {
+        out.push(0);
+        push_varint(out, key.len() as u64);
+        out.extend_from_slice(key.as_bytes());
+    }
+
+    /// Emits an array header for `count` elements. The caller must follow
+    /// with exactly `count` encoded values. Never packs — use
+    /// [`push_value`] with a [`Value::Array`] for slab packing.
+    pub fn push_array(out: &mut Vec<u8>, count: usize) {
+        out.push(TAG_ARRAY);
+        push_varint(out, count as u64);
+    }
+
+    /// Emits one unsigned scalar.
+    pub fn push_uint(out: &mut Vec<u8>, v: u64) {
+        out.push(TAG_UINT);
+        push_varint(out, v);
+    }
+
+    /// Emits one [`Value`] tree as a standalone fragment (fresh key table,
+    /// all keys in introducer form) — safe to splice.
+    pub fn push_value(out: &mut Vec<u8>, value: &Value) {
+        out.extend_from_slice(&super::value_to_bytes(value));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,5 +778,40 @@ mod tests {
             split_container(&doc[..6], MAGIC).unwrap_err(),
             CodecError::Truncated { .. }
         ));
+    }
+
+    #[test]
+    fn raw_assembled_documents_decode_like_tree_encodes() {
+        // Two standalone-encoded "rows" sharing a key: each introduces the
+        // key itself, so splicing them under one array is still decodable.
+        let row = |n: u64| Value::Object(vec![("n".into(), Value::UInt(n))]);
+        let fragments: Vec<Vec<u8>> = (0..2).map(|n| value_to_bytes(&row(n))).collect();
+
+        let mut out = Vec::new();
+        raw::push_object(&mut out, 2);
+        raw::push_key(&mut out, "rows");
+        raw::push_array(&mut out, 2);
+        for fragment in &fragments {
+            out.extend_from_slice(fragment);
+        }
+        raw::push_key(&mut out, "epoch");
+        raw::push_uint(&mut out, 9);
+
+        let expected = Value::Object(vec![
+            ("rows".into(), Value::Array(vec![row(0), row(1)])),
+            ("epoch".into(), Value::UInt(9)),
+        ]);
+        assert_eq!(value_from_bytes(&out).unwrap(), expected);
+
+        // push_value emits standalone fragments: keys re-introduced, so a
+        // spliced value after other objects still decodes in place.
+        let mut doc = Vec::new();
+        raw::push_object(&mut doc, 2);
+        raw::push_key(&mut doc, "a");
+        raw::push_value(&mut doc, &row(5));
+        raw::push_key(&mut doc, "b");
+        raw::push_value(&mut doc, &row(6));
+        let expected = Value::Object(vec![("a".into(), row(5)), ("b".into(), row(6))]);
+        assert_eq!(value_from_bytes(&doc).unwrap(), expected);
     }
 }

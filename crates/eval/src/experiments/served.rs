@@ -45,7 +45,21 @@ pub struct ServedRun {
     /// the read view reflects. Identical across transports on the same op
     /// stream (N ingests + 1 refit ⇒ N+1).
     pub final_epoch: u64,
+    /// Mean seconds for an item-ranged 32-item `PredictItems` at the final
+    /// epoch — the read that moves O(probe) rows instead of O(items).
+    pub mean_ranged_rtt_secs: f64,
 }
+
+/// The 32-item probe every ranged measurement uses: items spread across the
+/// universe (and therefore across shards), fixed per dataset size.
+pub fn ranged_probe(num_items: usize) -> Vec<usize> {
+    (0..32.min(num_items))
+        .map(|n| (n * 7) % num_items)
+        .collect()
+}
+
+/// Repetitions of the ranged read each run averages over.
+const RANGED_REPS: usize = 8;
 
 /// The canonical arrival stream as self-contained ingest ops — the same
 /// batch partition for every run, so modes differ only in transport.
@@ -90,12 +104,21 @@ pub fn run_in_process(mut fleet: Fleet, ops: Vec<FleetOp>) -> ServedRun {
     }
     fleet.refit_all();
     let predictions = fleet.predict_all();
+    let total_secs = start.elapsed().as_secs_f64();
+    let probe = ranged_probe(predictions.len());
+    let t = std::time::Instant::now();
+    for _ in 0..RANGED_REPS {
+        let ranged = fleet.predict_items(&probe);
+        debug_assert_eq!(ranged.len(), probe.len());
+    }
+    let mean_ranged_rtt_secs = t.elapsed().as_secs_f64() / RANGED_REPS as f64;
     ServedRun {
         predictions,
-        total_secs: start.elapsed().as_secs_f64(),
+        total_secs,
         mean_ingest_rtt_secs: op_total / ingests.max(1) as f64,
         ops: count,
         final_epoch: fleet.epoch(),
+        mean_ranged_rtt_secs,
     }
 }
 
@@ -138,6 +161,21 @@ pub fn run_loopback_with(fleet: Fleet, ops: Vec<FleetOp>, format: WireFormat) ->
     client.refit_all().expect("refit round trip");
     let (predictions, final_epoch) = client.predict_tagged().expect("predict round trip");
     let total_secs = start.elapsed().as_secs_f64();
+
+    // Ranged reads at the same epoch: asserted to be a slice of the full
+    // read, timed as the framed round trip they are.
+    let probe = ranged_probe(predictions.len());
+    let sliced: Vec<LabelSet> = probe.iter().map(|&n| predictions[n].clone()).collect();
+    let t = std::time::Instant::now();
+    for _ in 0..RANGED_REPS {
+        let (ranged, epoch) = client
+            .predict_items_tagged(probe.clone())
+            .expect("ranged round trip");
+        assert_eq!(epoch, final_epoch, "ranged read at a different epoch");
+        assert_eq!(ranged, sliced, "ranged read diverged from the full read");
+    }
+    let mean_ranged_rtt_secs = t.elapsed().as_secs_f64() / RANGED_REPS as f64;
+
     client.shutdown().expect("shutdown acknowledged");
     drop(client);
     running.join().expect("server thread joins");
@@ -147,6 +185,7 @@ pub fn run_loopback_with(fleet: Fleet, ops: Vec<FleetOp>, format: WireFormat) ->
         mean_ingest_rtt_secs: rtt_total / ingests.max(1) as f64,
         ops: count,
         final_epoch,
+        mean_ranged_rtt_secs,
     }
 }
 
@@ -181,6 +220,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
             "ops",
             "answers/s",
             "rtt_ms",
+            "ranged_rtt_ms",
             "epoch",
             "identical",
         ],
@@ -215,6 +255,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
                 run.ops.to_string(),
                 format!("{:.0}", answers as f64 / run.total_secs.max(1e-9)),
                 format!("{:.3}", run.mean_ingest_rtt_secs * 1e3),
+                format!("{:.3}", run.mean_ranged_rtt_secs * 1e3),
                 run.final_epoch.to_string(),
                 f3(1.0),
             ]);
@@ -228,6 +269,10 @@ pub fn run(cfg: &EvalConfig) -> Report {
     r.note(
         "epoch = the tag on the final Predict reply (accepted mutations: N ingests + 1 refit); \
          asserted equal across transports",
+    );
+    r.note(
+        "ranged_rtt_ms = mean 32-item `PredictItems` at the final epoch, asserted to be a \
+         slice of the full read",
     );
     r
 }
@@ -246,11 +291,11 @@ mod tests {
         };
         let r = run(&cfg);
         assert_eq!(r.rows.len(), 2);
-        assert_eq!(r.columns.len(), 8);
+        assert_eq!(r.columns.len(), 9);
         assert!(r.rows.iter().any(|row| row[2] == "loopback"));
         assert!(r.notes.iter().any(|n| n.contains("bit-identical")));
         // Both modes report the same (nonzero) final epoch.
-        let epochs: Vec<&String> = r.rows.iter().map(|row| &row[6]).collect();
+        let epochs: Vec<&String> = r.rows.iter().map(|row| &row[7]).collect();
         assert_eq!(epochs[0], epochs[1]);
         assert_ne!(epochs[0], "0");
     }

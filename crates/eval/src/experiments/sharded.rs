@@ -51,6 +51,10 @@ pub struct ShardedRun {
     /// Seconds for a repeat `predict_all` at the same epoch — the memoized
     /// path reading the filled view cell (see `cpa_serve::view`).
     pub predict_memo_secs: f64,
+    /// Seconds for an item-ranged `predict_items` over a 32-item probe at
+    /// the same epoch — the per-shard-slab path that never touches items
+    /// outside the probe's shards.
+    pub predict_ranged_secs: f64,
 }
 
 /// Drives a K-shard fleet of `method` engines over the canonical arrival
@@ -96,6 +100,15 @@ pub fn sharded_run(
     let predict_memo_secs = t.elapsed().as_secs_f64();
     assert_eq!(again, predictions, "memoized predict diverged");
 
+    // An item-ranged read at the same epoch: a slice of the full read,
+    // answered from the per-shard slabs the full read already filled.
+    let probe: Vec<usize> = (0..32.min(i)).map(|n| (n * 7) % i).collect();
+    let t = std::time::Instant::now();
+    let ranged = fleet.predict_items(&probe);
+    let predict_ranged_secs = t.elapsed().as_secs_f64();
+    let sliced: Vec<LabelSet> = probe.iter().map(|&n| predictions[n].clone()).collect();
+    assert_eq!(ranged, sliced, "ranged predict diverged from the full read");
+
     ShardedRun {
         method,
         shards,
@@ -104,6 +117,7 @@ pub fn sharded_run(
         answers_per_sec: answers as f64 / fit_secs.max(1e-9),
         predict_cold_secs,
         predict_memo_secs,
+        predict_ranged_secs,
     }
 }
 
@@ -143,6 +157,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
             "answers/s",
             "predict_ms",
             "repredict_ms",
+            "ranged_ms",
             "J(vs K=1)",
         ],
     );
@@ -168,6 +183,7 @@ pub fn run(cfg: &EvalConfig) -> Report {
                 format!("{:.0}", run.answers_per_sec),
                 format!("{:.3}", run.predict_cold_secs * 1e3),
                 format!("{:.3}", run.predict_memo_secs * 1e3),
+                format!("{:.3}", run.predict_ranged_secs * 1e3),
                 f3(j),
             ]);
             if baseline.is_none() {
@@ -182,7 +198,8 @@ pub fn run(cfg: &EvalConfig) -> Report {
     r.note("batches enter through a live queue (cpa_data::queue), the serving ingest path");
     r.note(
         "predict_ms = first predict after the fit (full shard merge, fills the epoch's read \
-         view); repredict_ms = repeat at the same epoch (memoized view cell)",
+         view); repredict_ms = repeat at the same epoch (memoized view cell); ranged_ms = \
+         32-item `predict_items` at the same epoch (per-shard slab path)",
     );
     r
 }
@@ -225,7 +242,7 @@ mod tests {
         };
         let r = run(&cfg);
         assert_eq!(r.rows.len(), 2);
-        assert_eq!(r.columns.len(), 9);
+        assert_eq!(r.columns.len(), 10);
         assert!(r.notes.iter().any(|n| n.contains("queue")));
     }
 }

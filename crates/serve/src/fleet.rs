@@ -11,12 +11,18 @@
 //!
 //! Mutations (`Ingest`/`Refit`/`Restore`) flow through one interpreter,
 //! [`Fleet::apply`], in one global order; each accepted mutation bumps the
-//! fleet **epoch** and publishes a fresh immutable [`crate::view::ReadView`]
-//! through the fleet's [`crate::view::ViewHandle`]. Reads
-//! (`Predict`/`Estimate`) are answered **from the published view**, not by
-//! re-driving the shards: the first read of an epoch runs the shard merge
-//! and fills the view's cells, every later read of that epoch is a cache
-//! hit — in-process callers get memoized `predict_all`/`estimate_all`, and
+//! fleet **epoch** and publishes an immutable [`crate::view::ReadView`]
+//! through the fleet's [`crate::view::ViewHandle`]. Publication is
+//! **incremental**: `apply` computes the mutation's **dirty-shard set**
+//! (an `Ingest` dirties exactly the shards its batch routed answers to;
+//! `Refit`/`Restore` dirty all), and the new view carries the clean
+//! shards' already-filled per-shard slabs forward by `Arc` — zero
+//! recompute, zero copy. Reads (`Predict`/`Estimate`, full or
+//! item-ranged) are answered **from the published view**, not by
+//! re-driving the shards: the first read of an epoch computes only the
+//! dirty shards' slabs and fills the view's cells, every later read of
+//! that epoch is a cache hit — in-process callers get memoized
+//! `predict_all`/`estimate_all`/`predict_items`/`estimate_items`, and
 //! transport connection handlers serve reads concurrently with mutations
 //! without a driver round trip (see `cpa-transport`).
 //!
@@ -25,7 +31,10 @@
 //! Locked by `tests/shard_determinism.rs` and `tests/read_view_stress.rs`:
 //!
 //! - the fleet's merged predictions are **bit-identical** to driving each
-//!   shard's engine standalone over that shard's universe and batch split;
+//!   shard's engine standalone over the *non-empty* batches of that
+//!   shard's universe split (a shard's engine observes exactly the
+//!   arrival batches that routed answers to it — see
+//!   [`Fleet::apply`]'s dirty-shard rule);
 //! - [`Fleet::snapshot`] → JSON → [`Fleet::restore`] → continue is
 //!   bit-identical to never pausing, at every thread count;
 //! - replaying the recorded mutation prefix up to epoch E
@@ -44,9 +53,9 @@
 //! cost of cross-shard pooling (measured by the `sharded` experiment in
 //! `cpa-eval`).
 
-use crate::protocol::{FleetOp, FleetReply};
-use crate::router::ShardRouter;
-use crate::view::ViewHandle;
+use crate::protocol::{FleetOp, FleetReply, ItemEstimate};
+use crate::router::{ShardIndex, ShardRouter};
+use crate::view::{ReadView, ViewHandle};
 use cpa_core::engine::{Checkpoint, CheckpointError, DynEngine, RestoreFn};
 use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::{AnswerMatrix, AnswerMatrixBuilder};
@@ -56,6 +65,7 @@ use cpa_data::stream::{BatchSource, WorkerBatch};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Format version written into every [`FleetManifest`]. Bump on any
 /// incompatible change to the manifest layout.
@@ -85,6 +95,9 @@ pub const FLEET_MANIFEST_MAGIC: [u8; 4] = *b"CPAM";
 /// replay).
 pub struct Fleet {
     router: ShardRouter,
+    /// The router's assignment materialized over the item universe, shared
+    /// (`Arc`) with every published read view.
+    index: Arc<ShardIndex>,
     threads: usize,
     pool: Option<rayon::ThreadPool>,
     engines: Vec<DynEngine>,
@@ -175,8 +188,11 @@ impl Fleet {
                 seen.num_labels(),
             );
         }
+        let index = Arc::new(ShardIndex::new(router, num_items));
         Self {
             router,
+            views: ViewHandle::new(0, index.clone()),
+            index,
             threads,
             pool: build_pool(threads),
             engines,
@@ -187,7 +203,6 @@ impl Fleet {
             batches_ingested: 0,
             restore_hook: None,
             epoch: 0,
-            views: ViewHandle::new(0),
         }
     }
 
@@ -208,6 +223,12 @@ impl Fleet {
     /// The fleet's item → shard router.
     pub fn router(&self) -> ShardRouter {
         self.router
+    }
+
+    /// The fleet's materialized item → shard index (shared with every
+    /// published read view).
+    pub fn shard_index(&self) -> Arc<ShardIndex> {
+        self.index.clone()
     }
 
     /// Borrow one shard's engine (for inspection; driving goes through the
@@ -232,12 +253,20 @@ impl Fleet {
     /// - `Ingest` validates the batch against the queue arrival contract
     ///   ([`cpa_data::queue::validate_batch`] — worker partition, in-range
     ///   indices, non-empty labels) **before anything is mutated**, then
-    ///   shard-splits and ingests it, numbering it `batches_ingested + 1`;
-    /// - `Refit` refits every shard concurrently;
+    ///   shard-splits it and ingests it into exactly the shards the batch
+    ///   routed answers to (its **dirty set** — a batch with no answers
+    ///   degenerates to stepping every shard), numbering it
+    ///   `batches_ingested + 1`;
+    /// - `Refit` refits every shard concurrently (dirties all);
     /// - `Predict` / `Estimate` are reads, answered from (and memoized in)
     ///   the current epoch's published [`crate::view::ReadView`] — the
-    ///   first read of an epoch runs the shard merge and fills the view's
-    ///   cell, later reads of the same epoch are cache hits;
+    ///   first read of an epoch computes only the per-shard slabs the view
+    ///   is missing (clean shards' slabs were carried forward at publish),
+    ///   later reads of the same epoch are cache hits;
+    /// - `PredictItems` / `EstimateItems` are item-ranged reads: they fill
+    ///   only the slabs of the shards owning the requested items and echo
+    ///   the request order (duplicates allowed; an out-of-range item
+    ///   rejects the whole op);
     /// - `Snapshot` reads the raw engine state (never the view) into a
     ///   manifest;
     /// - `Restore` replaces the whole fleet from a manifest through the
@@ -245,16 +274,18 @@ impl Fleet {
     /// - `Shutdown` is acknowledged and leaves the fleet untouched — it is
     ///   a signal to whatever is consuming the op stream.
     ///
-    /// Every **accepted mutation** bumps the fleet epoch and publishes a
-    /// fresh (empty) view *before* the ack reply is built, so a client that
-    /// observes the ack reads at least that epoch afterwards. A rejected op
-    /// returns [`FleetReply::Error`], leaves the fleet exactly as it was,
-    /// and does not bump the epoch.
+    /// Every **accepted mutation** bumps the fleet epoch and publishes the
+    /// next view *before* the ack reply is built, so a client that observes
+    /// the ack reads at least that epoch afterwards. The new view starts
+    /// empty only where the mutation dirtied: clean shards' filled slabs
+    /// carry forward pointer-identically. A rejected op returns
+    /// [`FleetReply::Error`], leaves the fleet exactly as it was, and does
+    /// not bump the epoch.
     pub fn apply(&mut self, op: FleetOp) -> FleetReply {
         match op {
             FleetOp::Ingest { workers, answers } => match self.apply_ingest(workers, answers) {
-                Ok(batch) => {
-                    let epoch = self.bump_epoch();
+                Ok((batch, dirty)) => {
+                    let epoch = self.bump_epoch(&dirty);
                     FleetReply::Ingested { batch, epoch }
                 }
                 Err(e) => FleetReply::err(e),
@@ -265,12 +296,12 @@ impl Fleet {
                     engine.refit();
                     engine
                 });
-                let epoch = self.bump_epoch();
+                let epoch = self.bump_epoch(&vec![true; self.num_shards()]);
                 FleetReply::Refitted { epoch }
             }
             FleetOp::Predict => {
                 let view = self.views.current();
-                let predictions = view.predictions_or_init(|| self.merge_predictions());
+                let predictions = view.predictions_or_init(|| self.merge_predictions(&view));
                 FleetReply::Predictions {
                     predictions: (*predictions).clone(),
                     epoch: view.epoch(),
@@ -278,10 +309,32 @@ impl Fleet {
             }
             FleetOp::Estimate => {
                 let view = self.views.current();
-                let estimate = view.estimate_or_init(|| self.merge_estimate());
+                let estimate = view.estimate_or_init(|| self.merge_estimate(&view));
                 FleetReply::Estimated {
                     estimate: (*estimate).clone(),
                     epoch: view.epoch(),
+                }
+            }
+            FleetOp::PredictItems { items } => {
+                let view = self.views.current();
+                match self.try_predict_items(&view, &items) {
+                    Ok(predictions) => FleetReply::PredictedItems {
+                        items,
+                        predictions,
+                        epoch: view.epoch(),
+                    },
+                    Err(e) => FleetReply::err(e),
+                }
+            }
+            FleetOp::EstimateItems { items } => {
+                let view = self.views.current();
+                match self.try_estimate_items(&view, &items) {
+                    Ok(rows) => FleetReply::EstimatedItems {
+                        items,
+                        rows,
+                        epoch: view.epoch(),
+                    },
+                    Err(e) => FleetReply::err(e),
                 }
             }
             FleetOp::Snapshot => FleetReply::Manifest {
@@ -291,10 +344,12 @@ impl Fleet {
                 Some(hook) => match Fleet::restore(manifest, self.threads, hook) {
                     Ok(mut restored) => {
                         // Keep existing reader handles live across the
-                        // restore: re-attach this fleet's handle and publish
-                        // a fresh view at the restored (manifest) epoch.
+                        // restore: re-attach this fleet's handle and reset
+                        // it to a fresh view at the restored (manifest)
+                        // epoch over the restored index — a restore dirties
+                        // everything and may change the shard count.
                         restored.views = self.views.clone();
-                        restored.views.publish(restored.epoch);
+                        restored.views.reset(restored.epoch, restored.index.clone());
                         let epoch = restored.epoch;
                         *self = restored;
                         FleetReply::Restored { epoch }
@@ -308,22 +363,23 @@ impl Fleet {
     }
 
     /// Commits one accepted mutation to the read path: bump the epoch and
-    /// publish a fresh (empty, lazily-filled) view for it. Returns the new
-    /// epoch.
-    fn bump_epoch(&mut self) -> u64 {
+    /// publish the next lazily-filled view, carrying forward the filled
+    /// slabs of every shard `dirty` marks clean. Returns the new epoch.
+    fn bump_epoch(&mut self, dirty: &[bool]) -> u64 {
         self.epoch += 1;
-        self.views.publish(self.epoch);
+        self.views.publish(self.epoch, dirty);
         self.epoch
     }
 
     /// The `Ingest` arm of [`Fleet::apply`]: validate against the arrival
-    /// contract, convert the triples into per-shard views, ingest every
-    /// shard concurrently, then (and only then) commit the arrival state.
+    /// contract, convert the triples into per-shard views, ingest the
+    /// routed shards concurrently, then (and only then) commit the arrival
+    /// state. Returns the batch number and the dirty-shard set.
     fn apply_ingest(
         &mut self,
         workers: Vec<usize>,
         answers: Vec<(usize, usize, Vec<usize>)>,
-    ) -> Result<usize, QueueError> {
+    ) -> Result<(usize, Vec<bool>), QueueError> {
         // Label indices are range-checked up front so `LabelSet` construction
         // below cannot panic on a bad op.
         for &(item, worker, ref labels) in &answers {
@@ -362,30 +418,41 @@ impl Fleet {
             workers,
             items,
         };
-        self.ingest_shard_split(&triples, &batch);
+        let dirty = self.ingest_shard_split(triples, &batch);
         self.arrived.extend(batch.workers);
         self.batches_ingested = index;
-        Ok(index)
+        Ok((index, dirty))
     }
 
     /// Shard-splits one validated arrival batch (the same split
     /// [`cpa_data::stream::WorkerBatch::shard_split`] computes, fused with
     /// building each shard's view of the batch answers into one scan of the
-    /// batch triples), then runs every shard's `ingest` concurrently.
+    /// batch triples), then runs `ingest` concurrently on exactly the
+    /// shards the batch routed answers to. Returns that **dirty set**.
     ///
-    /// Every shard ingests its split batch **even when that split is
-    /// empty** — all shards observe the same arrival steps, so incremental
-    /// engines (whose update schedule depends on the batch count) stay in
-    /// lockstep with a standalone engine driven on the same split.
-    fn ingest_shard_split(&mut self, triples: &[(usize, usize, LabelSet)], batch: &WorkerBatch) {
+    /// Shards with an empty split are skipped entirely — their engines
+    /// observe nothing, so their published read slabs stay valid and carry
+    /// forward across the epoch. A shard's engine therefore steps once per
+    /// arrival batch that routed answers to it, exactly matching a
+    /// standalone engine driven over the non-empty batches of that shard's
+    /// split stream. The degenerate batch with no answers at all routes
+    /// nowhere; it steps (and dirties) every shard, which keeps K=1
+    /// exactly the unsharded engine on any op stream.
+    fn ingest_shard_split(
+        &mut self,
+        triples: Vec<(usize, usize, LabelSet)>,
+        batch: &WorkerBatch,
+    ) -> Vec<bool> {
         let k = self.num_shards();
         // One pass over each batch worker's answers decides shard
         // membership AND collects the shard views — the per-worker scan
         // `shard_split` would do, without doing it twice. Built serially
         // (cheap scans); the engine updates below are the parallel part.
-        let mut by_worker: std::collections::BTreeMap<usize, Vec<(usize, &LabelSet)>> =
+        // Triples are grouped and inserted by move: the common 1-of-K
+        // route never clones a `LabelSet`.
+        let mut by_worker: std::collections::BTreeMap<usize, Vec<(usize, LabelSet)>> =
             std::collections::BTreeMap::new();
-        for &(item, worker, ref labels) in triples {
+        for (item, worker, labels) in triples {
             by_worker.entry(worker).or_default().push((item, labels));
         }
         let mut shard_workers: Vec<Vec<usize>> = vec![Vec::new(); k];
@@ -395,10 +462,10 @@ impl Fleet {
         let mut hit = vec![false; k];
         for &w in &batch.workers {
             hit.fill(false);
-            for &(item, labels) in by_worker.get(&w).map(Vec::as_slice).unwrap_or(&[]) {
+            for (item, labels) in by_worker.remove(&w).unwrap_or_default() {
                 let s = self.router.route(item);
                 hit[s] = true;
-                views[s].insert(item, w, labels.clone());
+                views[s].insert(item, w, labels);
             }
             for (s, shard_hit) in hit.iter().enumerate() {
                 if *shard_hit {
@@ -410,30 +477,49 @@ impl Fleet {
         for &item in &batch.items {
             shard_items[self.router.route(item)].push(item);
         }
+        let mut dirty: Vec<bool> = shard_items.iter().map(|items| !items.is_empty()).collect();
+        if dirty.iter().all(|d| !d) {
+            dirty.fill(true);
+        }
 
-        let work: Vec<(DynEngine, AnswerMatrix, WorkerBatch)> = self
-            .engines
-            .drain(..)
-            .zip(shard_workers)
+        let mut parked: Vec<Option<DynEngine>> = std::mem::take(&mut self.engines)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut work: Vec<(usize, DynEngine, AnswerMatrix, WorkerBatch)> = Vec::new();
+        for (s, ((workers, items), view)) in shard_workers
+            .into_iter()
             .zip(shard_items)
             .zip(views)
-            .map(|(((engine, workers), items), view)| {
-                let shard_batch = WorkerBatch {
-                    index: batch.index,
-                    workers,
-                    items,
-                };
-                (engine, view.build(), shard_batch)
-            })
-            .collect();
-        self.engines = per_shard(
+            .enumerate()
+        {
+            if !dirty[s] {
+                continue;
+            }
+            let engine = parked[s].take().expect("engine parked");
+            let shard_batch = WorkerBatch {
+                index: batch.index,
+                workers,
+                items,
+            };
+            work.push((s, engine, view.build(), shard_batch));
+        }
+        let done = per_shard(
             self.pool.as_ref(),
             work,
-            |(mut engine, view, shard_batch)| {
+            |(s, mut engine, view, shard_batch)| {
                 engine.ingest(&view, &shard_batch);
-                engine
+                (s, engine)
             },
         );
+        for (s, engine) in done {
+            parked[s] = Some(engine);
+        }
+        self.engines = parked
+            .into_iter()
+            .map(|slot| slot.expect("every engine returned"))
+            .collect();
+        dirty
     }
 
     /// Ingests one arrival batch — a thin wrapper lowering the
@@ -558,28 +644,153 @@ impl Fleet {
     }
 
     /// Merged consensus predictions in global item order, **memoized per
-    /// epoch**: the first call after a mutation runs the shard merge and
-    /// fills the current [`crate::view::ReadView`]'s cell; repeated calls at
-    /// the same epoch are cache hits (any accepted mutation publishes a
-    /// fresh view, which is what invalidates).
+    /// epoch**: the first call after a mutation computes only the shard
+    /// slabs the current [`crate::view::ReadView`] is missing (clean
+    /// shards' slabs were carried forward at publish) and fills the merged
+    /// cell; repeated calls at the same epoch are cache hits (any accepted
+    /// mutation publishes the next view, which is what invalidates).
     pub fn predict_all(&self) -> Vec<LabelSet> {
-        (*self
-            .views
-            .current()
-            .predictions_or_init(|| self.merge_predictions()))
-        .clone()
+        let view = self.views.current();
+        (*view.predictions_or_init(|| self.merge_predictions(&view))).clone()
     }
 
-    /// The uncached shard merge behind [`Fleet::predict_all`]: each item's
-    /// label set comes from the shard that owns it.
-    fn merge_predictions(&self) -> Vec<LabelSet> {
-        let shard_preds: Vec<Vec<LabelSet>> = per_shard(
-            self.pool.as_ref(),
-            self.engines.iter().collect::<Vec<_>>(),
-            |engine| engine.predict_all(),
-        );
+    /// Consensus predictions for exactly `items`, echoed in request order
+    /// (duplicates allowed) — the in-process `PredictItems` surface. Only
+    /// the owning shards' slabs are computed (or reused), so the cost is
+    /// bounded by the request, not the universe.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range item; use [`Fleet::apply`] with
+    /// [`FleetOp::PredictItems`] to get an error reply instead.
+    pub fn predict_items(&self, items: &[usize]) -> Vec<LabelSet> {
+        let view = self.views.current();
+        self.try_predict_items(&view, items)
+            .expect("requested item outside the universe")
+    }
+
+    /// Per-item soft-truth rows for exactly `items`, echoed in request
+    /// order — the in-process `EstimateItems` surface (see
+    /// [`crate::protocol::ItemEstimate`] for what a row carries).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range item; use [`Fleet::apply`] with
+    /// [`FleetOp::EstimateItems`] to get an error reply instead.
+    pub fn estimate_items(&self, items: &[usize]) -> Vec<ItemEstimate> {
+        let view = self.views.current();
+        self.try_estimate_items(&view, items)
+            .expect("requested item outside the universe")
+    }
+
+    /// The shards owning `items` (deduplicated, ascending), or the
+    /// offending item on a range violation.
+    fn ranged_shards(&self, items: &[usize]) -> Result<Vec<usize>, String> {
+        let mut needed = vec![false; self.num_shards()];
+        for &i in items {
+            if i >= self.num_items {
+                return Err(format!(
+                    "item {i} outside the {}-item universe",
+                    self.num_items
+                ));
+            }
+            needed[self.router.route(i)] = true;
+        }
+        Ok(needed
+            .iter()
+            .enumerate()
+            .filter_map(|(s, &n)| n.then_some(s))
+            .collect())
+    }
+
+    /// Fills every missing predictions slab among `shards` on `view`,
+    /// concurrently, in shard order.
+    fn fill_shard_predictions(&self, view: &ReadView, shards: &[usize]) {
+        let missing: Vec<(usize, &DynEngine)> = shards
+            .iter()
+            .filter(|&&s| view.shard_predictions(s).is_none())
+            .map(|&s| (s, &self.engines[s]))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let computed = per_shard(self.pool.as_ref(), missing, |(s, engine)| {
+            (s, engine.predict_all())
+        });
+        for (s, preds) in computed {
+            view.shard_predictions_or_init(s, || preds);
+        }
+    }
+
+    /// Fills every missing estimate slab among `shards` on `view`,
+    /// concurrently, in shard order.
+    fn fill_shard_estimates(&self, view: &ReadView, shards: &[usize]) {
+        let missing: Vec<(usize, &DynEngine)> = shards
+            .iter()
+            .filter(|&&s| view.shard_estimate(s).is_none())
+            .map(|&s| (s, &self.engines[s]))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let computed = per_shard(self.pool.as_ref(), missing, |(s, engine)| {
+            (s, engine.estimate())
+        });
+        for (s, est) in computed {
+            view.shard_estimate_or_init(s, || est);
+        }
+    }
+
+    /// The ranged-read merge behind `PredictItems`: fill the owning
+    /// shards' slabs, then gather the requested items in request order.
+    fn try_predict_items(&self, view: &ReadView, items: &[usize]) -> Result<Vec<LabelSet>, String> {
+        let shards = self.ranged_shards(items)?;
+        self.fill_shard_predictions(view, &shards);
+        let mut slabs: Vec<Option<Arc<Vec<LabelSet>>>> = vec![None; self.num_shards()];
+        for &s in &shards {
+            slabs[s] = view.shard_predictions(s);
+        }
+        Ok(items
+            .iter()
+            .map(|&i| slabs[self.router.route(i)].as_ref().expect("slab filled")[i].clone())
+            .collect())
+    }
+
+    /// The ranged-read merge behind `EstimateItems`: fill the owning
+    /// shards' slabs, then slice the requested items' rows in request
+    /// order. Rows equal the corresponding slices of the merged
+    /// [`Fleet::estimate_all`] — per-item fields come verbatim from the
+    /// owning shard in both.
+    fn try_estimate_items(
+        &self,
+        view: &ReadView,
+        items: &[usize],
+    ) -> Result<Vec<ItemEstimate>, String> {
+        let shards = self.ranged_shards(items)?;
+        self.fill_shard_estimates(view, &shards);
+        let mut slabs: Vec<Option<Arc<TruthEstimate>>> = vec![None; self.num_shards()];
+        for &s in &shards {
+            slabs[s] = view.shard_estimate(s);
+        }
+        Ok(items
+            .iter()
+            .map(|&i| {
+                let est = slabs[self.router.route(i)].as_ref().expect("slab filled");
+                ItemEstimate::from_estimate(est, i)
+            })
+            .collect())
+    }
+
+    /// The merged-cell fill behind [`Fleet::predict_all`]: ensure every
+    /// shard's slab is on `view` (computing only the missing ones), then
+    /// gather each item's label set from the shard that owns it.
+    fn merge_predictions(&self, view: &ReadView) -> Vec<LabelSet> {
+        let all: Vec<usize> = (0..self.num_shards()).collect();
+        self.fill_shard_predictions(view, &all);
+        let slabs: Vec<Arc<Vec<LabelSet>>> = all
+            .iter()
+            .map(|&s| view.shard_predictions(s).expect("slab filled"))
+            .collect();
         (0..self.num_items)
-            .map(|i| shard_preds[self.router.route(i)][i].clone())
+            .map(|i| slabs[self.router.route(i)][i].clone())
             .collect()
     }
 
@@ -592,20 +803,19 @@ impl Fleet {
     /// weight 1). `community_reliability` is left empty: community structure
     /// is a per-shard notion — read it from [`Fleet::shard`] estimates.
     pub fn estimate_all(&self) -> TruthEstimate {
-        (*self
-            .views
-            .current()
-            .estimate_or_init(|| self.merge_estimate()))
-        .clone()
+        let view = self.views.current();
+        (*view.estimate_or_init(|| self.merge_estimate(&view))).clone()
     }
 
-    /// The uncached shard merge behind [`Fleet::estimate_all`].
-    fn merge_estimate(&self) -> TruthEstimate {
-        let shard_ests: Vec<TruthEstimate> = per_shard(
-            self.pool.as_ref(),
-            self.engines.iter().collect::<Vec<_>>(),
-            |engine| engine.estimate(),
-        );
+    /// The merged-cell fill behind [`Fleet::estimate_all`], over the
+    /// per-shard estimate slabs (computing only the missing ones).
+    fn merge_estimate(&self, view: &ReadView) -> TruthEstimate {
+        let all: Vec<usize> = (0..self.num_shards()).collect();
+        self.fill_shard_estimates(view, &all);
+        let shard_ests: Vec<Arc<TruthEstimate>> = all
+            .iter()
+            .map(|&s| view.shard_estimate(s).expect("slab filled"))
+            .collect();
         let mut soft = Vec::with_capacity(self.num_items);
         let mut expected_size = Vec::with_capacity(self.num_items);
         for i in 0..self.num_items {
@@ -733,8 +943,11 @@ impl Fleet {
             }
             engines.push(engine);
         }
+        let index = Arc::new(ShardIndex::new(router, manifest.num_items));
         Ok(Self {
             router,
+            views: ViewHandle::new(manifest.epoch, index.clone()),
+            index,
             threads,
             pool: build_pool(threads),
             engines,
@@ -745,7 +958,6 @@ impl Fleet {
             batches_ingested: manifest.batches_ingested,
             restore_hook: Some(restore),
             epoch: manifest.epoch,
-            views: ViewHandle::new(manifest.epoch),
         })
     }
 }

@@ -24,9 +24,12 @@
 //! - [`view`] — the epoch-published read path: every accepted mutation
 //!   bumps the fleet epoch and publishes an immutable
 //!   [`view::ReadView`] through an `Arc`-swapped [`view::ViewHandle`], so
-//!   `Predict`/`Estimate` are answered (and their replies cached, value and
-//!   encoded bytes alike, once per epoch) without re-driving the shards —
-//!   and, over `cpa-transport`, without a driver round trip.
+//!   `Predict`/`Estimate` — all-items or item-ranged
+//!   (`PredictItems`/`EstimateItems`) — are answered (and their replies
+//!   cached, value and encoded bytes alike, once per epoch) without
+//!   re-driving the shards — and, over `cpa-transport`, without a driver
+//!   round trip. Publication is **incremental**: shards untouched by a
+//!   mutation carry their filled `Arc` slabs into the next epoch's view.
 //!
 //! Live traffic enters through `cpa_data::queue::QueueSource` (any
 //! `BatchSource` works — recorded JSONL replays and in-memory shuffles
@@ -69,9 +72,9 @@ pub mod router;
 pub mod view;
 
 pub use fleet::{Fleet, FleetError, FleetManifest, FLEET_MANIFEST_MAGIC, FLEET_MANIFEST_VERSION};
-pub use protocol::{ops_from_jsonl, ops_to_jsonl, FleetOp, FleetReply};
-pub use router::ShardRouter;
-pub use view::{ReadKind, ReadView, ViewHandle, WIRE_SLOTS};
+pub use protocol::{ops_from_jsonl, ops_to_jsonl, FleetOp, FleetReply, ItemEstimate};
+pub use router::{ShardIndex, ShardRouter};
+pub use view::{ReadKind, ReadView, ReplyRef, ViewHandle, WIRE_SLOTS};
 
 #[cfg(test)]
 mod tests {

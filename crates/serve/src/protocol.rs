@@ -58,6 +58,23 @@ pub enum FleetOp {
     Predict,
     /// Merged soft-truth estimate in global item order.
     Estimate,
+    /// Consensus predictions for exactly the requested items, echoed back
+    /// in request order (duplicates allowed, any order, empty is valid).
+    /// The all-items form stays [`FleetOp::Predict`]; this variant bounds
+    /// the reply by the request.
+    PredictItems {
+        /// The items to predict, in the order the reply should echo.
+        items: Vec<usize>,
+    },
+    /// Per-item soft-truth rows for exactly the requested items (same
+    /// request semantics as [`FleetOp::PredictItems`]). Each row carries
+    /// the item-indexed estimate fields only — the population-level
+    /// `worker_weight`/`community_reliability` vectors stay on the
+    /// all-items [`FleetOp::Estimate`] form.
+    EstimateItems {
+        /// The items to estimate, in the order the reply should echo.
+        items: Vec<usize>,
+    },
     /// Capture the whole fleet as a versioned manifest.
     Snapshot,
     /// Replace the fleet with one restored from `manifest` (requires a
@@ -99,6 +116,8 @@ impl FleetOp {
             FleetOp::Refit => "Refit",
             FleetOp::Predict => "Predict",
             FleetOp::Estimate => "Estimate",
+            FleetOp::PredictItems { .. } => "PredictItems",
+            FleetOp::EstimateItems { .. } => "EstimateItems",
             FleetOp::Snapshot => "Snapshot",
             FleetOp::Restore { .. } => "Restore",
             FleetOp::Shutdown => "Shutdown",
@@ -157,6 +176,24 @@ pub enum FleetReply {
         /// The epoch of the read view this estimate came from.
         epoch: u64,
     },
+    /// A `PredictItems`' consensus label sets, echoing the request.
+    PredictedItems {
+        /// The requested items, in request order.
+        items: Vec<usize>,
+        /// One label set per requested item, aligned with `items`.
+        predictions: Vec<LabelSet>,
+        /// The epoch of the read view these predictions came from.
+        epoch: u64,
+    },
+    /// An `EstimateItems`' per-item soft-truth rows, echoing the request.
+    EstimatedItems {
+        /// The requested items, in request order.
+        items: Vec<usize>,
+        /// One estimate row per requested item, aligned with `items`.
+        rows: Vec<ItemEstimate>,
+        /// The epoch of the read view these rows came from.
+        epoch: u64,
+    },
     /// A `Snapshot`'s versioned fleet manifest.
     Manifest {
         /// The captured manifest (carries the epoch it was captured at).
@@ -177,6 +214,32 @@ pub enum FleetReply {
     },
 }
 
+/// One item's slice of the merged soft-truth estimate — the row type of
+/// [`FleetReply::EstimatedItems`]. A row carries exactly the item-indexed
+/// fields of [`TruthEstimate`] for its item; the population-level vectors
+/// (`worker_weight`, `community_reliability`) are not item-sliceable and
+/// stay on the all-items `Estimated` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ItemEstimate {
+    /// Sparse `(label, probability)` pairs — `TruthEstimate::soft[item]`.
+    pub soft: Vec<(usize, f64)>,
+    /// Expected label-set size — `TruthEstimate::expected_size[item]`.
+    pub expected_size: f64,
+}
+
+impl ItemEstimate {
+    /// Slices one item's row out of a merged estimate.
+    ///
+    /// # Panics
+    /// Panics if `item` is outside the estimate's universe.
+    pub fn from_estimate(estimate: &TruthEstimate, item: usize) -> Self {
+        Self {
+            soft: estimate.soft[item].clone(),
+            expected_size: estimate.expected_size[item],
+        }
+    }
+}
+
 impl FleetReply {
     /// The reply's stable display name ("Ingested", "Error", …).
     pub fn name(&self) -> &'static str {
@@ -185,6 +248,8 @@ impl FleetReply {
             FleetReply::Refitted { .. } => "Refitted",
             FleetReply::Predictions { .. } => "Predictions",
             FleetReply::Estimated { .. } => "Estimated",
+            FleetReply::PredictedItems { .. } => "PredictedItems",
+            FleetReply::EstimatedItems { .. } => "EstimatedItems",
             FleetReply::Manifest { .. } => "Manifest",
             FleetReply::Restored { .. } => "Restored",
             FleetReply::ShuttingDown => "ShuttingDown",
@@ -201,6 +266,8 @@ impl FleetReply {
             | FleetReply::Refitted { epoch }
             | FleetReply::Predictions { epoch, .. }
             | FleetReply::Estimated { epoch, .. }
+            | FleetReply::PredictedItems { epoch, .. }
+            | FleetReply::EstimatedItems { epoch, .. }
             | FleetReply::Restored { epoch } => Some(*epoch),
             FleetReply::Manifest { manifest } => Some(manifest.epoch),
             FleetReply::ShuttingDown | FleetReply::Error { .. } => None,
@@ -246,6 +313,10 @@ mod tests {
             },
             FleetOp::Refit,
             FleetOp::Predict,
+            FleetOp::PredictItems {
+                items: vec![3, 1, 1],
+            },
+            FleetOp::EstimateItems { items: vec![] },
             FleetOp::Snapshot,
             FleetOp::Shutdown,
         ];
@@ -285,6 +356,42 @@ mod tests {
         );
         assert!(FleetOp::Refit.is_mutation());
         assert!(!FleetOp::Predict.is_mutation());
+        assert_eq!(
+            FleetOp::PredictItems { items: vec![0] }.name(),
+            "PredictItems"
+        );
+        assert_eq!(
+            FleetOp::EstimateItems { items: vec![0] }.name(),
+            "EstimateItems"
+        );
+        // Ranged reads are reads: they never bump the epoch.
+        assert!(!FleetOp::PredictItems { items: vec![0] }.is_mutation());
+        assert!(!FleetOp::EstimateItems { items: vec![0] }.is_mutation());
         assert_eq!(FleetReply::err("nope").name(), "Error");
+    }
+
+    #[test]
+    fn ranged_replies_carry_epoch_tags_and_names() {
+        let predicted = FleetReply::PredictedItems {
+            items: vec![2, 0],
+            predictions: vec![],
+            epoch: 5,
+        };
+        assert_eq!(predicted.name(), "PredictedItems");
+        assert_eq!(predicted.epoch(), Some(5));
+        let estimated = FleetReply::EstimatedItems {
+            items: vec![1],
+            rows: vec![ItemEstimate {
+                soft: vec![(0, 0.75)],
+                expected_size: 1.5,
+            }],
+            epoch: 9,
+        };
+        assert_eq!(estimated.name(), "EstimatedItems");
+        assert_eq!(estimated.epoch(), Some(9));
+        // Both survive the wire encoding round trip.
+        let json = serde_json::to_string(&estimated).unwrap();
+        let back: FleetReply = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 }

@@ -75,6 +75,87 @@ impl ShardRouter {
     }
 }
 
+/// The router's assignment materialized over a fixed item universe: shard
+/// and within-shard position per item, and the owned item list per shard.
+///
+/// A fleet builds one index at construction and shares it (`Arc`) with
+/// every published read view, so the read path can slice per-shard slabs
+/// and assemble item-ranged replies without re-hashing items.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ShardIndex {
+    router: ShardRouter,
+    shard_of_item: Vec<u32>,
+    pos_in_shard: Vec<u32>,
+    items_of_shard: Vec<Vec<u32>>,
+}
+
+impl ShardIndex {
+    /// Materializes `router`'s assignment over `0..num_items`.
+    ///
+    /// # Panics
+    /// Panics if `num_items` or the shard count exceeds `u32::MAX` (the
+    /// index stores positions as `u32`).
+    pub fn new(router: ShardRouter, num_items: usize) -> Self {
+        assert!(num_items <= u32::MAX as usize, "item universe too large");
+        assert!(router.num_shards() <= u32::MAX as usize, "too many shards");
+        let mut shard_of_item = Vec::with_capacity(num_items);
+        let mut pos_in_shard = Vec::with_capacity(num_items);
+        let mut items_of_shard = vec![Vec::new(); router.num_shards()];
+        for item in 0..num_items {
+            let s = router.route(item);
+            shard_of_item.push(s as u32);
+            pos_in_shard.push(items_of_shard[s].len() as u32);
+            items_of_shard[s].push(item as u32);
+        }
+        Self {
+            router,
+            shard_of_item,
+            pos_in_shard,
+            items_of_shard,
+        }
+    }
+
+    /// The router this index materializes.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.items_of_shard.len()
+    }
+
+    /// Size of the item universe.
+    pub fn num_items(&self) -> usize {
+        self.shard_of_item.len()
+    }
+
+    /// The shard owning `item`.
+    ///
+    /// # Panics
+    /// Panics if `item` is outside the indexed universe.
+    pub fn shard_of(&self, item: usize) -> usize {
+        self.shard_of_item[item] as usize
+    }
+
+    /// `item`'s position within its owning shard's
+    /// [`items_of`](Self::items_of) list.
+    ///
+    /// # Panics
+    /// Panics if `item` is outside the indexed universe.
+    pub fn pos_in_shard(&self, item: usize) -> usize {
+        self.pos_in_shard[item] as usize
+    }
+
+    /// The items shard `s` owns, ascending.
+    ///
+    /// # Panics
+    /// Panics if `s` is not a valid shard.
+    pub fn items_of(&self, s: usize) -> &[u32] {
+        &self.items_of_shard[s]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +205,28 @@ mod tests {
     #[should_panic(expected = "shard count must be positive")]
     fn zero_shards_rejected() {
         ShardRouter::new(0);
+    }
+
+    #[test]
+    fn shard_index_matches_the_router_and_partitions_items() {
+        for k in [1usize, 2, 3, 4] {
+            let router = ShardRouter::new(k);
+            let idx = ShardIndex::new(router, 17);
+            assert_eq!(idx.num_shards(), k);
+            assert_eq!(idx.num_items(), 17);
+            let mut seen = 0usize;
+            for s in 0..k {
+                for (pos, &item) in idx.items_of(s).iter().enumerate() {
+                    let item = item as usize;
+                    assert_eq!(router.route(item), s);
+                    assert_eq!(idx.shard_of(item), s);
+                    assert_eq!(idx.pos_in_shard(item), pos);
+                    seen += 1;
+                }
+                // Owned item lists ascend.
+                assert!(idx.items_of(s).windows(2).all(|w| w[0] < w[1]));
+            }
+            assert_eq!(seen, 17, "items partition exactly across shards");
+        }
     }
 }

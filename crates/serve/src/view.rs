@@ -8,26 +8,44 @@
 //!
 //! - readers (transport connection handlers, in-process callers) grab the
 //!   current view with [`ViewHandle::current`] — one `Arc` clone, no lock
-//!   held afterwards — and answer `Predict`/`Estimate` from it without
-//!   touching the fleet or its driver thread;
-//! - the view's payload cells (merged predictions, merged soft-truth
-//!   estimate, and the wire-encoded reply bytes per codec) are **lazily
-//!   filled, once per epoch**: publication after a mutation costs one small
-//!   allocation, and the full shard merge runs only when the epoch is
-//!   actually read. The first read of an epoch pays the merge (through the
-//!   fleet, which owns the engines); every later read of the same epoch is
-//!   a cache hit, and on the wire it is a zero-copy write of bytes encoded
-//!   once for that epoch.
+//!   held afterwards — and answer `Predict`/`Estimate` (full or
+//!   item-ranged) from it without touching the fleet or its driver thread;
+//! - the view's payload cells are **lazily filled, once per epoch**:
+//!   publication after a mutation costs one small allocation, and merges
+//!   run only when the epoch is actually read. The first read of an epoch
+//!   pays the work; every later read of the same epoch is a cache hit.
+//!
+//! # Incremental publication (dirty shards)
+//!
+//! Cells are held **per shard**: shard `s`'s `predict_all` / `estimate`
+//! slab lives in its own `Arc`, alongside per-item pre-encoded reply rows
+//! per wire slot. When a mutation dirties only some shards (an `Ingest`
+//! whose batch routed to 1 of K shards dirties exactly that shard;
+//! `Refit` / `Restore` dirty all), `ViewHandle::publish` **carries the
+//! clean shards' filled `Arc` cells forward unchanged** into the new
+//! epoch's view — same allocation, zero recompute, zero copy (the carried
+//! `Arc`s are pointer-identical across epochs). Only the dirty shards'
+//! slabs are recomputed on the new epoch's first read, so that read costs
+//! O(items/K) after a single-shard ingest instead of O(items).
+//!
+//! The *merged* all-items cells (and their whole-reply encodings) are
+//! never carried: any accepted mutation invalidates at least one shard,
+//! and the merge is a gather over the per-shard slabs — cheap once the
+//! slabs are warm.
 //!
 //! # Consistency
 //!
 //! A view can never tear: all of its cells are derived from the fleet state
 //! at one epoch (the fleet fills them while it is at that epoch, and a
 //! mutation publishes a *new* view rather than touching the old one).
-//! Replies built from a view carry its epoch tag, and replaying the
-//! recorded mutation prefix up to epoch E on a fresh fleet of the same
-//! construction reproduces exactly the predictions a client read at E
-//! (`Fleet::replay_to_epoch`, locked by `tests/read_view_stress.rs`).
+//! Carrying a clean shard's cell forward preserves that: the shard's
+//! engine was untouched by the mutation, so recomputing its slab at the
+//! new epoch would reproduce the carried bytes bit for bit (locked by
+//! `tests/view_incremental.rs`). Replies built from a view carry its epoch
+//! tag, and replaying the recorded mutation prefix up to epoch E on a
+//! fresh fleet of the same construction reproduces exactly the
+//! predictions a client read at E (`Fleet::replay_to_epoch`, locked by
+//! `tests/read_view_stress.rs`).
 //!
 //! Epoch tags are comparable within one mutation lineage: a `Restore` op
 //! adopts the manifest's recorded epoch (so replaying a log that contains
@@ -35,9 +53,11 @@
 //! backwards — clients caching by epoch across a restore must treat the
 //! restore as a new lineage.
 
-use crate::protocol::{FleetOp, FleetReply};
+use crate::protocol::FleetOp;
+use crate::router::ShardIndex;
 use cpa_core::truth::TruthEstimate;
 use cpa_data::labels::LabelSet;
+use serde::Serialize;
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Number of wire-encoding slots each read reply is cached under — one per
@@ -49,20 +69,31 @@ pub const WIRE_SLOTS: usize = 2;
 /// Which read a [`ReadView`] cell answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadKind {
-    /// `FleetOp::Predict` — merged consensus label sets.
+    /// `FleetOp::Predict` / `PredictItems` — consensus label sets.
     Predictions,
-    /// `FleetOp::Estimate` — merged soft-truth estimate.
+    /// `FleetOp::Estimate` / `EstimateItems` — soft-truth estimate.
     Estimate,
 }
 
 impl ReadKind {
-    /// Classifies an op as a view-servable read, or `None` for everything
-    /// else (mutations, `Snapshot` — which reads the raw engine state, not
-    /// the view — and `Shutdown`).
+    /// Classifies an op as a view-servable **all-items** read, or `None`
+    /// for everything else (mutations, the item-ranged reads — which carry
+    /// a payload and are classified by [`ReadKind::of_ranged`] —
+    /// `Snapshot`, and `Shutdown`).
     pub fn of(op: &FleetOp) -> Option<ReadKind> {
         match op {
             FleetOp::Predict => Some(ReadKind::Predictions),
             FleetOp::Estimate => Some(ReadKind::Estimate),
+            _ => None,
+        }
+    }
+
+    /// Classifies an op as a view-servable **item-ranged** read, returning
+    /// the kind and the requested items.
+    pub fn of_ranged(op: &FleetOp) -> Option<(ReadKind, &[usize])> {
+        match op {
+            FleetOp::PredictItems { items } => Some((ReadKind::Predictions, items)),
+            FleetOp::EstimateItems { items } => Some((ReadKind::Estimate, items)),
             _ => None,
         }
     }
@@ -75,25 +106,138 @@ impl ReadKind {
     }
 }
 
-/// One epoch's immutable read state: the epoch number plus lazily-filled,
-/// fill-once cells for the merged predictions, the merged estimate, and the
-/// encoded reply bytes per [`ReadKind`] × wire slot.
+/// A borrowed, epoch-tagged read reply: serializes **byte-identically** to
+/// the matching owned [`FleetReply`](crate::protocol::FleetReply) variant while holding the view's
+/// payload `Arc` instead of a deep clone — the encode-from-a-borrow path
+/// transport handlers use to fill a view's encoded-reply cell.
+#[derive(Debug)]
+pub enum ReplyRef {
+    /// Serializes as `FleetReply::Predictions`.
+    Predictions {
+        /// The view's merged predictions cell.
+        predictions: Arc<Vec<LabelSet>>,
+        /// The view's epoch.
+        epoch: u64,
+    },
+    /// Serializes as `FleetReply::Estimated`.
+    Estimated {
+        /// The view's merged estimate cell.
+        estimate: Arc<TruthEstimate>,
+        /// The view's epoch.
+        epoch: u64,
+    },
+}
+
+impl Serialize for ReplyRef {
+    // Mirrors the derive's externally-tagged enum encoding of the owned
+    // `FleetReply` variants, field for field in declaration order.
+    fn serialize(&self) -> serde::Value {
+        let (tag, fields) = match self {
+            ReplyRef::Predictions { predictions, epoch } => (
+                "Predictions",
+                vec![
+                    ("predictions".to_string(), (**predictions).serialize()),
+                    ("epoch".to_string(), epoch.serialize()),
+                ],
+            ),
+            ReplyRef::Estimated { estimate, epoch } => (
+                "Estimated",
+                vec![
+                    ("estimate".to_string(), (**estimate).serialize()),
+                    ("epoch".to_string(), epoch.serialize()),
+                ],
+            ),
+        };
+        serde::Value::Object(vec![(tag.to_string(), serde::Value::Object(fields))])
+    }
+}
+
+/// One shard's lazily-filled cells: its raw `predict_all` / `estimate`
+/// slabs (global population shape — unowned rows are junk and never read)
+/// and the per-item pre-encoded reply rows per [`ReadKind`] × wire slot,
+/// in the shard's owned-item order ([`ShardIndex::items_of`]).
+#[derive(Debug, Default)]
+struct ShardCells {
+    predictions: OnceLock<Arc<Vec<LabelSet>>>,
+    estimate: OnceLock<Arc<TruthEstimate>>,
+    rows: [OnceLock<Arc<Vec<Vec<u8>>>>; 2 * WIRE_SLOTS],
+}
+
+impl ShardCells {
+    /// A copy carrying every *filled* cell forward by `Arc` clone — the
+    /// clean-shard publication step. Unfilled cells stay lazily fillable
+    /// at the new epoch.
+    fn carry(&self) -> ShardCells {
+        let next = ShardCells::default();
+        if let Some(p) = self.predictions.get() {
+            let _ = next.predictions.set(p.clone());
+        }
+        if let Some(e) = self.estimate.get() {
+            let _ = next.estimate.set(e.clone());
+        }
+        for (cell, prev) in next.rows.iter().zip(&self.rows) {
+            if let Some(rows) = prev.get() {
+                let _ = cell.set(rows.clone());
+            }
+        }
+        next
+    }
+}
+
+/// One epoch's immutable read state: the epoch number, the shared
+/// [`ShardIndex`], per-shard cells (slabs + pre-encoded reply rows), and
+/// merged all-items cells (values + whole-reply encodings per wire slot).
 ///
 /// Views are only ever constructed (and their value cells only ever filled)
-/// by the owning `Fleet`; readers observe them through
-/// [`ViewHandle::current`].
+/// by the owning `Fleet` or a transport handler encoding from them; readers
+/// observe them through [`ViewHandle::current`].
 #[derive(Debug)]
 pub struct ReadView {
     epoch: u64,
+    index: Arc<ShardIndex>,
+    shards: Vec<ShardCells>,
     predictions: OnceLock<Arc<Vec<LabelSet>>>,
     estimate: OnceLock<Arc<TruthEstimate>>,
     encoded: [OnceLock<Arc<Vec<u8>>>; 2 * WIRE_SLOTS],
 }
 
 impl ReadView {
-    pub(crate) fn new(epoch: u64) -> Self {
+    pub(crate) fn new(epoch: u64, index: Arc<ShardIndex>) -> Self {
+        let shards = (0..index.num_shards())
+            .map(|_| ShardCells::default())
+            .collect();
         Self {
             epoch,
+            index,
+            shards,
+            predictions: OnceLock::new(),
+            estimate: OnceLock::new(),
+            encoded: Default::default(),
+        }
+    }
+
+    /// The epoch-`E+1` view after a mutation that dirtied `dirty`: clean
+    /// shards' filled cells are carried forward by `Arc` clone
+    /// (pointer-identical, zero recompute); dirty shards' cells — and all
+    /// merged cells — start empty.
+    pub(crate) fn carried(epoch: u64, prev: &ReadView, dirty: &[bool]) -> Self {
+        assert_eq!(dirty.len(), prev.shards.len(), "dirty set vs shard count");
+        let shards = prev
+            .shards
+            .iter()
+            .zip(dirty)
+            .map(|(cells, &is_dirty)| {
+                if is_dirty {
+                    ShardCells::default()
+                } else {
+                    cells.carry()
+                }
+            })
+            .collect();
+        Self {
+            epoch,
+            index: prev.index.clone(),
+            shards,
             predictions: OnceLock::new(),
             estimate: OnceLock::new(),
             encoded: Default::default(),
@@ -106,6 +250,11 @@ impl ReadView {
         self.epoch
     }
 
+    /// The item → shard index this view's fleet routes by.
+    pub fn index(&self) -> &Arc<ShardIndex> {
+        &self.index
+    }
+
     /// The merged predictions, if this epoch's merge has run.
     pub fn predictions(&self) -> Option<Arc<Vec<LabelSet>>> {
         self.predictions.get().cloned()
@@ -116,8 +265,44 @@ impl ReadView {
         self.estimate.get().cloned()
     }
 
-    /// Fills (or reads) the predictions cell — called by the fleet, which
-    /// owns the engines the merge reads.
+    /// Shard `s`'s raw `predict_all` slab, if filled this epoch (possibly
+    /// carried from an earlier epoch the shard was clean across).
+    pub fn shard_predictions(&self, s: usize) -> Option<Arc<Vec<LabelSet>>> {
+        self.shards[s].predictions.get().cloned()
+    }
+
+    /// Shard `s`'s raw `estimate` slab, if filled this epoch.
+    pub fn shard_estimate(&self, s: usize) -> Option<Arc<TruthEstimate>> {
+        self.shards[s].estimate.get().cloned()
+    }
+
+    /// Fills (or reads) shard `s`'s predictions slab — called by the
+    /// fleet, which owns the engine the slab is computed from.
+    pub(crate) fn shard_predictions_or_init(
+        &self,
+        s: usize,
+        init: impl FnOnce() -> Vec<LabelSet>,
+    ) -> Arc<Vec<LabelSet>> {
+        self.shards[s]
+            .predictions
+            .get_or_init(|| Arc::new(init()))
+            .clone()
+    }
+
+    /// Fills (or reads) shard `s`'s estimate slab — called by the fleet.
+    pub(crate) fn shard_estimate_or_init(
+        &self,
+        s: usize,
+        init: impl FnOnce() -> TruthEstimate,
+    ) -> Arc<TruthEstimate> {
+        self.shards[s]
+            .estimate
+            .get_or_init(|| Arc::new(init()))
+            .clone()
+    }
+
+    /// Fills (or reads) the merged predictions cell — called by the fleet,
+    /// which owns the engines the merge reads.
     pub(crate) fn predictions_or_init(
         &self,
         init: impl FnOnce() -> Vec<LabelSet>,
@@ -125,7 +310,7 @@ impl ReadView {
         self.predictions.get_or_init(|| Arc::new(init())).clone()
     }
 
-    /// Fills (or reads) the estimate cell — called by the fleet.
+    /// Fills (or reads) the merged estimate cell — called by the fleet.
     pub(crate) fn estimate_or_init(
         &self,
         init: impl FnOnce() -> TruthEstimate,
@@ -133,18 +318,19 @@ impl ReadView {
         self.estimate.get_or_init(|| Arc::new(init())).clone()
     }
 
-    /// Builds the epoch-tagged [`FleetReply`] for `kind` from the filled
-    /// value cells, or `None` if this epoch's merge has not run yet (the
-    /// reader should fall back to the fleet driver, whose `apply` fills the
-    /// cell).
-    pub fn reply(&self, kind: ReadKind) -> Option<FleetReply> {
+    /// Builds the borrowed, epoch-tagged reply for `kind` from the filled
+    /// merged cells — it serializes byte-identically to the owned
+    /// [`FleetReply`](crate::protocol::FleetReply) without cloning the payload — or `None` if this
+    /// epoch's merge has not run yet (the reader should fall back to the
+    /// fleet driver, whose `apply` fills the cell).
+    pub fn reply_ref(&self, kind: ReadKind) -> Option<ReplyRef> {
         match kind {
-            ReadKind::Predictions => self.predictions().map(|p| FleetReply::Predictions {
-                predictions: (*p).clone(),
+            ReadKind::Predictions => self.predictions().map(|predictions| ReplyRef::Predictions {
+                predictions,
                 epoch: self.epoch,
             }),
-            ReadKind::Estimate => self.estimate().map(|e| FleetReply::Estimated {
-                estimate: (*e).clone(),
+            ReadKind::Estimate => self.estimate().map(|estimate| ReplyRef::Estimated {
+                estimate,
                 epoch: self.epoch,
             }),
         }
@@ -175,6 +361,46 @@ impl ReadView {
             .get_or_init(|| Arc::new(bytes))
             .clone()
     }
+
+    /// Shard `s`'s pre-encoded per-item reply rows for `kind` under wire
+    /// `slot` — one encoded value per owned item, in
+    /// [`ShardIndex::items_of`] order — if some reader already encoded
+    /// them this epoch.
+    ///
+    /// # Panics
+    /// Panics if `slot >= WIRE_SLOTS`.
+    pub fn rows(&self, kind: ReadKind, slot: usize, s: usize) -> Option<Arc<Vec<Vec<u8>>>> {
+        assert!(slot < WIRE_SLOTS, "wire slot {slot} out of range");
+        self.shards[s].rows[kind.index() * WIRE_SLOTS + slot]
+            .get()
+            .cloned()
+    }
+
+    /// Publishes shard `s`'s pre-encoded per-item reply rows for `kind`
+    /// under wire `slot` (one per owned item, in
+    /// [`ShardIndex::items_of`] order) and returns the cell's content —
+    /// the fill-once discipline of [`ReadView::fill_encoded`], per shard.
+    ///
+    /// # Panics
+    /// Panics if `slot >= WIRE_SLOTS`, or if the row count does not match
+    /// the shard's owned-item count.
+    pub fn fill_rows(
+        &self,
+        kind: ReadKind,
+        slot: usize,
+        s: usize,
+        rows: Vec<Vec<u8>>,
+    ) -> Arc<Vec<Vec<u8>>> {
+        assert!(slot < WIRE_SLOTS, "wire slot {slot} out of range");
+        assert_eq!(
+            rows.len(),
+            self.index.items_of(s).len(),
+            "one encoded row per owned item"
+        );
+        self.shards[s].rows[kind.index() * WIRE_SLOTS + slot]
+            .get_or_init(|| Arc::new(rows))
+            .clone()
+    }
 }
 
 /// A cloneable handle onto a fleet's current [`ReadView`].
@@ -190,9 +416,9 @@ pub struct ViewHandle {
 }
 
 impl ViewHandle {
-    pub(crate) fn new(epoch: u64) -> Self {
+    pub(crate) fn new(epoch: u64, index: Arc<ShardIndex>) -> Self {
         Self {
-            slot: Arc::new(RwLock::new(Arc::new(ReadView::new(epoch)))),
+            slot: Arc::new(RwLock::new(Arc::new(ReadView::new(epoch, index)))),
         }
     }
 
@@ -201,47 +427,108 @@ impl ViewHandle {
         self.slot.read().expect("view slot poisoned").clone()
     }
 
-    /// Swaps in a fresh, empty view for `epoch` — the publication step of
-    /// every accepted mutation.
-    pub(crate) fn publish(&self, epoch: u64) {
-        *self.slot.write().expect("view slot poisoned") = Arc::new(ReadView::new(epoch));
+    /// Swaps in the view for `epoch`, carrying forward the filled cells of
+    /// every shard `dirty` marks clean — the publication step of every
+    /// accepted mutation.
+    pub(crate) fn publish(&self, epoch: u64, dirty: &[bool]) {
+        let mut slot = self.slot.write().expect("view slot poisoned");
+        *slot = Arc::new(ReadView::carried(epoch, &slot, dirty));
+    }
+
+    /// Swaps in a fresh, empty view for `epoch` over (possibly) a new
+    /// index — the publication step of a `Restore`, which may change the
+    /// shard count and invalidates everything.
+    pub(crate) fn reset(&self, epoch: u64, index: Arc<ShardIndex>) {
+        *self.slot.write().expect("view slot poisoned") = Arc::new(ReadView::new(epoch, index));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::FleetReply;
+    use crate::router::ShardRouter;
     use cpa_data::labels::LabelSet;
+
+    fn index(k: usize, items: usize) -> Arc<ShardIndex> {
+        Arc::new(ShardIndex::new(ShardRouter::new(k), items))
+    }
 
     #[test]
     fn read_kind_classifies_only_view_servable_reads() {
         assert_eq!(ReadKind::of(&FleetOp::Predict), Some(ReadKind::Predictions));
         assert_eq!(ReadKind::of(&FleetOp::Estimate), Some(ReadKind::Estimate));
+        assert_eq!(
+            ReadKind::of(&FleetOp::PredictItems { items: vec![0] }),
+            None
+        );
         assert_eq!(ReadKind::of(&FleetOp::Refit), None);
         assert_eq!(ReadKind::of(&FleetOp::Snapshot), None);
         assert_eq!(ReadKind::of(&FleetOp::Shutdown), None);
+        match ReadKind::of_ranged(&FleetOp::PredictItems { items: vec![2, 2] }) {
+            Some((ReadKind::Predictions, items)) => assert_eq!(items, &[2, 2]),
+            other => panic!("unexpected classification {other:?}"),
+        }
+        match ReadKind::of_ranged(&FleetOp::EstimateItems { items: vec![] }) {
+            Some((ReadKind::Estimate, items)) => assert!(items.is_empty()),
+            other => panic!("unexpected classification {other:?}"),
+        }
+        assert!(ReadKind::of_ranged(&FleetOp::Predict).is_none());
     }
 
     #[test]
-    fn cells_fill_once_and_replies_carry_the_epoch() {
-        let view = ReadView::new(7);
-        assert!(view.reply(ReadKind::Predictions).is_none());
-        let first = view.predictions_or_init(|| vec![LabelSet::from_labels(3, vec![1])]);
+    fn cells_fill_once_and_reply_refs_serialize_like_owned_replies() {
+        let view = ReadView::new(7, index(2, 3));
+        assert!(view.reply_ref(ReadKind::Predictions).is_none());
+        let first = view.predictions_or_init(|| vec![LabelSet::from_labels(3, vec![1]); 3]);
         // A second init closure never runs: the cell is fill-once.
         let again = view.predictions_or_init(|| unreachable!("cell already filled"));
         assert!(Arc::ptr_eq(&first, &again));
-        match view.reply(ReadKind::Predictions) {
-            Some(FleetReply::Predictions { predictions, epoch }) => {
-                assert_eq!(epoch, 7);
-                assert_eq!(predictions.len(), 1);
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let reply_ref = view.reply_ref(ReadKind::Predictions).expect("filled");
+        let owned = FleetReply::Predictions {
+            predictions: (*first).clone(),
+            epoch: 7,
+        };
+        // The borrowed reply is byte-identical to the owned one under both
+        // the JSON text encoding and the binary document encoding.
+        assert_eq!(
+            serde_json::to_string(&reply_ref).unwrap(),
+            serde_json::to_string(&owned).unwrap()
+        );
+        assert_eq!(
+            cpa_data::codec::to_bytes(&reply_ref),
+            cpa_data::codec::to_bytes(&owned)
+        );
+    }
+
+    #[test]
+    fn estimate_reply_ref_matches_owned_encoding() {
+        let view = ReadView::new(3, index(1, 2));
+        let est = view.shard_estimate_or_init(0, || TruthEstimate {
+            soft: vec![vec![(0, 0.5)], vec![(1, 0.25)]],
+            expected_size: vec![1.0, 2.0],
+            worker_weight: vec![0.5],
+            community_reliability: vec![],
+        });
+        let merged = view.estimate_or_init(|| (*est).clone());
+        let reply_ref = view.reply_ref(ReadKind::Estimate).expect("filled");
+        let owned = FleetReply::Estimated {
+            estimate: (*merged).clone(),
+            epoch: 3,
+        };
+        assert_eq!(
+            serde_json::to_string(&reply_ref).unwrap(),
+            serde_json::to_string(&owned).unwrap()
+        );
+        assert_eq!(
+            cpa_data::codec::to_bytes(&reply_ref),
+            cpa_data::codec::to_bytes(&owned)
+        );
     }
 
     #[test]
     fn encoded_cells_are_per_kind_and_slot() {
-        let view = ReadView::new(1);
+        let view = ReadView::new(1, index(1, 1));
         assert!(view.encoded(ReadKind::Predictions, 0).is_none());
         let bytes = view.fill_encoded(ReadKind::Predictions, 0, vec![1, 2, 3]);
         assert_eq!(*bytes, vec![1, 2, 3]);
@@ -254,14 +541,58 @@ mod tests {
     }
 
     #[test]
-    fn handle_swaps_views_atomically() {
-        let handle = ViewHandle::new(0);
+    fn row_cells_are_per_shard_kind_and_slot() {
+        let idx = index(2, 4);
+        let owned = idx.items_of(0).len();
+        let view = ReadView::new(2, idx);
+        assert!(view.rows(ReadKind::Predictions, 0, 0).is_none());
+        let rows = view.fill_rows(ReadKind::Predictions, 0, 0, vec![vec![7]; owned]);
+        assert_eq!(rows.len(), owned);
+        assert!(view.rows(ReadKind::Predictions, 1, 0).is_none());
+        assert!(view.rows(ReadKind::Predictions, 0, 1).is_none());
+        assert!(view.rows(ReadKind::Estimate, 0, 0).is_none());
+        // Racing fills keep the first value.
+        let kept = view.fill_rows(ReadKind::Predictions, 0, 0, vec![vec![9]; owned]);
+        assert!(Arc::ptr_eq(&rows, &kept));
+    }
+
+    #[test]
+    fn publish_carries_clean_shard_cells_and_drops_dirty_and_merged_ones() {
+        let handle = ViewHandle::new(0, index(2, 5));
         let before = handle.current();
-        assert_eq!(before.epoch(), 0);
-        handle.publish(1);
-        assert_eq!(handle.current().epoch(), 1);
+        let clean = before.shard_predictions_or_init(0, || vec![LabelSet::empty(2); 5]);
+        let stale = before.shard_predictions_or_init(1, || vec![LabelSet::empty(2); 5]);
+        before.predictions_or_init(|| vec![LabelSet::empty(2); 5]);
+        before.fill_encoded(ReadKind::Predictions, 0, vec![1]);
+        before.fill_rows(
+            ReadKind::Predictions,
+            0,
+            0,
+            vec![vec![1]; before.index().items_of(0).len()],
+        );
+
+        handle.publish(1, &[false, true]);
+        let after = handle.current();
+        assert_eq!(after.epoch(), 1);
+        // Clean shard 0: slab and rows carried, pointer-identical.
+        let carried = after.shard_predictions(0).expect("carried forward");
+        assert!(Arc::ptr_eq(&clean, &carried));
+        assert!(after.rows(ReadKind::Predictions, 0, 0).is_some());
+        // Dirty shard 1: dropped.
+        assert!(after.shard_predictions(1).is_none());
+        drop(stale);
+        // Merged cells never carry across a mutation.
+        assert!(after.predictions().is_none());
+        assert!(after.encoded(ReadKind::Predictions, 0).is_none());
         // The old view is untouched by the swap — readers that grabbed it
         // keep a consistent epoch-0 token.
         assert_eq!(before.epoch(), 0);
+        assert!(before.predictions().is_some());
+
+        // Reset (the Restore publication) drops everything, clean or not.
+        handle.reset(9, index(2, 5));
+        let fresh = handle.current();
+        assert_eq!(fresh.epoch(), 9);
+        assert!(fresh.shard_predictions(0).is_none());
     }
 }

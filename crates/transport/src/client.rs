@@ -2,7 +2,8 @@
 //! call.
 //!
 //! A [`FleetClient`] mirrors `cpa_serve::Fleet`'s method surface
-//! (`ingest` / `refit_all` / `predict_all` / `estimate_all` / `snapshot` /
+//! (`ingest` / `refit_all` / `predict_all` / `estimate_all` / the
+//! item-ranged `predict_items` / `estimate_items` / `snapshot` /
 //! `restore`) plus [`FleetClient::shutdown`]; each call frames one
 //! `FleetOp`, blocks for the server's `FleetReply`, and decodes it. The
 //! server applies **mutations** from all connections in one global order
@@ -31,7 +32,7 @@ use crate::frame::{read_frame_bytes, write_frame_bytes};
 use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
-use cpa_serve::{FleetManifest, FleetOp, FleetReply};
+use cpa_serve::{FleetManifest, FleetOp, FleetReply, ItemEstimate};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// A blocking connection to a [`crate::FleetServer`].
@@ -215,6 +216,93 @@ impl FleetClient {
         match self.call(&FleetOp::Estimate)? {
             FleetReply::Estimated { estimate, epoch } => Ok((estimate, epoch)),
             other => Err(Self::unexpected("Estimated", other)),
+        }
+    }
+
+    /// Consensus predictions for exactly `items`, echoed in request order
+    /// (duplicates allowed) — the item-ranged read. Reply size is bounded
+    /// by the request, and the server answers from per-item rows cached
+    /// once per (epoch, shard, codec).
+    ///
+    /// # Errors
+    /// [`TransportError::Rejected`] when an item is outside the served
+    /// universe, or any transport failure.
+    pub fn predict_items(&mut self, items: Vec<usize>) -> Result<Vec<LabelSet>, TransportError> {
+        self.predict_items_tagged(items)
+            .map(|(predictions, _)| predictions)
+    }
+
+    /// As [`FleetClient::predict_items`], also returning the epoch of the
+    /// read view the rows came from. The reply echoes the requested items;
+    /// a mismatch with the request is an
+    /// [`TransportError::UnexpectedReply`].
+    ///
+    /// # Errors
+    /// As [`FleetClient::predict_items`].
+    pub fn predict_items_tagged(
+        &mut self,
+        items: Vec<usize>,
+    ) -> Result<(Vec<LabelSet>, u64), TransportError> {
+        match self.call(&FleetOp::PredictItems {
+            items: items.clone(),
+        })? {
+            FleetReply::PredictedItems {
+                items: echoed,
+                predictions,
+                epoch,
+            } => {
+                if echoed != items {
+                    return Err(TransportError::UnexpectedReply {
+                        expected: "PredictedItems echoing the requested items",
+                        found: format!("PredictedItems for {} other items", echoed.len()),
+                    });
+                }
+                Ok((predictions, epoch))
+            }
+            other => Err(Self::unexpected("PredictedItems", other)),
+        }
+    }
+
+    /// Per-item soft-truth rows for exactly `items`, echoed in request
+    /// order — the item-ranged counterpart of
+    /// [`FleetClient::estimate_all`] (see `cpa_serve::ItemEstimate` for
+    /// what a row carries).
+    ///
+    /// # Errors
+    /// As [`FleetClient::predict_items`].
+    pub fn estimate_items(
+        &mut self,
+        items: Vec<usize>,
+    ) -> Result<Vec<ItemEstimate>, TransportError> {
+        self.estimate_items_tagged(items).map(|(rows, _)| rows)
+    }
+
+    /// As [`FleetClient::estimate_items`], also returning the epoch of the
+    /// read view the rows came from.
+    ///
+    /// # Errors
+    /// As [`FleetClient::predict_items`].
+    pub fn estimate_items_tagged(
+        &mut self,
+        items: Vec<usize>,
+    ) -> Result<(Vec<ItemEstimate>, u64), TransportError> {
+        match self.call(&FleetOp::EstimateItems {
+            items: items.clone(),
+        })? {
+            FleetReply::EstimatedItems {
+                items: echoed,
+                rows,
+                epoch,
+            } => {
+                if echoed != items {
+                    return Err(TransportError::UnexpectedReply {
+                        expected: "EstimatedItems echoing the requested items",
+                        found: format!("EstimatedItems for {} other items", echoed.len()),
+                    });
+                }
+                Ok((rows, epoch))
+            }
+            other => Err(Self::unexpected("EstimatedItems", other)),
         }
     }
 

@@ -138,6 +138,76 @@ pub fn decode<T: serde::Deserialize>(
     }
 }
 
+/// Assembles the encoded body of an item-ranged read reply
+/// (`PredictedItems` / `EstimatedItems`) by **splicing pre-encoded
+/// per-item rows** — the cached-row fast path behind
+/// `FleetOp::PredictItems` / `EstimateItems`. `rows` holds one standalone
+/// encode of the reply's per-item element per requested item, in request
+/// order (the handler slices them out of the view's per-shard row caches).
+///
+/// The assembled body decodes to exactly the owned
+/// `FleetReply::{PredictedItems, EstimatedItems}` value: under JSON it is
+/// byte-identical to [`encode`]-ing the owned reply (the shim emits
+/// compact JSON in field declaration order, which this mirrors); under the
+/// binary codec it spends a few extra bytes re-introducing interned keys
+/// (spliced fragments are standalone — see `cpa_data::codec::raw`) but
+/// decodes to the identical value.
+pub fn assemble_ranged_reply(
+    format: WireFormat,
+    variant: &str,
+    rows_field: &str,
+    items: &[usize],
+    rows: &[&[u8]],
+    epoch: u64,
+) -> Vec<u8> {
+    debug_assert_eq!(items.len(), rows.len(), "one row per requested item");
+    match format {
+        WireFormat::Json => {
+            let body: usize = rows.iter().map(|r| r.len() + 1).sum();
+            let mut out = String::with_capacity(body + 16 * items.len() + 64);
+            out.push_str("{\"");
+            out.push_str(variant);
+            out.push_str("\":{\"items\":[");
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&item.to_string());
+            }
+            out.push_str("],\"");
+            out.push_str(rows_field);
+            out.push_str("\":[");
+            for (k, row) in rows.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(std::str::from_utf8(row).expect("JSON rows are UTF-8"));
+            }
+            out.push_str("],\"epoch\":");
+            out.push_str(&epoch.to_string());
+            out.push_str("}}");
+            out.into_bytes()
+        }
+        WireFormat::Binary => {
+            use cpa_data::codec::raw;
+            let mut out = Vec::with_capacity(rows.iter().map(|r| r.len()).sum::<usize>() + 64);
+            raw::push_object(&mut out, 1);
+            raw::push_key(&mut out, variant);
+            raw::push_object(&mut out, 3);
+            raw::push_key(&mut out, "items");
+            raw::push_value(&mut out, &serde::Serialize::serialize(&items.to_vec()));
+            raw::push_key(&mut out, rows_field);
+            raw::push_array(&mut out, rows.len());
+            for row in rows {
+                out.extend_from_slice(row);
+            }
+            raw::push_key(&mut out, "epoch");
+            raw::push_uint(&mut out, epoch);
+            out
+        }
+    }
+}
+
 /// Client side of the handshake: sends the preamble requesting
 /// [`WIRE_VERSION`], reads the ack, and reports the codec the server
 /// granted — [`WireFormat::Binary`] on acceptance, [`WireFormat::Json`]
@@ -316,6 +386,85 @@ mod tests {
             let back: Probe = decode(format, &bytes).unwrap();
             assert_eq!(back, probe, "{format:?}");
         }
+    }
+
+    #[test]
+    fn assembled_ranged_replies_decode_to_the_owned_reply() {
+        use cpa_data::labels::LabelSet;
+        use cpa_serve::{FleetReply, ItemEstimate};
+
+        let predictions = vec![
+            LabelSet::from_labels(3, vec![1]),
+            LabelSet::from_labels(3, vec![0, 2]),
+        ];
+        let items = vec![4usize, 9];
+        let owned = FleetReply::PredictedItems {
+            items: items.clone(),
+            predictions: predictions.clone(),
+            epoch: 12,
+        };
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            let rows: Vec<Vec<u8>> = predictions
+                .iter()
+                .map(|p| encode(format, p).unwrap())
+                .collect();
+            let refs: Vec<&[u8]> = rows.iter().map(Vec::as_slice).collect();
+            let body =
+                assemble_ranged_reply(format, "PredictedItems", "predictions", &items, &refs, 12);
+            let back: FleetReply = decode(format, &body).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&owned).unwrap(),
+                "{format:?}"
+            );
+            if format == WireFormat::Json {
+                // JSON assembly is byte-identical to encoding the owned
+                // reply; binary re-introduces interned keys (still decodes
+                // to the same value, checked above).
+                assert_eq!(body, encode(format, &owned).unwrap());
+            }
+        }
+
+        let est_rows = vec![
+            ItemEstimate {
+                soft: vec![(0, 0.75), (1, 0.25)],
+                expected_size: 1.0,
+            },
+            ItemEstimate {
+                soft: vec![(2, 1.0)],
+                expected_size: 2.0,
+            },
+        ];
+        let owned = FleetReply::EstimatedItems {
+            items: items.clone(),
+            rows: est_rows.clone(),
+            epoch: 3,
+        };
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            let rows: Vec<Vec<u8>> = est_rows
+                .iter()
+                .map(|r| encode(format, r).unwrap())
+                .collect();
+            let refs: Vec<&[u8]> = rows.iter().map(Vec::as_slice).collect();
+            let body = assemble_ranged_reply(format, "EstimatedItems", "rows", &items, &refs, 3);
+            let back: FleetReply = decode(format, &body).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&owned).unwrap(),
+                "{format:?}"
+            );
+        }
+
+        // The degenerate empty request assembles and decodes too.
+        let body = assemble_ranged_reply(
+            WireFormat::Binary,
+            "PredictedItems",
+            "predictions",
+            &[],
+            &[],
+            0,
+        );
+        assert!(decode::<FleetReply>(WireFormat::Binary, &body).is_ok());
     }
 
     #[test]

@@ -61,12 +61,12 @@
 use crate::codec::{self, Negotiated, WireFormat, WirePolicy};
 use crate::error::TransportError;
 use crate::frame::{read_frame_bytes_polling, write_frame_bytes};
-use cpa_serve::{Fleet, FleetOp, FleetReply, ReadKind, ViewHandle};
+use cpa_serve::{Fleet, FleetOp, FleetReply, ItemEstimate, ReadKind, ReadView, ViewHandle};
 use rayon::prelude::*;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How long blocked reads and idle polls wait before re-checking the
@@ -396,7 +396,8 @@ fn handle_connection(
         // epoch's published view, no driver round trip. A read of an epoch
         // whose value cell is still empty falls through to the driver
         // (whose `apply` fills it); the first read under this codec
-        // encodes the reply once into the view, and every later read of
+        // encodes the reply once into the view — from a borrow of the
+        // cell's `Arc`, never a payload clone — and every later read of
         // the epoch writes those cached bytes straight to the socket.
         if let Some(views) = views {
             if let Some(kind) = ReadKind::of(&op) {
@@ -404,7 +405,7 @@ fn handle_connection(
                 let slot = codec::wire_slot(format);
                 let encoded = match view.encoded(kind, slot) {
                     Some(bytes) => Some(bytes),
-                    None => match view.reply(kind) {
+                    None => match view.reply_ref(kind) {
                         Some(reply) => {
                             Some(view.fill_encoded(kind, slot, codec::encode(format, &reply)?))
                         }
@@ -412,6 +413,19 @@ fn handle_connection(
                     },
                 };
                 if let Some(bytes) = encoded {
+                    write_frame_bytes(&mut stream, &bytes)?;
+                    continue;
+                }
+            }
+            // Ranged read fast path: slice `PredictItems`/`EstimateItems`
+            // out of the view's per-shard slabs, splicing per-item rows
+            // that are encoded once per (epoch, shard, codec). Falls
+            // through to the driver when a needed shard's slab is not
+            // filled yet (the driver's `apply` fills it) or the request is
+            // out of range (the driver replies with the protocol error).
+            if let Some((kind, items)) = ReadKind::of_ranged(&op) {
+                let view = views.current();
+                if let Some(bytes) = ranged_from_view(&view, kind, items, format) {
                     write_frame_bytes(&mut stream, &bytes)?;
                     continue;
                 }
@@ -438,6 +452,94 @@ fn handle_connection(
             }
         };
         send_reply(&mut stream, format, &reply)?;
+    }
+}
+
+/// Answers one item-ranged read from the view's per-shard slabs, or `None`
+/// to fall through to the driver: when an item is out of range (the driver
+/// owns the error reply), when a needed shard's slab is unfilled this
+/// epoch (the driver's `apply` fills it), or on an encode failure.
+///
+/// Per-item rows are encoded **once per (epoch, shard, codec)** into the
+/// view's row caches ([`ReadView::fill_rows`]); the reply body is
+/// assembled by splicing the cached row bytes
+/// ([`codec::assemble_ranged_reply`]), so reply cost is bounded by the
+/// request, not the universe.
+fn ranged_from_view(
+    view: &ReadView,
+    kind: ReadKind,
+    items: &[usize],
+    format: WireFormat,
+) -> Option<Vec<u8>> {
+    let index = view.index().clone();
+    if items.iter().any(|&i| i >= index.num_items()) {
+        return None;
+    }
+    let slot = codec::wire_slot(format);
+    let mut needed = vec![false; index.num_shards()];
+    for &i in items {
+        needed[index.shard_of(i)] = true;
+    }
+    let mut shard_rows: Vec<Option<Arc<Vec<Vec<u8>>>>> = vec![None; index.num_shards()];
+    for (s, _) in needed.iter().enumerate().filter(|&(_, &n)| n) {
+        let rows = match view.rows(kind, slot, s) {
+            Some(rows) => rows,
+            None => view.fill_rows(kind, slot, s, encode_shard_rows(view, kind, format, s)?),
+        };
+        shard_rows[s] = Some(rows);
+    }
+    let rows: Vec<&[u8]> = items
+        .iter()
+        .map(|&i| {
+            shard_rows[index.shard_of(i)]
+                .as_ref()
+                .expect("needed shard cached")[index.pos_in_shard(i)]
+            .as_slice()
+        })
+        .collect();
+    let (variant, rows_field) = match kind {
+        ReadKind::Predictions => ("PredictedItems", "predictions"),
+        ReadKind::Estimate => ("EstimatedItems", "rows"),
+    };
+    Some(codec::assemble_ranged_reply(
+        format,
+        variant,
+        rows_field,
+        items,
+        &rows,
+        view.epoch(),
+    ))
+}
+
+/// Encodes shard `s`'s per-item reply rows for `kind` under `format` (one
+/// standalone encode per owned item, in `ShardIndex::items_of` order), or
+/// `None` if the shard's slab is not filled this epoch.
+fn encode_shard_rows(
+    view: &ReadView,
+    kind: ReadKind,
+    format: WireFormat,
+    s: usize,
+) -> Option<Vec<Vec<u8>>> {
+    let index = view.index();
+    match kind {
+        ReadKind::Predictions => {
+            let slab = view.shard_predictions(s)?;
+            index
+                .items_of(s)
+                .iter()
+                .map(|&i| codec::encode(format, &slab[i as usize]).ok())
+                .collect()
+        }
+        ReadKind::Estimate => {
+            let slab = view.shard_estimate(s)?;
+            index
+                .items_of(s)
+                .iter()
+                .map(|&i| {
+                    codec::encode(format, &ItemEstimate::from_estimate(&slab, i as usize)).ok()
+                })
+                .collect()
+        }
     }
 }
 

@@ -21,7 +21,7 @@
 //! Contract 4 (path equivalence): a server with the view read path
 //! disabled (`serve_reads_from_views: false`, every read through the
 //! driver) serves the same predictions and tags as the view-serving
-//! default.
+//! default — for full reads and for item-ranged reads alike.
 
 use cpa::data::labels::LabelSet;
 use cpa::data::stream::{WorkerBatch, WorkerStream};
@@ -228,7 +228,9 @@ fn a_client_never_reads_an_epoch_older_than_its_own_ack() {
 #[test]
 fn driver_served_reads_match_view_served_reads() {
     let (d, batches) = fixture();
+    let probe: Vec<usize> = (0..d.num_items()).step_by(5).collect();
     let mut results: Vec<(Vec<LabelSet>, u64)> = Vec::new();
+    let mut ranged: Vec<(Vec<LabelSet>, u64)> = Vec::new();
     for serve_reads_from_views in [true, false] {
         let server = FleetServer::bind(
             "127.0.0.1:0",
@@ -250,11 +252,22 @@ fn driver_served_reads_match_view_served_reads() {
         }
         client.refit_all().expect("refit");
         results.push(client.predict_tagged().expect("predict"));
+        ranged.push(client.predict_items_tagged(probe.clone()).expect("ranged"));
         client.shutdown().expect("shutdown");
         running.join().expect("server joins");
     }
     assert_eq!(
         results[0], results[1],
         "the view fast path and the driver read path must serve identical replies"
+    );
+    assert_eq!(
+        ranged[0], ranged[1],
+        "ranged reads must be path-independent too"
+    );
+    let sliced: Vec<LabelSet> = probe.iter().map(|&i| results[0].0[i].clone()).collect();
+    assert_eq!(
+        ranged[0],
+        (sliced, results[0].1),
+        "a ranged read is exactly a slice of the full read at the same epoch"
     );
 }

@@ -3,8 +3,11 @@
 //!
 //! Contract 1 (shard equivalence): a K-shard fleet's merged predictions are
 //! **bit-identical** to driving each shard's engine standalone over that
-//! shard's universe and batch split — sharding is pure partitioning, it
-//! never changes what any single shard computes.
+//! shard's universe and the **non-empty** batches of its batch split —
+//! sharding is pure partitioning (a shard's engine observes exactly the
+//! arrival batches that routed answers to it, which is also what lets
+//! clean shards' read slabs carry across epochs), and it never changes
+//! what any single shard computes.
 //!
 //! Contract 2 (manifest resume): pausing a fleet mid-stream — manifest →
 //! JSON → restore through the `restore_engine` hook — and continuing is
@@ -66,7 +69,9 @@ fn merged_predictions_equal_standalone_shard_engines() {
             let merged = fleet.predict_all();
 
             // Standalone reference: one engine per shard, driven over that
-            // shard's universe and batch split, no fleet involved.
+            // shard's universe and the non-empty batches of its split, no
+            // fleet involved — the fleet skips a shard entirely when a
+            // batch routes it nothing, so the standalone engine must too.
             let router = ShardRouter::new(k);
             let shard_universes = router.split_answers(&d.answers);
             for (s, universe) in shard_universes.iter().enumerate() {
@@ -75,6 +80,7 @@ fn merged_predictions_equal_standalone_shard_engines() {
                 let shard_batches: Vec<WorkerBatch> = batches
                     .iter()
                     .map(|b| router.split_batch(b, &d.answers)[s].clone())
+                    .filter(|split| !split.items.is_empty())
                     .collect();
                 drive(
                     engine.as_mut(),

@@ -213,7 +213,18 @@ fn contract_violations_come_back_as_framed_errors_naming_the_worker() {
     assert!(err.to_string().contains("label"), "{err}");
     // The connection is still healthy and the server still serves.
     client.refit_all().expect("refit after rejections");
-    assert_eq!(client.predict_all().expect("predict").len(), d.num_items());
+    let preds = client.predict_all().expect("predict");
+    assert_eq!(preds.len(), d.num_items());
+    // Ranged reads ride the same connection: a slice of the full read,
+    // and an out-of-universe item is a framed rejection, not a hang.
+    let probe = vec![0usize, 3, 3, d.num_items() - 1];
+    let ranged = client.predict_items(probe.clone()).expect("ranged predict");
+    let sliced: Vec<_> = probe.iter().map(|&i| preds[i].clone()).collect();
+    assert_eq!(ranged, sliced, "ranged read diverged from the full read");
+    let err = client
+        .predict_items(vec![d.num_items()])
+        .expect_err("out-of-universe item");
+    assert!(err.to_string().contains("universe"), "{err}");
     client.shutdown().expect("shutdown");
     let outcome = running.join().expect("server joins");
     assert_eq!(
