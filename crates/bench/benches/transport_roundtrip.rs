@@ -30,6 +30,15 @@
 //! also reports `dirty_shards`, the mean shards each timed-window write
 //! dirties under the incremental views.
 //!
+//! A fourth leg per (K, R) — `read_path: "follower"` — measures
+//! **replication**: the writes land on a leader whose `SubscribeOps`
+//! mutation stream a pump forwards into a second, follower server (each
+//! shipped op's epoch tag asserted against the follower's ack), while the
+//! readers run the identical full-`Predict` loop against the follower's
+//! epoch-published views. Comparable head-to-head with `("view", "full")`
+//! at the same (K, R); `mean_lag_epochs`/`max_lag_epochs` report how far
+//! the follower trailed the writer's acks (0 on the non-replicated legs).
+//!
 //! Knobs: `CPA_BENCH_SCALE` (default 0.1), `CPA_BENCH_SAMPLES`,
 //! `CPA_BENCH_THREADS` (fleet pool cap, default 4), `CPA_BENCH_READS`
 //! (predicts per reader in the read-mostly series, default 300),
@@ -79,6 +88,12 @@ struct ReadSeries {
     read_secs: f64,
     reads_per_sec: f64,
     mean_read_rtt_micros: f64,
+    /// Mean replication lag in epochs (writer-acked minus follower-applied,
+    /// sampled at every shipped frame). 0 for the non-replicated legs.
+    mean_lag_epochs: f64,
+    /// Worst replication lag observed, in epochs. 0 for the non-replicated
+    /// legs.
+    max_lag_epochs: f64,
 }
 
 #[derive(Serialize)]
@@ -237,6 +252,173 @@ fn read_mostly_run(
         read_secs,
         reads_per_sec: reads as f64 / read_secs.max(1e-12),
         mean_read_rtt_micros: rtt_total / reads as f64 * 1e6,
+        mean_lag_epochs: 0.0,
+        max_lag_epochs: 0.0,
+    }
+}
+
+/// The replication leg (`read_path: "follower"`): a leader fleet takes the
+/// writes while a **follower** server — fed by a pump that subscribes to
+/// the leader's mutation stream and forwards each epoch-tagged op,
+/// asserting the follower acks the same epoch — serves all the reads from
+/// its own epoch-published views. Readers run the identical full-`Predict`
+/// loop as the other legs, so `mean_read_rtt_micros` is directly
+/// comparable to `("view", "full")` at the same (K, R); the lag columns
+/// report how far the follower trailed the writer's acks, in epochs.
+fn follower_run(
+    d: &cpa_data::dataset::Dataset,
+    shards: usize,
+    threads: usize,
+    ops: &[cpa_serve::FleetOp],
+    readers: usize,
+    reads_per_reader: usize,
+) -> ReadSeries {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    assert!(ops.len() >= 2, "need arrival ops to preload and to contend");
+    let leader = FleetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            // One subscription + one writer.
+            max_clients: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("leader bind succeeds");
+    let leader_addr = leader.local_addr().expect("leader address");
+    let leader_fleet = fleet_for(Method::CpaSvi, d, shards, threads, SEED);
+    let leader_running =
+        std::thread::spawn(move || leader.serve(leader_fleet).expect("leader serve completes"));
+
+    let follower = FleetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            // The pump + the readers.
+            max_clients: readers + 1,
+            serve_reads_from_views: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("follower bind succeeds");
+    let follower_addr = follower.local_addr().expect("follower address");
+    let follower_fleet = fleet_for(Method::CpaSvi, d, shards, threads, SEED);
+    let follower_running = std::thread::spawn(move || {
+        follower
+            .serve(follower_fleet)
+            .expect("follower serve completes")
+    });
+
+    let acked = Arc::new(AtomicU64::new(0));
+    let applied = Arc::new(AtomicU64::new(0));
+
+    // Subscribe from genesis before the first write, then pump every
+    // shipped op into the follower server, sampling the lag per frame.
+    let mut subscription = FleetClient::connect(leader_addr)
+        .expect("subscriber connects")
+        .subscribe(0)
+        .expect("subscription acked");
+    let pump = {
+        let (acked, applied) = (Arc::clone(&acked), Arc::clone(&applied));
+        std::thread::spawn(move || {
+            let mut to_follower =
+                FleetClient::connect(follower_addr).expect("pump connects to follower");
+            let mut lags = Vec::new();
+            while let Some((epoch, op)) = subscription.next_frame().expect("shipped frame") {
+                let reply = to_follower
+                    .apply_op(&op)
+                    .expect("follower accepts shipped op");
+                assert_eq!(
+                    reply.epoch(),
+                    Some(epoch),
+                    "follower ack epoch diverged from the shipped frame"
+                );
+                applied.store(epoch, Ordering::Relaxed);
+                lags.push(acked.load(Ordering::Relaxed).saturating_sub(epoch));
+            }
+            // Leader wound down: the stream is at head — fail the follower
+            // server over (here: just shut it down so its serve returns).
+            to_follower.shutdown().expect("follower shutdown");
+            lags
+        })
+    };
+
+    // Preload half the stream plus a refit through the leader, then wait
+    // for the follower to reach the preload epoch so readers measure a
+    // caught-up replica, not a cold one.
+    let half = ops.len() / 2;
+    let mut writer = FleetClient::connect(leader_addr).expect("writer connects");
+    let ingest = |writer: &mut FleetClient, op: &cpa_serve::FleetOp| -> u64 {
+        let cpa_serve::FleetOp::Ingest { workers, answers } = op.clone() else {
+            unreachable!("arrival_ops produces only ingest ops");
+        };
+        writer
+            .ingest_tagged(workers, answers)
+            .expect("arrival ingest")
+            .1
+    };
+    for op in &ops[..half] {
+        let epoch = ingest(&mut writer, op);
+        acked.store(epoch, Ordering::Relaxed);
+    }
+    let preload_epoch = writer.refit_tagged().expect("preload refit");
+    acked.store(preload_epoch, Ordering::Relaxed);
+    while applied.load(Ordering::Relaxed) < preload_epoch {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    let reads = readers * reads_per_reader;
+    let writes = (reads / 19).clamp(1, ops.len() - half);
+
+    let start = std::time::Instant::now();
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = FleetClient::connect(follower_addr).expect("reader connects");
+                let mut rtt = 0.0;
+                let mut last = 0u64;
+                for _ in 0..reads_per_reader {
+                    let t = std::time::Instant::now();
+                    let (preds, epoch) = client.predict_tagged().expect("predict round trip");
+                    rtt += t.elapsed().as_secs_f64();
+                    assert!(epoch >= last, "reader epoch went backwards");
+                    last = epoch;
+                    black_box(preds);
+                }
+                rtt
+            })
+        })
+        .collect();
+    for op in &ops[half..half + writes] {
+        let epoch = ingest(&mut writer, op);
+        acked.store(epoch, Ordering::Relaxed);
+    }
+    let rtt_total: f64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread"))
+        .sum();
+    let read_secs = start.elapsed().as_secs_f64();
+
+    writer.shutdown().expect("leader shutdown acknowledged");
+    drop(writer);
+    leader_running.join().expect("leader thread joins");
+    let lags = pump.join().expect("pump thread joins");
+    follower_running.join().expect("follower thread joins");
+
+    let mean_lag = lags.iter().sum::<u64>() as f64 / lags.len().max(1) as f64;
+    ReadSeries {
+        read_path: "follower".to_string(),
+        read_op: "full".to_string(),
+        shards,
+        readers,
+        reads,
+        writes,
+        dirty_shards: mean_dirty_shards(&ops[half..half + writes], shards),
+        read_secs,
+        reads_per_sec: reads as f64 / read_secs.max(1e-12),
+        mean_read_rtt_micros: rtt_total / reads as f64 * 1e6,
+        mean_lag_epochs: mean_lag,
+        max_lag_epochs: lags.iter().copied().max().unwrap_or(0) as f64,
     }
 }
 
@@ -351,6 +533,15 @@ fn main() {
                 );
                 read_series.push(s);
             }
+            // The replication leg: readers hammer a follower server that
+            // tails the leader's mutation stream.
+            let s = follower_run(d, shards, threads, &ops, readers, reads_per_reader);
+            eprintln!(
+                "  K={shards} readers={readers} follower/full: {:.0} reads/s, \
+                 {:.1}µs/read, lag mean {:.2} / max {:.0} epochs",
+                s.reads_per_sec, s.mean_read_rtt_micros, s.mean_lag_epochs, s.max_lag_epochs
+            );
+            read_series.push(s);
         }
     }
 

@@ -144,17 +144,26 @@ const READ_SERIES_FIELDS: &[(&str, bool)] = &[
     ("read_secs", true),
     ("reads_per_sec", true),
     ("mean_read_rtt_micros", true),
+    // Replication lag: legitimately 0 on the non-replicated legs (and on a
+    // follower that never trailed), so presence is checked here and the
+    // finite-and-non-negative check runs in `check_read_series`.
+    ("mean_lag_epochs", false),
+    ("max_lag_epochs", false),
 ];
 
-/// `BENCH_transport.json` invariants over the read-mostly series: both
+/// `BENCH_transport.json` invariants over the read-mostly series: all
 /// read paths present per (shards, readers) pair, every entry well-formed,
 /// the view fast path at least holding the line against the
-/// driver-serialized baseline, and item-ranged reads at K=4 no slower than
-/// whole-universe reads on the same view path. Loopback reads are
-/// RTT-dominated, so the regression check compares **mean reads/sec
-/// across all pairs** (with a 0.9× tolerance) and the ranged check
-/// compares mean RTTs across the K=4 pairs, rather than gating each pair
-/// on one noisy sample.
+/// driver-serialized baseline, item-ranged reads at K=4 no slower than
+/// whole-universe reads on the same view path, and follower reads (served
+/// off a replica tailing the leader) in the same regime as leader view
+/// reads.
+/// Loopback reads are RTT-dominated, so the regression check compares
+/// **mean reads/sec across all pairs** (with a 0.9× tolerance) and the
+/// RTT checks compare means across pairs, rather than gating each pair
+/// on one noisy sample. Replication lag is reported per entry
+/// (`mean_lag_epochs`/`max_lag_epochs`, finite and ≥ 0) but not gated —
+/// it measures the tail thread's scheduling, not the serve path.
 fn check_read_series(report: &Value) -> Result<(), String> {
     let entries = report
         .get("read_series")
@@ -167,6 +176,16 @@ fn check_read_series(report: &Value) -> Result<(), String> {
         let at = format!("read_series[{idx}]");
         for &(field, numeric) in READ_SERIES_FIELDS {
             check_field(entry, field, numeric, &at)?;
+        }
+        // Lag is epochs behind the writer's ack: finite and non-negative,
+        // with 0 the expected value everywhere except the follower leg.
+        for field in ["mean_lag_epochs", "max_lag_epochs"] {
+            let x = field_f64(entry, field).map_err(|e| format!("{at}: {e}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "{at}: field {field:?} must be finite and non-negative, got {x}"
+                ));
+            }
         }
     }
     let str_of = |e: &Value, field: &str| {
@@ -242,6 +261,44 @@ fn check_read_series(report: &Value) -> Result<(), String> {
              {:.1}µs > {:.1}µs mean RTT across {ranged_pairs} reader counts",
             ranged_rtt / ranged_pairs as f64,
             full_rtt / ranged_pairs as f64,
+        ));
+    }
+
+    // Replication: every (shards, readers) point carries a follower leg —
+    // reads served off a replica tailing the leader's op stream — and that
+    // leg stays in the same regime as reading the leader's own views (3×
+    // RTT: the follower's serve path is the identical view fast path, but
+    // on loopback its apply loop competes with its readers for the same
+    // cores, so single-sample RTTs run hotter; the bound still fails if
+    // follower reads fall off the view path entirely. Lag is reported
+    // above, not gated).
+    let mut view_rtt = 0.0;
+    let mut follower_rtt = 0.0;
+    let mut follower_pairs = 0usize;
+    for entry in entries {
+        if str_of(entry, "read_path") != "view" || str_of(entry, "read_op") != "full" {
+            continue;
+        }
+        let shards = field_f64(entry, "shards")?;
+        let readers = field_f64(entry, "readers")?;
+        let follower = find("follower", "full", shards, readers).ok_or_else(|| {
+            format!(
+                "read_series: no \"follower\"/\"full\" entry for shards={shards} readers={readers}"
+            )
+        })?;
+        view_rtt += field_f64(entry, "mean_read_rtt_micros")?;
+        follower_rtt += field_f64(follower, "mean_read_rtt_micros")?;
+        follower_pairs += 1;
+    }
+    if follower_pairs == 0 {
+        return Err("read_series has no \"view\"/\"full\" entries to pair followers with".into());
+    }
+    if follower_rtt > 3.0 * view_rtt {
+        return Err(format!(
+            "read_series: follower reads fell out of the leader view reads' regime: \
+             {:.1}µs > 3 × {:.1}µs mean RTT across {follower_pairs} pairs",
+            follower_rtt / follower_pairs as f64,
+            view_rtt / follower_pairs as f64,
         ));
     }
     Ok(())

@@ -426,6 +426,107 @@ pub fn oplog_from_jsonl<T: serde::Deserialize>(text: &str) -> Result<Vec<T>, IoE
     Ok(ops)
 }
 
+/// The result of a **tolerant tail read** ([`oplog_tail_jsonl`]) over a
+/// live, append-in-progress JSONL op-log.
+///
+/// `ops` is the log's clean prefix: every record whose terminating newline
+/// has landed. `consumed` is the byte offset of the end of that prefix, and
+/// `partial` is true when bytes beyond it form an unterminated final
+/// segment — a record (or header) caught mid-append, which the next read
+/// of the grown file will pick up whole.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpLogTail<T> {
+    /// Every fully-committed (newline-terminated) record, in applied order.
+    pub ops: Vec<T>,
+    /// Byte offset of the end of the clean prefix; the unterminated tail,
+    /// if any, starts here.
+    pub consumed: usize,
+    /// Whether an unterminated final segment follows the clean prefix.
+    pub partial: bool,
+}
+
+/// Parses the **committed prefix** of a JSONL op-log that may still be
+/// growing — the reader a live log-shipping follower tails with.
+///
+/// [`oplog_from_jsonl`] treats a file cut mid-line as corruption
+/// ([`IoError::BadRecord`]), which is right for an at-rest log but wrong
+/// for a live one: a writer flushing record by record *routinely* exposes
+/// a partially-appended final line. Here a record is committed only when
+/// its terminating newline lands, so an unterminated final segment —
+/// parseable or not — is a clean resumable boundary reported as
+/// [`OpLogTail::partial`], never an error. Re-reading the grown file
+/// yields the same prefix plus whatever committed since.
+///
+/// Everything *inside* the committed prefix keeps the at-rest rigor: the
+/// header version is checked before any op line is decoded, and a
+/// newline-terminated line that fails to decode is still a hard
+/// [`IoError::BadRecord`] with its 1-based line number — truncation is
+/// tolerated, corruption is not.
+///
+/// An empty file (writer not started) and a header-only file (no records
+/// yet) both parse as zero ops.
+///
+/// # Errors
+/// Fails on a malformed or version-mismatched *committed* header, or any
+/// *committed* op line that does not decode as a `T`.
+pub fn oplog_tail_jsonl<T: serde::Deserialize>(text: &str) -> Result<OpLogTail<T>, IoError> {
+    let mut ops = Vec::new();
+    let mut consumed = 0usize;
+    let mut lineno = 0usize;
+    let mut header_seen = false;
+    loop {
+        let rest = &text[consumed..];
+        if rest.is_empty() {
+            return Ok(OpLogTail {
+                ops,
+                consumed,
+                partial: false,
+            });
+        }
+        let Some(newline) = rest.find('\n') else {
+            // A final segment with no newline is a record mid-append: the
+            // clean prefix ends where it starts.
+            return Ok(OpLogTail {
+                ops,
+                consumed,
+                partial: true,
+            });
+        };
+        let line = rest[..newline].trim();
+        consumed += newline + 1;
+        lineno += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if !header_seen {
+            let header: serde::Value =
+                serde_json::from_str(line).map_err(|e| IoError::BadRecord {
+                    line: lineno,
+                    message: format!("bad op-log header: {e}"),
+                })?;
+            let version = header
+                .get(OP_LOG_VERSION_KEY)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| IoError::BadRecord {
+                    line: lineno,
+                    message: "missing op-log header".into(),
+                })?;
+            if version != u64::from(OP_LOG_VERSION) {
+                return Err(IoError::Version {
+                    found: version.try_into().unwrap_or(u32::MAX),
+                    expected: OP_LOG_VERSION,
+                });
+            }
+            header_seen = true;
+            continue;
+        }
+        ops.push(serde_json::from_str(line).map_err(|e| IoError::BadRecord {
+            line: lineno,
+            message: format!("bad op record: {e}"),
+        })?);
+    }
+}
+
 /// Magic prefix of a binary op-log (followed by `u32` LE [`OP_LOG_VERSION`],
 /// a `u32` LE record count, then length-prefixed binary records).
 pub const OP_LOG_MAGIC: [u8; 4] = *b"CPAL";
@@ -811,6 +912,60 @@ mod tests {
             msg.contains("line 2") && msg.contains("bad op record"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn oplog_tail_tolerates_a_mid_record_cut_and_resumes_cleanly() {
+        let ops = test_ops();
+        let jsonl = oplog_to_jsonl(&ops);
+        // A complete log tails exactly like oplog_from_jsonl.
+        let tail: OpLogTail<TestOp> = oplog_tail_jsonl(&jsonl).unwrap();
+        assert_eq!(tail.ops, ops);
+        assert_eq!(tail.consumed, jsonl.len());
+        assert!(!tail.partial);
+        // Cut mid final record — the boundary oplog_from_jsonl rejects as
+        // BadRecord is a clean resumable prefix here.
+        let last = jsonl.lines().last().unwrap();
+        let cut = jsonl.len() - last.len() / 2 - 1;
+        let tail: OpLogTail<TestOp> = oplog_tail_jsonl(&jsonl[..cut]).unwrap();
+        assert_eq!(tail.ops, ops[..ops.len() - 1]);
+        assert!(tail.partial, "unterminated final record is partial");
+        assert_eq!(tail.consumed, jsonl.len() - last.len() - 1);
+        assert!(oplog_from_jsonl::<TestOp>(&jsonl[..cut]).is_err());
+        // Once the writer's newline lands, a re-read sees the whole log.
+        let tail: OpLogTail<TestOp> = oplog_tail_jsonl(&jsonl).unwrap();
+        assert_eq!(tail.ops, ops);
+        assert!(!tail.partial);
+    }
+
+    #[test]
+    fn oplog_tail_of_empty_partial_header_and_header_only_logs_is_zero_ops() {
+        // Writer not started.
+        let tail: OpLogTail<TestOp> = oplog_tail_jsonl("").unwrap();
+        assert!(tail.ops.is_empty() && !tail.partial && tail.consumed == 0);
+        // Header itself caught mid-append.
+        let tail: OpLogTail<TestOp> = oplog_tail_jsonl("{\"op_log_ver").unwrap();
+        assert!(tail.ops.is_empty() && tail.partial && tail.consumed == 0);
+        // Header committed, no records yet.
+        let tail: OpLogTail<TestOp> = oplog_tail_jsonl(&oplog_to_jsonl::<TestOp>(&[])).unwrap();
+        assert!(tail.ops.is_empty() && !tail.partial);
+    }
+
+    #[test]
+    fn oplog_tail_keeps_committed_corruption_and_version_checks_hard() {
+        // A newline-terminated malformed record is corruption, not a tail.
+        let text =
+            format!("{{\"op_log_version\": {OP_LOG_VERSION}}}\nnot-json\n{{\"Ping\":null}}\n");
+        let err = oplog_tail_jsonl::<TestOp>(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 2") && msg.contains("bad op record"),
+            "{msg}"
+        );
+        // A committed future-version header still reports Version.
+        let text = format!("{{\"op_log_version\": {}}}\n\"Ping\"\n", OP_LOG_VERSION + 1);
+        let err = oplog_tail_jsonl::<TestOp>(&text).unwrap_err();
+        assert!(matches!(err, IoError::Version { .. }), "{err}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`prequential`] | prequential (test-then-train) online accuracy series |
 //! | [`sharded`] | sharded serving: K-shard fleet vs the unsharded engine |
 //! | [`served`] | network serving: loopback TCP client vs the in-process fleet |
+//! | [`replicated`] | leader/follower replication: a follower tails the leader's op stream |
 
 pub mod fig1;
 pub mod fig10;
@@ -28,6 +29,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod prequential;
+pub mod replicated;
 pub mod served;
 pub mod sharded;
 pub mod table1;
@@ -38,7 +40,7 @@ use crate::report::Report;
 use crate::runner::EvalConfig;
 
 /// All experiment ids in paper order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "table1",
     "fig1",
     "table3",
@@ -51,6 +53,7 @@ pub const ALL: [&str; 16] = [
     "prequential",
     "sharded",
     "served",
+    "replicated",
     "fig7",
     "fig8",
     "fig9",
@@ -71,6 +74,7 @@ pub fn run(id: &str, cfg: &EvalConfig) -> Vec<Report> {
         "prequential" => vec![prequential::run(cfg)],
         "sharded" => vec![sharded::run(cfg)],
         "served" => vec![served::run(cfg)],
+        "replicated" => vec![replicated::run(cfg)],
         "fig7" => vec![fig7::run(cfg)],
         "fig8" => vec![fig8::run(cfg)],
         "fig9" => vec![fig9::run(cfg)],

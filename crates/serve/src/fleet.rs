@@ -86,6 +86,20 @@ pub const FLEET_MANIFEST_VERSION: u32 = 3;
 /// this tag.
 pub const FLEET_MANIFEST_MAGIC: [u8; 4] = *b"CPAM";
 
+/// Where [`Fleet::replay_until`] stops consuming a recorded op stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopAt {
+    /// Stop after (and including) the first [`FleetOp::Shutdown`] — the
+    /// behaviour of [`Fleet::replay`] and of the live server: the recorded
+    /// run ended there, so does the replay.
+    Shutdown,
+    /// Consume the whole stream; `Shutdown` ops are acknowledged and
+    /// skipped like any other non-mutating op. This is the replication
+    /// follower's mode: a shutdown marker in the *leader's* log must not
+    /// stop the *follower* from tailing past it.
+    End,
+}
+
 /// A sharded serving fleet: K engines, one per item shard, driven together.
 ///
 /// Every mutation flows through one interpreter, [`Fleet::apply`], taking a
@@ -271,6 +285,11 @@ impl Fleet {
     ///   manifest;
     /// - `Restore` replaces the whole fleet from a manifest through the
     ///   installed restore hook (rejected if none is installed);
+    /// - `SubscribeOps` is a read that acks the current epoch
+    ///   ([`FleetReply::Subscribed`]); the mutation-stream push it requests
+    ///   is an interpreter concern (the `cpa-transport` server retains the
+    ///   subscription and ships [`FleetReply::OpApplied`] frames), not a
+    ///   fleet mutation;
     /// - `Shutdown` is acknowledged and leaves the fleet untouched — it is
     ///   a signal to whatever is consuming the op stream.
     ///
@@ -358,6 +377,7 @@ impl Fleet {
                 },
                 None => FleetReply::err("no restore hook installed (see Fleet::with_restore_hook)"),
             },
+            FleetOp::SubscribeOps { .. } => FleetReply::Subscribed { epoch: self.epoch },
             FleetOp::Shutdown => FleetReply::ShuttingDown,
         }
     }
@@ -578,14 +598,31 @@ impl Fleet {
 
     /// Applies a recorded op stream in order, returning one reply per op
     /// consumed. Stops after (and including) the first
-    /// [`FleetOp::Shutdown`], as the live server does.
+    /// [`FleetOp::Shutdown`], as the live server does — shorthand for
+    /// [`Fleet::replay_until`] with [`StopAt::Shutdown`].
     ///
     /// Replaying the op-log of a live run against a fresh fleet of the same
     /// construction reproduces the live fleet's snapshot byte for byte.
     pub fn replay(&mut self, ops: impl IntoIterator<Item = FleetOp>) -> Vec<FleetReply> {
+        self.replay_until(ops, StopAt::Shutdown)
+    }
+
+    /// [`Fleet::replay`] with the stop behaviour spelled out. The implicit
+    /// stop-at-`Shutdown` is right for *local* replay (the op stream ends
+    /// where the recorded server stopped), but wrong for a replication
+    /// follower tailing a leader's log: the **leader's** shutdown marker
+    /// must not be read as the follower's — a follower replays with
+    /// [`StopAt::End`], where `Shutdown` is acknowledged and skipped like
+    /// any non-mutating op, and the stream simply continues (locked by
+    /// `tests/replication.rs`).
+    pub fn replay_until(
+        &mut self,
+        ops: impl IntoIterator<Item = FleetOp>,
+        stop_at: StopAt,
+    ) -> Vec<FleetReply> {
         let mut replies = Vec::new();
         for op in ops {
-            let stop = matches!(op, FleetOp::Shutdown);
+            let stop = stop_at == StopAt::Shutdown && matches!(op, FleetOp::Shutdown);
             replies.push(self.apply(op));
             if stop {
                 break;

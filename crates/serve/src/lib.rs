@@ -30,6 +30,14 @@
 //!   re-driving the shards — and, over `cpa-transport`, without a driver
 //!   round trip. Publication is **incremental**: shards untouched by a
 //!   mutation carry their filled `Arc` slabs into the next epoch's view.
+//! - [`replica`] — leader/follower replication by op shipping: a
+//!   [`replica::Follower`] owns its own fleet and applies the leader's
+//!   accepted mutations (from a live `SubscribeOps` stream over
+//!   `cpa-transport`, or a tailed on-disk op-log via
+//!   [`replica::OpLogTailFeed`]) through the same `Fleet::apply`
+//!   interpreter, serving reads bit-identical to the leader at every epoch
+//!   it reaches, with observable lag — failover is replay-to-head then
+//!   [`replica::Follower::promote`].
 //!
 //! Live traffic enters through `cpa_data::queue::QueueSource` (any
 //! `BatchSource` works — recorded JSONL replays and in-memory shuffles
@@ -68,11 +76,15 @@
 
 pub mod fleet;
 pub mod protocol;
+pub mod replica;
 pub mod router;
 pub mod view;
 
-pub use fleet::{Fleet, FleetError, FleetManifest, FLEET_MANIFEST_MAGIC, FLEET_MANIFEST_VERSION};
+pub use fleet::{
+    Fleet, FleetError, FleetManifest, StopAt, FLEET_MANIFEST_MAGIC, FLEET_MANIFEST_VERSION,
+};
 pub use protocol::{ops_from_jsonl, ops_to_jsonl, FleetOp, FleetReply, ItemEstimate};
+pub use replica::{Applied, Follower, OpFeed, OpLogTailFeed, ReplicaError, ShippedOp};
 pub use router::{ShardIndex, ShardRouter};
 pub use view::{ReadKind, ReadView, ReplyRef, ViewHandle, WIRE_SLOTS};
 

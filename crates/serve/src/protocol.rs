@@ -83,6 +83,20 @@ pub enum FleetOp {
         /// The manifest to restore from.
         manifest: FleetManifest,
     },
+    /// Subscribe to the fleet's **mutation stream**: after one
+    /// [`FleetReply::Subscribed`] ack carrying the current epoch, the
+    /// interpreter pushes every accepted mutation with an epoch greater
+    /// than `from_epoch` as a [`FleetReply::OpApplied`] frame — first the
+    /// recorded backlog (when op recording is on), then each new mutation
+    /// the moment its view is published. This is the op-shipping channel a
+    /// replication [`crate::replica::Follower`] tails; against a bare
+    /// in-process fleet ([`crate::Fleet::apply`]) it is a read that just
+    /// acks the current epoch.
+    SubscribeOps {
+        /// Resume point: only mutations with epoch > `from_epoch` are
+        /// pushed (0 subscribes from the beginning of the lineage).
+        from_epoch: u64,
+    },
     /// Stop serving. The fleet itself is untouched; interpreters (the
     /// transport server, [`crate::Fleet::replay`]) stop consuming ops.
     Shutdown,
@@ -120,6 +134,7 @@ impl FleetOp {
             FleetOp::EstimateItems { .. } => "EstimateItems",
             FleetOp::Snapshot => "Snapshot",
             FleetOp::Restore { .. } => "Restore",
+            FleetOp::SubscribeOps { .. } => "SubscribeOps",
             FleetOp::Shutdown => "Shutdown",
         }
     }
@@ -205,6 +220,23 @@ pub enum FleetReply {
         /// may jump backwards relative to the pre-restore lineage.
         epoch: u64,
     },
+    /// A `SubscribeOps` was accepted; [`FleetReply::OpApplied`] frames
+    /// follow (over a transport that retains the subscription).
+    Subscribed {
+        /// The fleet epoch at subscription time — the stream's head, so a
+        /// subscriber can bound its observable lag from the first frame.
+        epoch: u64,
+    },
+    /// One accepted mutation pushed to a `SubscribeOps` subscriber, tagged
+    /// with the epoch the mutation created. Applying the op to a follower
+    /// fleet whose epoch is `epoch - 1` reproduces the leader's state at
+    /// `epoch` bit for bit (the replay guarantee, frame by frame).
+    OpApplied {
+        /// The epoch the mutation created on the publisher.
+        epoch: u64,
+        /// The mutation itself, exactly as the publisher applied it.
+        op: FleetOp,
+    },
     /// A `Shutdown` was acknowledged; no further ops will be consumed.
     ShuttingDown,
     /// The op was rejected; the fleet is unchanged.
@@ -252,6 +284,8 @@ impl FleetReply {
             FleetReply::EstimatedItems { .. } => "EstimatedItems",
             FleetReply::Manifest { .. } => "Manifest",
             FleetReply::Restored { .. } => "Restored",
+            FleetReply::Subscribed { .. } => "Subscribed",
+            FleetReply::OpApplied { .. } => "OpApplied",
             FleetReply::ShuttingDown => "ShuttingDown",
             FleetReply::Error { .. } => "Error",
         }
@@ -268,7 +302,9 @@ impl FleetReply {
             | FleetReply::Estimated { epoch, .. }
             | FleetReply::PredictedItems { epoch, .. }
             | FleetReply::EstimatedItems { epoch, .. }
-            | FleetReply::Restored { epoch } => Some(*epoch),
+            | FleetReply::Restored { epoch }
+            | FleetReply::Subscribed { epoch }
+            | FleetReply::OpApplied { epoch, .. } => Some(*epoch),
             FleetReply::Manifest { manifest } => Some(manifest.epoch),
             FleetReply::ShuttingDown | FleetReply::Error { .. } => None,
         }
@@ -368,6 +404,40 @@ mod tests {
         assert!(!FleetOp::PredictItems { items: vec![0] }.is_mutation());
         assert!(!FleetOp::EstimateItems { items: vec![0] }.is_mutation());
         assert_eq!(FleetReply::err("nope").name(), "Error");
+    }
+
+    #[test]
+    fn subscription_variants_are_additive_reads_with_epoch_tags() {
+        // SubscribeOps is a read: it must never bump the epoch (a follower
+        // subscribing cannot perturb the leader's lineage).
+        let op = FleetOp::SubscribeOps { from_epoch: 7 };
+        assert_eq!(op.name(), "SubscribeOps");
+        assert!(!op.is_mutation());
+        let subscribed = FleetReply::Subscribed { epoch: 12 };
+        assert_eq!(subscribed.name(), "Subscribed");
+        assert_eq!(subscribed.epoch(), Some(12));
+        let pushed = FleetReply::OpApplied {
+            epoch: 13,
+            op: FleetOp::Refit,
+        };
+        assert_eq!(pushed.name(), "OpApplied");
+        assert_eq!(pushed.epoch(), Some(13));
+        // Both sides of the shipping channel survive the wire encoding.
+        for json in [
+            serde_json::to_string(&op).unwrap(),
+            serde_json::to_string(&pushed).unwrap(),
+        ] {
+            assert!(json.contains("7") || json.contains("13"), "{json}");
+        }
+        let back: FleetReply =
+            serde_json::from_str(&serde_json::to_string(&pushed).unwrap()).unwrap();
+        match back {
+            FleetReply::OpApplied { epoch, op } => {
+                assert_eq!(epoch, 13);
+                assert_eq!(op.name(), "Refit");
+            }
+            other => panic!("unexpected decode {}", other.name()),
+        }
     }
 
     #[test]

@@ -410,6 +410,16 @@ impl ReadView {
 /// (never the lock), so reads proceed fully concurrently with each other
 /// and with fleet mutations. Handles stay valid across `Restore` ops: the
 /// fleet re-attaches the same handle to the restored state.
+///
+/// # Poison recovery
+///
+/// The slot deliberately ignores lock poisoning: the guarded value is a
+/// single `Arc` that is only ever *replaced* (never mutated in place), so a
+/// thread that panics while holding the lock still leaves a coherent view
+/// behind — the one published before the panic. Treating poison as fatal
+/// would turn one panicking publisher into a permanent all-reads-panic
+/// cascade on every connection, which is exactly backwards for a serving
+/// path (locked by `a_panicking_lock_holder_does_not_poison_reads`).
 #[derive(Debug, Clone)]
 pub struct ViewHandle {
     slot: Arc<RwLock<Arc<ReadView>>>,
@@ -423,15 +433,22 @@ impl ViewHandle {
     }
 
     /// The currently published view (one `Arc` clone under a read lock).
+    /// Never panics on a poisoned slot — see the type docs.
     pub fn current(&self) -> Arc<ReadView> {
-        self.slot.read().expect("view slot poisoned").clone()
+        self.slot
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Swaps in the view for `epoch`, carrying forward the filled cells of
     /// every shard `dirty` marks clean — the publication step of every
     /// accepted mutation.
     pub(crate) fn publish(&self, epoch: u64, dirty: &[bool]) {
-        let mut slot = self.slot.write().expect("view slot poisoned");
+        let mut slot = self
+            .slot
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *slot = Arc::new(ReadView::carried(epoch, &slot, dirty));
     }
 
@@ -439,7 +456,11 @@ impl ViewHandle {
     /// index — the publication step of a `Restore`, which may change the
     /// shard count and invalidates everything.
     pub(crate) fn reset(&self, epoch: u64, index: Arc<ShardIndex>) {
-        *self.slot.write().expect("view slot poisoned") = Arc::new(ReadView::new(epoch, index));
+        *self
+            .slot
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Arc::new(ReadView::new(epoch, index));
     }
 }
 
@@ -594,5 +615,27 @@ mod tests {
         let fresh = handle.current();
         assert_eq!(fresh.epoch(), 9);
         assert!(fresh.shard_predictions(0).is_none());
+    }
+
+    #[test]
+    fn a_panicking_lock_holder_does_not_poison_reads() {
+        let handle = ViewHandle::new(3, index(2, 5));
+        // Poison the slot the way a handler panic under the lock would: a
+        // thread dies while holding the write guard.
+        let holder = handle.clone();
+        std::thread::spawn(move || {
+            let _guard = holder.slot.write().unwrap();
+            panic!("handler panicked while publishing");
+        })
+        .join()
+        .unwrap_err();
+        assert!(handle.slot.is_poisoned(), "the panic must poison the lock");
+        // Reads keep serving the last published (coherent) view, and later
+        // publications keep working — no permanent panic cascade.
+        assert_eq!(handle.current().epoch(), 3);
+        handle.publish(4, &[true, true]);
+        assert_eq!(handle.current().epoch(), 4);
+        handle.reset(1, index(1, 5));
+        assert_eq!(handle.current().epoch(), 1);
     }
 }

@@ -25,6 +25,19 @@
 //! binary request the server refuses degrades to JSON on the same
 //! connection — the client never fails just because the server is older
 //! or pinned to JSON.
+//!
+//! Connections carry **socket deadlines** ([`ClientConfig`]): a server
+//! that accepts the connection but never answers — hung, partitioned,
+//! wedged mid-handler — surfaces as [`TransportError::TimedOut`] instead
+//! of hanging the client forever. The default is generous
+//! ([`ClientConfig::default`]); `None` restores the original
+//! block-forever behaviour.
+//!
+//! [`FleetClient::subscribe`] turns a connection into an
+//! [`OpSubscription`] — the replication tail: the server streams every
+//! accepted mutation as an epoch-tagged `OpApplied` frame, and the read
+//! deadline doubles as leader-death detection (a silent leader times the
+//! subscription out, triggering follower failover).
 
 use crate::codec::{self, WireFormat};
 use crate::error::TransportError;
@@ -32,8 +45,63 @@ use crate::frame::{read_frame_bytes, write_frame_bytes};
 use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
-use cpa_serve::{FleetManifest, FleetOp, FleetReply, ItemEstimate};
+use cpa_serve::{
+    FleetManifest, FleetOp, FleetReply, ItemEstimate, OpFeed, ReplicaError, ShippedOp,
+};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket deadlines for one client connection.
+///
+/// The defaults are deliberately generous — far past any healthy
+/// round trip, so they only fire on a genuinely wedged peer — and
+/// `None` means block forever (the pre-deadline behaviour). Followers
+/// tailing a subscription pick a read deadline matched to their
+/// failover budget: the longest silence they will tolerate before
+/// declaring the leader dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Deadline on every socket read (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Deadline on every socket write (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// No deadlines at all — the original block-forever client.
+    pub fn no_timeouts() -> Self {
+        Self {
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
+
+/// Rewrites a deadline-expiry io error into the typed
+/// [`TransportError::TimedOut`] (the kind differs by platform:
+/// `WouldBlock` on unix, `TimedOut` on windows).
+fn map_timeout(err: TransportError) -> TransportError {
+    match err {
+        TransportError::Io(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            TransportError::TimedOut
+        }
+        other => other,
+    }
+}
 
 /// A blocking connection to a [`crate::FleetServer`].
 #[derive(Debug)]
@@ -53,8 +121,9 @@ impl FleetClient {
         Self::connect_with(addr, WireFormat::from_env())
     }
 
-    /// Connects requesting a specific codec. [`WireFormat::Json`] skips
-    /// the handshake entirely (the pre-negotiation wire, byte for byte);
+    /// Connects requesting a specific codec, under the default
+    /// [`ClientConfig`] deadlines. [`WireFormat::Json`] skips the
+    /// handshake entirely (the pre-negotiation wire, byte for byte);
     /// [`WireFormat::Binary`] performs the `CPAW` handshake and falls back
     /// to JSON if the server declines.
     ///
@@ -64,11 +133,27 @@ impl FleetClient {
         addr: impl ToSocketAddrs,
         format: WireFormat,
     ) -> Result<Self, TransportError> {
+        Self::connect_with_config(addr, format, ClientConfig::default())
+    }
+
+    /// Connects with explicit socket deadlines (see [`ClientConfig`]).
+    ///
+    /// # Errors
+    /// Fails on any connect or handshake error — including
+    /// [`TransportError::TimedOut`] if the server accepts the connection
+    /// but never answers the handshake.
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        format: WireFormat,
+        config: ClientConfig,
+    ) -> Result<Self, TransportError> {
         let mut stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         let format = match format {
             WireFormat::Json => WireFormat::Json,
-            WireFormat::Binary => codec::client_handshake(&mut stream)?,
+            WireFormat::Binary => codec::client_handshake(&mut stream).map_err(map_timeout)?,
         };
         Ok(Self { stream, format })
     }
@@ -81,19 +166,33 @@ impl FleetClient {
 
     /// One framed round trip: op out, reply in, both under the
     /// connection's codec. A protocol-level `Error` reply surfaces as
-    /// [`TransportError::Rejected`].
+    /// [`TransportError::Rejected`]; an expired socket deadline as
+    /// [`TransportError::TimedOut`].
     fn call(&mut self, op: &FleetOp) -> Result<FleetReply, TransportError> {
         let payload = codec::encode(self.format, op)?;
-        write_frame_bytes(&mut self.stream, &payload)?;
-        let reply = read_frame_bytes(&mut self.stream)?.ok_or(TransportError::Truncated {
-            context: "reply frame",
-            expected: 4,
-            got: 0,
-        })?;
+        write_frame_bytes(&mut self.stream, &payload).map_err(map_timeout)?;
+        let reply = read_frame_bytes(&mut self.stream)
+            .map_err(map_timeout)?
+            .ok_or(TransportError::Truncated {
+                context: "reply frame",
+                expected: 4,
+                got: 0,
+            })?;
         match codec::decode::<FleetReply>(self.format, &reply)? {
             FleetReply::Error { message } => Err(TransportError::Rejected(message)),
             other => Ok(other),
         }
+    }
+
+    /// One framed round trip for an arbitrary [`FleetOp`] — the generic
+    /// escape hatch under the named methods. Replication pumps use this to
+    /// forward shipped ops verbatim.
+    ///
+    /// # Errors
+    /// [`TransportError::Rejected`] on a protocol-level `Error` reply, or
+    /// any transport failure.
+    pub fn apply_op(&mut self, op: &FleetOp) -> Result<FleetReply, TransportError> {
+        self.call(op)
     }
 
     fn unexpected(expected: &'static str, found: FleetReply) -> TransportError {
@@ -348,6 +447,93 @@ impl FleetClient {
         match self.call(&FleetOp::Shutdown)? {
             FleetReply::ShuttingDown => Ok(()),
             other => Err(Self::unexpected("ShuttingDown", other)),
+        }
+    }
+
+    /// Turns this connection into a **mutation-stream subscription**
+    /// (`FleetOp::SubscribeOps`): the server acks with its current epoch,
+    /// replays every recorded mutation after `from_epoch` as epoch-tagged
+    /// `OpApplied` frames, then pushes each newly accepted mutation the
+    /// moment its view is published. The connection is push-only from here
+    /// on — hence `self` by value.
+    ///
+    /// # Errors
+    /// [`TransportError::Rejected`] when `from_epoch` is behind the
+    /// server's head but the server is not recording ops (it cannot replay
+    /// the gap), or any transport failure.
+    pub fn subscribe(mut self, from_epoch: u64) -> Result<OpSubscription, TransportError> {
+        match self.call(&FleetOp::SubscribeOps { from_epoch })? {
+            FleetReply::Subscribed { epoch } => Ok(OpSubscription {
+                stream: self.stream,
+                format: self.format,
+                head: epoch,
+            }),
+            other => Err(Self::unexpected("Subscribed", other)),
+        }
+    }
+}
+
+/// The receiving end of a [`FleetClient::subscribe`] mutation stream: the
+/// TCP [`cpa_serve::OpFeed`] a follower tails.
+///
+/// Each [`OpSubscription::next_frame`] blocks for the next `OpApplied`
+/// frame.
+/// Clean EOF (the server wound down and closed the stream) is the end of
+/// stream — the follower is at head and ready to promote. An expired read
+/// deadline ([`ClientConfig::read_timeout`]) is [`TransportError::TimedOut`]
+/// — the leader went silent without closing, the log-shipping definition
+/// of leader death.
+#[derive(Debug)]
+pub struct OpSubscription {
+    stream: TcpStream,
+    format: WireFormat,
+    head: u64,
+}
+
+impl OpSubscription {
+    /// The highest leader epoch this subscription has seen: the epoch on
+    /// the `Subscribed` ack, then the max of every frame's tag.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Replaces the read deadline negotiated at connect time — followers
+    /// tune this to their failover budget after subscribing.
+    ///
+    /// # Errors
+    /// Any socket error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// The next shipped mutation as `(epoch, op)`, `Ok(None)` at clean end
+    /// of stream.
+    ///
+    /// # Errors
+    /// [`TransportError::TimedOut`] when the leader goes silent past the
+    /// read deadline, or any transport failure.
+    pub fn next_frame(&mut self) -> Result<Option<(u64, FleetOp)>, TransportError> {
+        let Some(payload) = read_frame_bytes(&mut self.stream).map_err(map_timeout)? else {
+            return Ok(None);
+        };
+        match codec::decode::<FleetReply>(self.format, &payload)? {
+            FleetReply::OpApplied { epoch, op } => {
+                self.head = self.head.max(epoch);
+                Ok(Some((epoch, op)))
+            }
+            FleetReply::Error { message } => Err(TransportError::Rejected(message)),
+            other => Err(FleetClient::unexpected("OpApplied", other)),
+        }
+    }
+}
+
+impl OpFeed for OpSubscription {
+    fn next_op(&mut self) -> Result<Option<ShippedOp>, ReplicaError> {
+        match self.next_frame() {
+            Ok(Some((epoch, op))) => Ok(Some(ShippedOp::tagged(epoch, op))),
+            Ok(None) => Ok(None),
+            Err(e) => Err(ReplicaError::Feed(e.to_string())),
         }
     }
 }

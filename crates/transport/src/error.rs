@@ -9,6 +9,11 @@ use std::fmt;
 pub enum TransportError {
     /// Underlying socket failure.
     Io(std::io::Error),
+    /// A socket read or write sat past the connection's configured
+    /// deadline ([`crate::ClientConfig`]): the peer is silent — hung,
+    /// partitioned, or dead — rather than closed. Followers treat this on
+    /// a subscription stream as leader-death and start failover.
+    TimedOut,
     /// The peer closed the connection in the middle of a frame (length
     /// prefix or payload) — a truncated frame, never silently dropped.
     Truncated {
@@ -73,6 +78,12 @@ impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TransportError::Io(e) => write!(f, "socket error: {e}"),
+            TransportError::TimedOut => {
+                write!(
+                    f,
+                    "socket operation timed out (peer silent past the deadline)"
+                )
+            }
             TransportError::Truncated {
                 context,
                 expected,

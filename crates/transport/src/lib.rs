@@ -21,7 +21,13 @@
 //!   replayable op-log;
 //! - [`FleetClient`] — a blocking client mirroring the `Fleet` method
 //!   surface, one framed round trip per call, with `*_tagged` variants
-//!   exposing each reply's fleet epoch.
+//!   exposing each reply's fleet epoch, socket deadlines ([`ClientConfig`];
+//!   a silent server surfaces as [`TransportError::TimedOut`], never a
+//!   hang), and [`FleetClient::subscribe`] — the replication tail: an
+//!   [`OpSubscription`] stream of the leader's accepted mutations as
+//!   epoch-tagged frames, feeding a `cpa_serve::replica::Follower` that
+//!   serves bit-identical reads at observable lag and promotes on leader
+//!   death (timeout) or clean stream end.
 //!
 //! A client over loopback computes **bit-identical** predictions to the
 //! in-process fleet on the same op stream — under either codec, and with
@@ -64,7 +70,7 @@ pub mod error;
 pub mod frame;
 pub mod server;
 
-pub use client::FleetClient;
+pub use client::{ClientConfig, FleetClient, OpSubscription};
 pub use codec::{WireFormat, WirePolicy, WIRE_FORMAT_ENV, WIRE_MAGIC, WIRE_VERSION};
 pub use error::TransportError;
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};

@@ -35,6 +35,23 @@
 //! only after the new view is published, a client that observed its own
 //! ack never reads an older epoch afterwards.
 //!
+//! # Replication
+//!
+//! A `FleetOp::SubscribeOps { from_epoch }` turns its connection into a
+//! **mutation-stream subscription**: the driver acks `Subscribed` with its
+//! head epoch, replays the recorded backlog past `from_epoch` (resume from
+//! behind the head requires [`ServerConfig::record_ops`]; without it the
+//! subscription is refused with a framed error), then pushes every
+//! subsequently accepted mutation as an epoch-tagged `OpApplied` frame —
+//! enqueued the moment `apply` publishes the mutation's view, and *before*
+//! the mutator's own ack, so an acked epoch is always already on the wire
+//! to every subscriber. The handler serving the connection flips to
+//! push-only and occupies its handler slot for the subscription's lifetime
+//! (size `max_clients` to followers + clients). On server wind-down the
+//! driver drops every subscription channel, so followers see a clean EOF —
+//! the replay-to-head-complete signal that starts failover (see
+//! `cpa_serve::replica`).
+//!
 //! # Shutdown and hardening
 //!
 //! A [`cpa_serve::FleetOp::Shutdown`] from any client is acknowledged, then
@@ -233,12 +250,74 @@ fn run_role(
             record,
         } => {
             let mut op_log = Vec::new();
+            // Live subscriptions: each is the retained reply channel of a
+            // `SubscribeOps` connection, pushed one `OpApplied` frame per
+            // accepted mutation. A dead subscriber (handler or socket gone)
+            // is dropped on its first failed send.
+            let mut subscribers: Vec<Sender<FleetReply>> = Vec::new();
+            // `(epoch, op)` for every accepted mutation, kept (only while
+            // recording) so a late subscriber can resume from an earlier
+            // epoch by backlog replay.
+            let mut mutation_log: Vec<(u64, FleetOp)> = Vec::new();
             while let Ok((op, reply_tx)) = op_rx.recv() {
+                if let FleetOp::SubscribeOps { from_epoch } = op {
+                    if record {
+                        op_log.push(op.clone());
+                    }
+                    let head = fleet.epoch();
+                    if from_epoch < head && !record {
+                        let _ = reply_tx.send(FleetReply::err(format!(
+                            "cannot resume subscription from epoch {from_epoch}: server \
+                             is not recording ops (head is epoch {head})"
+                        )));
+                        continue;
+                    }
+                    // Ack with the head epoch, replay the recorded backlog
+                    // past `from_epoch`, then go live.
+                    if reply_tx.send(fleet.apply(op)).is_err() {
+                        continue;
+                    }
+                    let backlog_delivered = mutation_log
+                        .iter()
+                        .filter(|(epoch, _)| *epoch > from_epoch)
+                        .all(|(epoch, past)| {
+                            reply_tx
+                                .send(FleetReply::OpApplied {
+                                    epoch: *epoch,
+                                    op: past.clone(),
+                                })
+                                .is_ok()
+                        });
+                    if backlog_delivered {
+                        subscribers.push(reply_tx);
+                    }
+                    continue;
+                }
                 let stop = matches!(op, FleetOp::Shutdown);
                 if record {
                     op_log.push(op.clone());
                 }
+                let shipped = op.is_mutation().then(|| op.clone());
                 let reply = fleet.apply(op);
+                if let Some(op) = shipped {
+                    if !matches!(reply, FleetReply::Error { .. }) {
+                        // Ship the accepted mutation the moment its view is
+                        // published (`apply` published it), and *before* the
+                        // mutator's ack: a client that has seen its ack knows
+                        // every subscription already has the frame enqueued.
+                        let epoch = fleet.epoch();
+                        if record {
+                            mutation_log.push((epoch, op.clone()));
+                        }
+                        subscribers.retain(|sub| {
+                            sub.send(FleetReply::OpApplied {
+                                epoch,
+                                op: op.clone(),
+                            })
+                            .is_ok()
+                        });
+                    }
+                }
                 let _ = reply_tx.send(reply);
                 if stop {
                     shutdown.store(true, Ordering::Relaxed);
@@ -246,6 +325,9 @@ fn run_role(
                 }
             }
             // Also covers the channel-closed path (all handlers gone).
+            // Dropping `subscribers` here closes every subscription's reply
+            // channel; its handler unblocks, returns, and the follower sees
+            // a clean EOF — the end-of-stream signal that starts failover.
             shutdown.store(true, Ordering::Relaxed);
             Some(ServeOutcome { fleet, op_log })
         }
@@ -431,6 +513,7 @@ fn handle_connection(
                 }
             }
         }
+        let subscribing = matches!(op, FleetOp::SubscribeOps { .. });
         let (reply_tx, reply_rx) = channel();
         if op_tx.send((op, reply_tx)).is_err() {
             let _ = send_reply(
@@ -438,6 +521,24 @@ fn handle_connection(
                 format,
                 &FleetReply::err("server is shutting down"),
             );
+            return Ok(());
+        }
+        if subscribing {
+            // The connection flips to push-only: the driver retained our
+            // reply channel and streams the `Subscribed` ack, any recorded
+            // backlog, then one `OpApplied` per accepted mutation. This
+            // handler stops reading the socket and pumps frames until the
+            // driver drops the channel (server wind-down → the subscriber
+            // sees clean EOF) or the subscriber disconnects. Note a live
+            // subscription occupies this handler slot for its whole
+            // lifetime — size `max_clients` to followers + clients.
+            while let Ok(reply) = reply_rx.recv() {
+                let refused = matches!(reply, FleetReply::Error { .. });
+                send_reply(&mut stream, format, &reply)?;
+                if refused {
+                    return Ok(());
+                }
+            }
             return Ok(());
         }
         let reply = match reply_rx.recv() {

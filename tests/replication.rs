@@ -1,0 +1,375 @@
+//! Leader/follower replication over op-log shipping, end to end.
+//!
+//! Contract 1 (bit-identity at every acked epoch): a follower tailing a
+//! leader's `SubscribeOps` stream serves, at every epoch the leader acked,
+//! predictions bit-identical to replaying the leader's recorded op-log to
+//! that epoch (`Fleet::replay_to_epoch`) — at K ∈ {1, 4}, under both wire
+//! codecs.
+//!
+//! Contract 2 (failover): once the leader winds down, the follower has
+//! replayed to head; promoting it yields a fleet whose manifest is
+//! **byte-for-byte** the leader's final manifest.
+//!
+//! Contract 3 (resume): subscribing from an arbitrary `from_epoch` replays
+//! exactly the recorded backlog past that epoch; resume from behind the
+//! head without op recording is refused with a readable error.
+//!
+//! Contract 4 (log tailing): a follower tailing a live on-disk JSONL
+//! op-log through the tolerant tail-reader treats a partially-appended
+//! final record as a clean resumable boundary — it serves the committed
+//! prefix, then picks the record up whole once its newline lands.
+//!
+//! Contract 5 (the two serve-path bugfixes ride along): `Fleet::replay`
+//! stops at a mid-log `Shutdown` while `replay_until(.., StopAt::End)`
+//! — the follower discipline — replays past it; and a client with socket
+//! deadlines surfaces a silent server as `TimedOut` instead of hanging.
+
+use cpa::data::profile::DatasetProfile;
+use cpa::data::simulate::simulate;
+use cpa::data::stream::{WorkerBatch, WorkerStream};
+use cpa::eval::runner::Method;
+use cpa::math::rng::seeded;
+use cpa::serve::{Fleet, FleetOp, Follower, OpFeed, OpLogTailFeed, ShippedOp, StopAt};
+use cpa::transport::{
+    ClientConfig, FleetClient, FleetServer, ServerConfig, TransportError, WireFormat,
+};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const SEED: u64 = 9109;
+
+fn fixture() -> (cpa::data::dataset::Dataset, Vec<WorkerBatch>) {
+    let sim = simulate(&DatasetProfile::movie().scaled(0.05), SEED);
+    let mut rng = seeded(SEED + 1);
+    let batches = WorkerStream::new(&sim.dataset, 8, &mut rng).into_batches();
+    (sim.dataset, batches)
+}
+
+fn fleet_for(d: &cpa::data::dataset::Dataset, shards: usize) -> Fleet {
+    let (i, u, c) = (d.num_items(), d.num_workers(), d.num_labels());
+    Fleet::new(shards, 2, i, u, c, |_| Method::CpaSvi.engine(i, u, c, SEED))
+}
+
+/// The canonical mutation stream: one ingest per arrival batch with a
+/// refit spliced into the middle.
+fn mutation_ops(d: &cpa::data::dataset::Dataset, batches: &[WorkerBatch]) -> Vec<FleetOp> {
+    let mut ops: Vec<FleetOp> = batches
+        .iter()
+        .map(|b| FleetOp::ingest_from(&d.answers, b))
+        .collect();
+    ops.insert(ops.len() / 2, FleetOp::Refit);
+    ops
+}
+
+fn spawn_server(
+    fleet: Fleet,
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<cpa::transport::ServeOutcome>,
+) {
+    let server = FleetServer::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.serve(fleet).expect("serve"));
+    (addr, handle)
+}
+
+#[test]
+fn follower_serves_every_acked_epoch_bit_identically_and_promotes_to_the_leader_manifest() {
+    let (d, batches) = fixture();
+    for shards in [1usize, 4] {
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            let (addr, running) = spawn_server(
+                fleet_for(&d, shards),
+                ServerConfig {
+                    record_ops: true,
+                    ..ServerConfig::default()
+                },
+            );
+
+            // Subscribe from genesis before any mutation lands, then tail
+            // the stream on its own thread, recording the follower's
+            // served predictions at every epoch it reaches.
+            let subscription = FleetClient::connect_with(addr, format)
+                .expect("subscriber connects")
+                .subscribe(0)
+                .expect("subscription acked");
+            assert_eq!(subscription.head(), 0, "fresh leader head");
+            let follower_fleet = fleet_for(&d, shards);
+            let tail = std::thread::spawn(move || {
+                let mut feed = subscription;
+                let mut follower = Follower::new(follower_fleet);
+                let mut served: BTreeMap<u64, Vec<_>> = BTreeMap::new();
+                while let Some(shipped) = feed.next_op().expect("shipped frame") {
+                    follower.apply_shipped(shipped).expect("applies cleanly");
+                    assert_eq!(follower.lag(), 0, "tagged stream applies to head");
+                    served.insert(follower.epoch(), follower.fleet().predict_all());
+                }
+                (follower, served)
+            });
+
+            // The writer: every mutation through a plain client, collecting
+            // the acked epochs.
+            let mut writer = FleetClient::connect_with(addr, format).expect("writer connects");
+            let mut acked = Vec::new();
+            for op in mutation_ops(&d, &batches) {
+                let epoch = match op {
+                    FleetOp::Ingest { workers, answers } => {
+                        writer.ingest_tagged(workers, answers).expect("ingest").1
+                    }
+                    FleetOp::Refit => writer.refit_tagged().expect("refit"),
+                    _ => unreachable!(),
+                };
+                acked.push(epoch);
+            }
+            writer.shutdown().expect("shutdown");
+
+            let outcome = running.join().expect("server joins");
+            // Server wind-down closed the stream; the tail thread saw a
+            // clean EOF at head.
+            let (follower, served) = tail.join().expect("tail joins");
+            assert_eq!(follower.epoch(), *acked.last().unwrap());
+
+            // Contract 1: at every acked epoch, the follower served what
+            // replaying the leader's recorded op-log to that epoch serves.
+            for &epoch in &acked {
+                let mut replayed = fleet_for(&d, shards);
+                replayed.replay_to_epoch(outcome.op_log.iter().cloned(), epoch);
+                assert_eq!(
+                    served.get(&epoch),
+                    Some(&replayed.predict_all()),
+                    "K={shards} {format:?}: follower diverged at epoch {epoch}"
+                );
+            }
+
+            // Contract 2: failover — the promoted follower's manifest is
+            // byte-for-byte the leader's final manifest, JSON and binary.
+            let promoted = follower.promote();
+            assert_eq!(
+                promoted.snapshot().to_json(),
+                outcome.fleet.snapshot().to_json(),
+                "K={shards} {format:?}: promoted manifest diverged (JSON)"
+            );
+            assert_eq!(
+                promoted.snapshot().to_binary(),
+                outcome.fleet.snapshot().to_binary(),
+                "K={shards} {format:?}: promoted manifest diverged (binary)"
+            );
+        }
+    }
+}
+
+#[test]
+fn subscription_resumes_from_an_arbitrary_epoch_via_recorded_backlog() {
+    let (d, batches) = fixture();
+    let ops = mutation_ops(&d, &batches);
+    let (addr, running) = spawn_server(
+        fleet_for(&d, 2),
+        ServerConfig {
+            record_ops: true,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut writer = FleetClient::connect(addr).expect("writer connects");
+    for op in ops.clone() {
+        writer.apply_op(&op).expect("mutation accepted");
+    }
+
+    // A follower that already holds the first `resume_at` epochs (here:
+    // seeded by local replay of the shared prefix) subscribes from there
+    // and receives exactly the backlog past it.
+    let resume_at = ops.len() as u64 / 2;
+    let mut follower = Follower::new(fleet_for(&d, 2));
+    for op in &ops[..resume_at as usize] {
+        follower
+            .apply_shipped(ShippedOp::untagged(op.clone()))
+            .expect("prefix seeds");
+    }
+    assert_eq!(follower.epoch(), resume_at);
+
+    let mut subscription = FleetClient::connect(addr)
+        .expect("subscriber connects")
+        .subscribe(resume_at)
+        .expect("resume acked");
+    assert_eq!(subscription.head(), ops.len() as u64);
+    let mut first_epoch = None;
+    while follower.epoch() < subscription.head() {
+        let (epoch, op) = subscription
+            .next_frame()
+            .expect("backlog frame")
+            .expect("backlog not exhausted early");
+        first_epoch.get_or_insert(epoch);
+        follower
+            .apply_shipped(ShippedOp::tagged(epoch, op))
+            .expect("backlog applies");
+    }
+    assert_eq!(
+        first_epoch,
+        Some(resume_at + 1),
+        "backlog starts right past from_epoch"
+    );
+
+    writer.shutdown().expect("shutdown");
+    let outcome = running.join().expect("server joins");
+    assert_eq!(
+        follower.promote().snapshot().to_json(),
+        outcome.fleet.snapshot().to_json(),
+        "resumed follower diverged from the leader"
+    );
+}
+
+#[test]
+fn resume_from_behind_the_head_without_op_recording_is_refused() {
+    let (d, batches) = fixture();
+    let (addr, running) = spawn_server(fleet_for(&d, 2), ServerConfig::default());
+
+    let mut writer = FleetClient::connect(addr).expect("writer connects");
+    let op = FleetOp::ingest_from(&d.answers, &batches[0]);
+    writer.apply_op(&op).expect("mutation accepted");
+
+    // The server cannot replay a gap it never recorded.
+    let err = FleetClient::connect(addr)
+        .expect("subscriber connects")
+        .subscribe(0)
+        .expect_err("resume must be refused");
+    assert!(
+        matches!(&err, TransportError::Rejected(m) if m.contains("not recording")),
+        "refusal names the cause: {err}"
+    );
+
+    // Subscribing from the current head needs no backlog and is granted.
+    let subscription = FleetClient::connect(addr)
+        .expect("subscriber connects")
+        .subscribe(1)
+        .expect("head subscription granted");
+    assert_eq!(subscription.head(), 1);
+
+    writer.shutdown().expect("shutdown");
+    running.join().expect("server joins");
+}
+
+#[test]
+fn a_follower_tails_a_live_on_disk_op_log_across_a_partial_append() {
+    use std::io::Write;
+
+    let (d, batches) = fixture();
+    let ops = mutation_ops(&d, &batches);
+    let jsonl = cpa::serve::ops_to_jsonl(&ops);
+    // Cut inside the final record: the on-disk state after a writer crash
+    // (or mid-flush) — everything before the last newline is committed.
+    let last = jsonl.lines().last().unwrap();
+    let committed = jsonl.len() - last.len() - 1 + last.len() / 2;
+
+    let path = std::env::temp_dir().join(format!("cpa_replication_tail_{SEED}.jsonl"));
+    std::fs::write(&path, &jsonl.as_bytes()[..committed]).expect("partial log written");
+
+    let mut follower = Follower::new(fleet_for(&d, 2));
+    let mut feed = OpLogTailFeed::new(&path, Duration::from_millis(5), Duration::from_millis(50));
+    follower.sync(&mut feed).expect("tail syncs");
+    assert_eq!(
+        follower.epoch(),
+        ops.len() as u64 - 1,
+        "partial final record is not served"
+    );
+    assert_eq!(feed.delivered(), ops.len() - 1);
+
+    // The writer finishes the record (its newline lands): the next sync
+    // picks it up whole and the follower reaches the leader's state.
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("reopen log");
+    file.write_all(&jsonl.as_bytes()[committed..])
+        .expect("rest of the record");
+    drop(file);
+    follower.sync(&mut feed).expect("tail resumes");
+    assert_eq!(follower.epoch(), ops.len() as u64);
+    let _ = std::fs::remove_file(&path);
+
+    let mut replayed = fleet_for(&d, 2);
+    replayed.replay(ops);
+    assert_eq!(
+        follower.promote().snapshot().to_json(),
+        replayed.snapshot().to_json(),
+        "tailed follower diverged from local replay"
+    );
+}
+
+#[test]
+fn replay_stops_at_shutdown_but_replay_until_end_is_the_follower_discipline() {
+    let (d, batches) = fixture();
+    let mut ops = mutation_ops(&d, &batches);
+    // A mid-log Shutdown with real mutations after it — the shape a
+    // leader's recorded log has when the server was restarted and kept
+    // appending.
+    let marker = ops.len() / 2;
+    ops.insert(marker, FleetOp::Shutdown);
+    let before_marker = marker as u64;
+
+    let mut stops = fleet_for(&d, 2);
+    let replies = stops.replay(ops.clone());
+    assert_eq!(
+        stops.epoch(),
+        before_marker,
+        "replay consumes nothing past the Shutdown marker"
+    );
+    assert_eq!(replies.len() as u64, before_marker + 1, "marker is acked");
+
+    let mut past = fleet_for(&d, 2);
+    past.replay_until(ops.clone(), StopAt::End);
+    assert_eq!(
+        past.epoch(),
+        ops.len() as u64 - 1,
+        "StopAt::End applies every mutation; the marker itself mutates nothing"
+    );
+
+    // Equivalent explicit spellings.
+    let mut explicit = fleet_for(&d, 2);
+    explicit.replay_until(ops, StopAt::Shutdown);
+    assert_eq!(explicit.epoch(), stops.epoch());
+    assert_eq!(
+        explicit.snapshot().to_json(),
+        stops.snapshot().to_json(),
+        "replay and replay_until(StopAt::Shutdown) must be the same function"
+    );
+}
+
+#[test]
+fn a_silent_server_times_out_instead_of_hanging_the_client() {
+    // A listener that accepts and then never answers — the pathological
+    // peer that used to hang a deadline-less client forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let silent = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        // Hold every accepted socket open, replying to nothing, until the
+        // test ends and the listener is dropped.
+        for stream in listener.incoming().take(1) {
+            held.push(stream);
+        }
+        held
+    });
+
+    let mut client = FleetClient::connect_with_config(
+        addr,
+        WireFormat::Json,
+        ClientConfig {
+            read_timeout: Some(Duration::from_millis(100)),
+            write_timeout: Some(Duration::from_millis(100)),
+        },
+    )
+    .expect("TCP connect succeeds");
+    let start = std::time::Instant::now();
+    let err = client.refit_all().expect_err("silent peer must not hang");
+    assert!(
+        matches!(err, TransportError::TimedOut),
+        "typed timeout, got: {err}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "timed out via the configured deadline, not some other stall"
+    );
+    drop(client);
+    silent.join().expect("listener thread joins");
+}
