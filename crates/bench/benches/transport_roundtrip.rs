@@ -39,6 +39,19 @@
 //! at the same (K, R); `mean_lag_epochs`/`max_lag_epochs` report how far
 //! the follower trailed the writer's acks (0 on the non-replicated legs).
 //!
+//! A fifth leg per (K, R) — `read_path: "push"` — measures the
+//! **epoch-delta push subscriptions**: R `SubscribeReads` subscribers hold
+//! delta-maintained caches while the writer streams ingests each narrowed
+//! to a **single shard** (the delta-minimality shape: every pushed frame
+//! carries one dirty shard's rows). Reported per entry: applied deltas/sec
+//! (`reads_per_sec`), the mean **one-way** writer-ack→subscriber-apply
+//! latency in `mean_read_rtt_micros` (not a round trip — the push path has
+//! no request), staleness in the lag columns (subscriber epochs behind the
+//! writer's acked head at each apply), and the wire economics:
+//! `bytes_per_epoch` (mean pushed frame payload) vs `full_read_bytes`
+//! (what a full-universe poll refetch ships per epoch under the same
+//! codec). Both byte columns are 0 on the non-push legs.
+//!
 //! Knobs: `CPA_BENCH_SCALE` (default 0.1), `CPA_BENCH_SAMPLES`,
 //! `CPA_BENCH_THREADS` (fleet pool cap, default 4), `CPA_BENCH_READS`
 //! (predicts per reader in the read-mostly series, default 300),
@@ -88,12 +101,20 @@ struct ReadSeries {
     read_secs: f64,
     reads_per_sec: f64,
     mean_read_rtt_micros: f64,
-    /// Mean replication lag in epochs (writer-acked minus follower-applied,
-    /// sampled at every shipped frame). 0 for the non-replicated legs.
+    /// Mean lag in epochs behind the writer's acked head — replication lag
+    /// on the follower leg (sampled at every shipped frame), staleness on
+    /// the push leg (sampled at every applied delta). 0 for the
+    /// driver/view legs.
     mean_lag_epochs: f64,
-    /// Worst replication lag observed, in epochs. 0 for the non-replicated
-    /// legs.
+    /// Worst lag observed, in epochs. 0 for the driver/view legs.
     max_lag_epochs: f64,
+    /// Mean pushed delta frame payload bytes per epoch (push leg only; 0
+    /// elsewhere).
+    bytes_per_epoch: f64,
+    /// Encoded full-universe reply payload at the final epoch under the
+    /// same codec — what a poll refetch ships per epoch (push leg only; 0
+    /// elsewhere).
+    full_read_bytes: f64,
 }
 
 #[derive(Serialize)]
@@ -254,6 +275,8 @@ fn read_mostly_run(
         mean_read_rtt_micros: rtt_total / reads as f64 * 1e6,
         mean_lag_epochs: 0.0,
         max_lag_epochs: 0.0,
+        bytes_per_epoch: 0.0,
+        full_read_bytes: 0.0,
     }
 }
 
@@ -419,6 +442,182 @@ fn follower_run(
         mean_read_rtt_micros: rtt_total / reads as f64 * 1e6,
         mean_lag_epochs: mean_lag,
         max_lag_epochs: lags.iter().copied().max().unwrap_or(0) as f64,
+        bytes_per_epoch: 0.0,
+        full_read_bytes: 0.0,
+    }
+}
+
+/// The push leg (`read_path: "push"`): R `SubscribeReads` subscribers hold
+/// delta-maintained caches while the writer streams ingests each narrowed
+/// to a **single shard**. There is no read request — `reads` counts
+/// applied delta frames, `mean_read_rtt_micros` is the one-way
+/// writer-ack→subscriber-apply latency, and the lag columns report how
+/// many epochs behind the writer's acked head each delta was at apply
+/// time. `bytes_per_epoch` (mean pushed frame payload) vs
+/// `full_read_bytes` (the full-universe reply at the final epoch, encoded
+/// locally under the same codec) is the wire economics a poll-vs-push
+/// decision turns on.
+fn push_run(
+    d: &cpa_data::dataset::Dataset,
+    shards: usize,
+    threads: usize,
+    ops: &[cpa_serve::FleetOp],
+    readers: usize,
+    reads_per_reader: usize,
+) -> ReadSeries {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::time::Instant;
+
+    assert!(ops.len() >= 2, "need arrival ops to preload and to push");
+    let fleet = fleet_for(Method::CpaSvi, d, shards, threads, SEED);
+    let server = FleetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            // R subscriptions (the slot cap is max_clients - 1, so this
+            // grants exactly R) + the writer's connection.
+            max_clients: readers + 1,
+            serve_reads_from_views: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("loopback bind succeeds");
+    let addr = server.local_addr().expect("bound address");
+    let running = std::thread::spawn(move || server.serve(fleet).expect("serve completes"));
+
+    // Preload half the arrival stream and refit so subscribers bootstrap
+    // from a fitted model; the tail is the writer's push fodder.
+    let half = ops.len() / 2;
+    let mut writer = FleetClient::connect(addr).expect("writer connects");
+    for op in &ops[..half] {
+        let cpa_serve::FleetOp::Ingest { workers, answers } = op.clone() else {
+            unreachable!("arrival_ops produces only ingest ops");
+        };
+        writer.ingest(workers, answers).expect("preload ingest");
+    }
+    writer.refit_all().expect("preload refit");
+
+    // Narrow each tail op to its first answer's shard — the
+    // delta-minimality shape: every timed-window write dirties exactly one
+    // shard, so every pushed frame carries one shard's rows. Workers still
+    // arrive at most once, so the arrival contract holds.
+    let router = cpa_serve::ShardRouter::new(shards);
+    let narrowed: Vec<cpa_serve::FleetOp> = ops[half..]
+        .iter()
+        .filter_map(|op| {
+            let cpa_serve::FleetOp::Ingest { workers, answers } = op.clone() else {
+                return None;
+            };
+            let target = router.route(answers.first()?.0);
+            let answers: Vec<_> = answers
+                .into_iter()
+                .filter(|(item, _, _)| router.route(*item) == target)
+                .collect();
+            Some(cpa_serve::FleetOp::Ingest { workers, answers })
+        })
+        .collect();
+    let writes = (readers * reads_per_reader / 19).clamp(1, narrowed.len());
+    let narrowed = &narrowed[..writes];
+
+    // Every subscriber registers (bootstrap acked) before the writer's
+    // first timed-window write, so each one applies every delta.
+    let head = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(Barrier::new(readers + 1));
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let (head, gate) = (Arc::clone(&head), Arc::clone(&gate));
+            std::thread::spawn(move || {
+                let mut sub = FleetClient::connect(addr)
+                    .expect("subscriber connects")
+                    .subscribe_reads(cpa_serve::ReadKind::Predictions, None)
+                    .expect("subscription acked");
+                gate.wait();
+                let mut applies: Vec<(u64, Instant, usize, u64)> = Vec::new();
+                while let Some(delta) = sub.next_delta().expect("delta frame") {
+                    let lag = head
+                        .load(Ordering::Relaxed)
+                        .saturating_sub(delta.applied.epoch);
+                    applies.push((delta.applied.epoch, Instant::now(), delta.frame_bytes, lag));
+                }
+                assert_eq!(
+                    sub.epoch(),
+                    head.load(Ordering::Relaxed),
+                    "subscriber wound down behind the writer's acked head"
+                );
+                applies
+            })
+        })
+        .collect();
+
+    gate.wait();
+    let start = Instant::now();
+    let mut acks: Vec<(u64, Instant)> = Vec::with_capacity(writes);
+    for op in narrowed {
+        let cpa_serve::FleetOp::Ingest { workers, answers } = op.clone() else {
+            unreachable!("narrowing preserves only ingest ops");
+        };
+        let (_, epoch) = writer
+            .ingest_tagged(workers, answers)
+            .expect("narrowed ingest");
+        acks.push((epoch, Instant::now()));
+        head.store(epoch, Ordering::Relaxed);
+    }
+
+    // What a poll refetch would ship per epoch under the same codec: the
+    // full-universe reply at the final epoch, encoded locally.
+    let (predictions, epoch) = writer.predict_tagged().expect("final poll");
+    let full_reply = cpa_serve::FleetReply::Predictions { predictions, epoch };
+    let full_read_bytes = cpa_transport::codec::encode(writer.wire_format(), &full_reply)
+        .expect("reply encodes")
+        .len() as f64;
+
+    writer.shutdown().expect("shutdown acknowledged");
+    drop(writer);
+    let per_sub: Vec<Vec<(u64, Instant, usize, u64)>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("subscriber thread"))
+        .collect();
+    let read_secs = start.elapsed().as_secs_f64();
+    running.join().expect("server thread joins");
+
+    let ack_at: std::collections::BTreeMap<u64, Instant> = acks.into_iter().collect();
+    let (mut one_way, mut bytes) = (0.0, 0usize);
+    let (mut lag_sum, mut lag_max) = (0u64, 0u64);
+    let mut applied = 0usize;
+    for applies in &per_sub {
+        assert_eq!(
+            applies.len(),
+            writes,
+            "every write reaches every subscriber exactly once"
+        );
+        for &(epoch, at, frame_bytes, lag) in applies {
+            // Enqueue-before-ack means a delta can land *before* the
+            // writer's ack returns; those clamp to zero one-way latency.
+            one_way += at
+                .checked_duration_since(ack_at[&epoch])
+                .map_or(0.0, |d| d.as_secs_f64());
+            bytes += frame_bytes;
+            lag_sum += lag;
+            lag_max = lag_max.max(lag);
+            applied += 1;
+        }
+    }
+
+    ReadSeries {
+        read_path: "push".to_string(),
+        read_op: "full".to_string(),
+        shards,
+        readers,
+        reads: applied,
+        writes,
+        dirty_shards: mean_dirty_shards(narrowed, shards),
+        read_secs,
+        reads_per_sec: applied as f64 / read_secs.max(1e-12),
+        mean_read_rtt_micros: one_way / applied.max(1) as f64 * 1e6,
+        mean_lag_epochs: lag_sum as f64 / applied.max(1) as f64,
+        max_lag_epochs: lag_max as f64,
+        bytes_per_epoch: bytes as f64 / applied.max(1) as f64,
+        full_read_bytes,
     }
 }
 
@@ -540,6 +739,15 @@ fn main() {
                 "  K={shards} readers={readers} follower/full: {:.0} reads/s, \
                  {:.1}µs/read, lag mean {:.2} / max {:.0} epochs",
                 s.reads_per_sec, s.mean_read_rtt_micros, s.mean_lag_epochs, s.max_lag_epochs
+            );
+            read_series.push(s);
+            // The push leg: subscribers apply single-shard delta frames
+            // while the writer streams narrowed ingests.
+            let s = push_run(d, shards, threads, &ops, readers, reads_per_reader);
+            eprintln!(
+                "  K={shards} readers={readers} push/full: {:.0} deltas/s applied, \
+                 {:.1}µs one-way, {:.0}B/epoch pushed vs {:.0}B full refetch",
+                s.reads_per_sec, s.mean_read_rtt_micros, s.bytes_per_epoch, s.full_read_bytes
             );
             read_series.push(s);
         }

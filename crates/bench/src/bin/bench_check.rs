@@ -143,21 +143,31 @@ const READ_SERIES_FIELDS: &[(&str, bool)] = &[
     ("dirty_shards", true),
     ("read_secs", true),
     ("reads_per_sec", true),
-    ("mean_read_rtt_micros", true),
+    // Strictly positive on the request/reply legs; on the push leg this is
+    // the one-way ack→apply latency, which legitimately rounds to 0 when
+    // every delta lands before the writer's ack returns
+    // (enqueue-before-ack) — `check_read_series` enforces the split.
+    ("mean_read_rtt_micros", false),
     // Replication lag: legitimately 0 on the non-replicated legs (and on a
     // follower that never trailed), so presence is checked here and the
     // finite-and-non-negative check runs in `check_read_series`.
     ("mean_lag_epochs", false),
     ("max_lag_epochs", false),
+    // Push wire economics: legitimately 0 on the non-push legs, so
+    // presence is checked here and finite-and-non-negative (plus strictly
+    // positive on push entries) in `check_read_series`.
+    ("bytes_per_epoch", false),
+    ("full_read_bytes", false),
 ];
 
 /// `BENCH_transport.json` invariants over the read-mostly series: all
 /// read paths present per (shards, readers) pair, every entry well-formed,
 /// the view fast path at least holding the line against the
 /// driver-serialized baseline, item-ranged reads at K=4 no slower than
-/// whole-universe reads on the same view path, and follower reads (served
+/// whole-universe reads on the same view path, follower reads (served
 /// off a replica tailing the leader) in the same regime as leader view
-/// reads.
+/// reads, and push delta frames at K=4 cheaper on the wire than a
+/// full-universe refetch per epoch.
 /// Loopback reads are RTT-dominated, so the regression check compares
 /// **mean reads/sec across all pairs** (with a 0.9× tolerance) and the
 /// RTT checks compare means across pairs, rather than gating each pair
@@ -177,15 +187,31 @@ fn check_read_series(report: &Value) -> Result<(), String> {
         for &(field, numeric) in READ_SERIES_FIELDS {
             check_field(entry, field, numeric, &at)?;
         }
-        // Lag is epochs behind the writer's ack: finite and non-negative,
-        // with 0 the expected value everywhere except the follower leg.
-        for field in ["mean_lag_epochs", "max_lag_epochs"] {
+        // Lag is epochs behind the writer's ack and the byte columns are
+        // push-leg wire sizes: finite and non-negative, with 0 the
+        // expected value on the legs they don't apply to.
+        for field in [
+            "mean_lag_epochs",
+            "max_lag_epochs",
+            "bytes_per_epoch",
+            "full_read_bytes",
+        ] {
             let x = field_f64(entry, field).map_err(|e| format!("{at}: {e}"))?;
             if !x.is_finite() || x < 0.0 {
                 return Err(format!(
                     "{at}: field {field:?} must be finite and non-negative, got {x}"
                 ));
             }
+        }
+        // Per-read RTT must be a real measurement on the request/reply
+        // legs; the push leg's one-way latency may clamp to 0.
+        let rtt = field_f64(entry, "mean_read_rtt_micros").map_err(|e| format!("{at}: {e}"))?;
+        let is_push = entry.get("read_path").and_then(Value::as_str) == Some("push");
+        if !rtt.is_finite() || rtt < 0.0 || (rtt == 0.0 && !is_push) {
+            return Err(format!(
+                "{at}: field \"mean_read_rtt_micros\" must be finite and positive \
+                 (non-negative on the push leg), got {rtt}"
+            ));
         }
     }
     let str_of = |e: &Value, field: &str| {
@@ -300,6 +326,43 @@ fn check_read_series(report: &Value) -> Result<(), String> {
             follower_rtt / follower_pairs as f64,
             view_rtt / follower_pairs as f64,
         ));
+    }
+
+    // Push subscriptions: every (shards, readers) point carries a push leg
+    // with real wire sizes, and at the sharded K=4 configuration the
+    // single-shard delta frames must actually be cheaper than refetching
+    // the full universe every epoch — the economics the push path exists
+    // for. (One-way latency and staleness are reported, not gated: on a
+    // loopback single-core host they measure thread scheduling.)
+    let mut push_pairs = 0usize;
+    for entry in entries {
+        if str_of(entry, "read_path") != "view" || str_of(entry, "read_op") != "full" {
+            continue;
+        }
+        let shards = field_f64(entry, "shards")?;
+        let readers = field_f64(entry, "readers")?;
+        let push = find("push", "full", shards, readers).ok_or_else(|| {
+            format!("read_series: no \"push\"/\"full\" entry for shards={shards} readers={readers}")
+        })?;
+        let delta_bytes = field_f64(push, "bytes_per_epoch")?;
+        let full_bytes = field_f64(push, "full_read_bytes")?;
+        if delta_bytes <= 0.0 || full_bytes <= 0.0 {
+            return Err(format!(
+                "read_series: push entry at shards={shards} readers={readers} must report \
+                 positive wire sizes, got bytes_per_epoch={delta_bytes} \
+                 full_read_bytes={full_bytes}"
+            ));
+        }
+        if shards == 4.0 && delta_bytes > full_bytes {
+            return Err(format!(
+                "read_series: single-shard push deltas ship more than a full refetch at K=4 \
+                 readers={readers}: {delta_bytes:.0}B/epoch > {full_bytes:.0}B"
+            ));
+        }
+        push_pairs += 1;
+    }
+    if push_pairs == 0 {
+        return Err("read_series has no \"view\"/\"full\" entries to pair push legs with".into());
     }
     Ok(())
 }

@@ -6,7 +6,7 @@
 //!       [--methods M,M,...] [--shards K] [--full]
 //! repro serve [--addr A] [--shards K] [--threads T] [--method M]
 //!             [--scale F] [--seed S] [--max-clients N] [--op-log PATH]
-//!             [--wire auto|json|binary]
+//!             [--wire auto|json|binary] [--subscribe-reads]
 //!
 //! EXPERIMENT: table1 fig1 table3 table4 fig3 fig4 fig5 fig6 table5
 //!             prequential sharded served fig7 fig8 fig9 fig10 all
@@ -33,6 +33,10 @@
 //! `--wire` picks the codec policy: `auto` (the default) grants the binary
 //! handshake to clients that request it and JSON to everyone else, `json`
 //! pins every connection to JSON, and `binary` requires the handshake.
+//! `--subscribe-reads` attaches a demo `SubscribeReads` client that holds a
+//! delta-maintained prediction cache and logs every pushed frame (epoch,
+//! rows, dirty shards, bytes) to stderr until the server winds down; it
+//! occupies one subscription slot for the server's lifetime.
 //! ```
 
 use cpa_eval::experiments;
@@ -150,6 +154,7 @@ fn serve_main(args: Vec<String>) {
     let mut op_log: Option<std::path::PathBuf> = None;
     let mut wire_policy = cpa_transport::WirePolicy::Auto;
     let mut reads_via_driver = false;
+    let mut subscribe_reads = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -211,11 +216,12 @@ fn serve_main(args: Vec<String>) {
                 };
             }
             "--reads-via-driver" => reads_via_driver = true,
+            "--subscribe-reads" => subscribe_reads = true,
             "--help" | "-h" => {
                 println!(
                     "repro serve [--addr A] [--shards K] [--threads T] [--method M] \
                      [--scale F] [--seed S] [--max-clients N] [--op-log PATH] \
-                     [--wire auto|json|binary] [--reads-via-driver]"
+                     [--wire auto|json|binary] [--reads-via-driver] [--subscribe-reads]"
                 );
                 return;
             }
@@ -256,9 +262,50 @@ fn serve_main(args: Vec<String>) {
          wire {wire_policy:?} (send a Shutdown op to stop)",
         method.name()
     );
+    // Demo subscriber: a SubscribeReads client holding a delta-maintained
+    // prediction cache, logging what each pushed frame cost until the
+    // server winds down. It occupies one of the max_clients - 1
+    // subscription slots for the server's lifetime.
+    let demo_sub = subscribe_reads.then(|| {
+        std::thread::spawn(move || {
+            let sub = cpa_transport::FleetClient::connect(bound)
+                .and_then(|c| c.subscribe_reads(cpa_serve::ReadKind::Predictions, None));
+            let mut sub = match sub {
+                Ok(sub) => sub,
+                Err(e) => return eprintln!("# subscriber: refused ({e})"),
+            };
+            // A demo server may sit idle indefinitely between mutations;
+            // block forever instead of declaring the push stream dead.
+            let _ = sub.set_read_timeout(None);
+            eprintln!(
+                "# subscriber: bootstrap at epoch {} ({:?} frames)",
+                sub.epoch(),
+                sub.wire_format()
+            );
+            loop {
+                match sub.next_delta() {
+                    Ok(Some(delta)) => eprintln!(
+                        "# subscriber: epoch {} — {} rows over {} dirty shards, {}B",
+                        delta.applied.epoch,
+                        delta.applied.rows,
+                        delta.applied.dirty_shards,
+                        delta.frame_bytes
+                    ),
+                    Ok(None) => {
+                        eprintln!("# subscriber: clean EOF at epoch {}", sub.epoch());
+                        return;
+                    }
+                    Err(e) => return eprintln!("# subscriber: stream failed ({e})"),
+                }
+            }
+        })
+    });
     let outcome = server
         .serve(fleet)
         .unwrap_or_else(|e| die(&format!("serve failed: {e}")));
+    if let Some(handle) = demo_sub {
+        let _ = handle.join();
+    }
     eprintln!(
         "# shut down after {} arrival batches ({} answers absorbed), final epoch {}",
         outcome.fleet.batches_ingested(),

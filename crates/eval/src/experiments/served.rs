@@ -22,8 +22,8 @@ use cpa_data::labels::LabelSet;
 use cpa_data::profile::DatasetProfile;
 use cpa_data::simulate::simulate;
 use cpa_data::stream::BatchSource;
-use cpa_serve::{Fleet, FleetOp};
-use cpa_transport::{FleetClient, FleetServer, ServerConfig, WireFormat};
+use cpa_serve::{Fleet, FleetOp, FleetReply, ReadKind};
+use cpa_transport::{codec, FleetClient, FleetServer, ServerConfig, WireFormat};
 
 /// Default roster: the streaming engine (the serving story) plus the batch
 /// engine for a refit-style contrast.
@@ -189,6 +189,114 @@ pub fn run_loopback_with(fleet: Fleet, ops: Vec<FleetOp>, format: WireFormat) ->
     }
 }
 
+/// Push-vs-poll wire economics from one loopback run: what a
+/// [`FleetClient::subscribe_reads`] delta stream shipped per epoch vs what
+/// refetching the full reply would have, with the cache asserted
+/// **byte-equal** to the poll refetch at every acked epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct PushStats {
+    /// Delta frames applied (one per accepted mutation).
+    pub deltas: usize,
+    /// Mean pushed delta frame payload bytes per epoch.
+    pub mean_delta_bytes: f64,
+    /// Mean encoded full-`Predictions` reply bytes per epoch — the poll
+    /// refetch cost under the same codec.
+    pub mean_poll_bytes: f64,
+    /// The epoch the cache ended at (equal to the writer's final ack).
+    pub final_epoch: u64,
+}
+
+/// Drives the op stream through a loopback server while a `SubscribeReads`
+/// subscriber holds a delta-maintained cache, asserting at **every** acked
+/// epoch that the cache's rows are byte-identical (under `format`) to a
+/// poll refetch over the writer's connection at the same epoch.
+///
+/// # Panics
+/// Panics if any delta lands at the wrong epoch, if the cache's rows ever
+/// encode differently from the polled reply, or on any transport failure —
+/// each would be a push-path correctness bug, not a measurement.
+pub fn run_push_loopback(fleet: Fleet, ops: Vec<FleetOp>, format: WireFormat) -> PushStats {
+    let server = FleetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            // The subscription (one of max_clients - 1 slots) + the writer.
+            max_clients: 2,
+            serve_reads_from_views: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("loopback bind succeeds");
+    let addr = server.local_addr().expect("bound address");
+    let running = std::thread::spawn(move || server.serve(fleet).expect("serve completes"));
+
+    let mut writer = FleetClient::connect_with(addr, format).expect("writer connects");
+    let mut sub = FleetClient::connect_with(addr, format)
+        .expect("subscriber connects")
+        .subscribe_reads(ReadKind::Predictions, None)
+        .expect("subscription acked at genesis");
+
+    let mut delta_bytes = 0usize;
+    let mut poll_bytes = 0usize;
+    let mut deltas = 0usize;
+    let mut check =
+        |sub: &mut cpa_transport::ReadSubscription, writer: &mut FleetClient, acked: u64| {
+            let delta = sub
+                .next_delta()
+                .expect("delta frame")
+                .expect("stream ended mid-run");
+            assert_eq!(delta.applied.epoch, acked, "delta behind the writer's ack");
+            let (polled, epoch) = writer.predict_tagged().expect("poll refetch");
+            assert_eq!(epoch, acked, "poll refetch at a different epoch");
+            let cached = sub
+                .cache()
+                .predictions()
+                .expect("a Predictions subscription caches prediction rows")
+                .to_vec();
+            assert_eq!(
+                codec::encode(format, &cached).expect("cache rows encode"),
+                codec::encode(format, &polled).expect("polled rows encode"),
+                "cache rows not byte-identical to the poll refetch at epoch {acked}"
+            );
+            delta_bytes += delta.frame_bytes;
+            let full = FleetReply::Predictions {
+                predictions: polled,
+                epoch,
+            };
+            poll_bytes += codec::encode(format, &full)
+                .expect("poll reply encodes")
+                .len();
+            deltas += 1;
+        };
+
+    for op in ops {
+        let FleetOp::Ingest { workers, answers } = op else {
+            unreachable!("arrival_ops produces only ingest ops");
+        };
+        let acked = writer
+            .ingest_tagged(workers, answers)
+            .expect("arrival ingest")
+            .1;
+        check(&mut sub, &mut writer, acked);
+    }
+    let acked = writer.refit_tagged().expect("refit round trip");
+    check(&mut sub, &mut writer, acked);
+
+    writer.shutdown().expect("shutdown acknowledged");
+    drop(writer);
+    assert!(
+        sub.next_delta().expect("clean wind-down").is_none(),
+        "expected EOF after server wind-down"
+    );
+    assert_eq!(sub.epoch(), acked, "cache ended behind the final ack");
+    running.join().expect("server thread joins");
+    PushStats {
+        deltas,
+        mean_delta_bytes: delta_bytes as f64 / deltas.max(1) as f64,
+        mean_poll_bytes: poll_bytes as f64 / deltas.max(1) as f64,
+        final_epoch: acked,
+    }
+}
+
 /// Runs the loopback-vs-in-process comparison on the movie dataset for the
 /// configured roster at K = `cfg.shards`.
 ///
@@ -222,6 +330,8 @@ pub fn run(cfg: &EvalConfig) -> Report {
             "rtt_ms",
             "ranged_rtt_ms",
             "epoch",
+            "push_B_ep",
+            "poll_B_ep",
             "identical",
         ],
     );
@@ -233,7 +343,20 @@ pub fn run(cfg: &EvalConfig) -> Report {
         );
         let served = run_loopback(
             fleet_for(method, &dataset, cfg.shards, threads, cfg.seed),
+            ops.clone(),
+        );
+        // The push path on the same op stream: a delta-maintained cache
+        // asserted byte-equal to a poll refetch at every acked epoch.
+        let push = run_push_loopback(
+            fleet_for(method, &dataset, cfg.shards, threads, cfg.seed),
             ops,
+            WireFormat::from_env(),
+        );
+        assert_eq!(
+            push.final_epoch,
+            served.final_epoch,
+            "{}: push run ended at a different epoch than the poll run",
+            method.name()
         );
         assert_eq!(
             served.predictions,
@@ -248,6 +371,14 @@ pub fn run(cfg: &EvalConfig) -> Report {
             method.name()
         );
         for (mode, run) in [("in-process", &in_process), ("loopback", &served)] {
+            let (push_col, poll_col) = if mode == "loopback" {
+                (
+                    format!("{:.0}", push.mean_delta_bytes),
+                    format!("{:.0}", push.mean_poll_bytes),
+                )
+            } else {
+                ("-".to_string(), "-".to_string())
+            };
             r.push_row(vec![
                 method.name().to_string(),
                 cfg.shards.to_string(),
@@ -257,6 +388,8 @@ pub fn run(cfg: &EvalConfig) -> Report {
                 format!("{:.3}", run.mean_ingest_rtt_secs * 1e3),
                 format!("{:.3}", run.mean_ranged_rtt_secs * 1e3),
                 run.final_epoch.to_string(),
+                push_col,
+                poll_col,
                 f3(1.0),
             ]);
         }
@@ -273,6 +406,11 @@ pub fn run(cfg: &EvalConfig) -> Report {
     r.note(
         "ranged_rtt_ms = mean 32-item `PredictItems` at the final epoch, asserted to be a \
          slice of the full read",
+    );
+    r.note(
+        "push_B_ep / poll_B_ep = mean wire bytes per epoch on a SubscribeReads delta stream \
+         vs refetching the full Predictions reply; the delta-maintained cache is asserted \
+         byte-identical to the poll refetch at every acked epoch",
     );
     r
 }
@@ -291,12 +429,19 @@ mod tests {
         };
         let r = run(&cfg);
         assert_eq!(r.rows.len(), 2);
-        assert_eq!(r.columns.len(), 9);
+        assert_eq!(r.columns.len(), 11);
         assert!(r.rows.iter().any(|row| row[2] == "loopback"));
         assert!(r.notes.iter().any(|n| n.contains("bit-identical")));
         // Both modes report the same (nonzero) final epoch.
         let epochs: Vec<&String> = r.rows.iter().map(|row| &row[7]).collect();
         assert_eq!(epochs[0], epochs[1]);
         assert_ne!(epochs[0], "0");
+        // The loopback row carries real push-vs-poll byte columns; the
+        // in-process row has none.
+        let loopback = r.rows.iter().find(|row| row[2] == "loopback").unwrap();
+        assert!(loopback[8].parse::<f64>().unwrap() > 0.0);
+        assert!(loopback[9].parse::<f64>().unwrap() > 0.0);
+        let in_process = r.rows.iter().find(|row| row[2] == "in-process").unwrap();
+        assert_eq!(in_process[8], "-");
     }
 }

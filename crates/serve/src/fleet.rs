@@ -55,7 +55,7 @@
 
 use crate::protocol::{FleetOp, FleetReply, ItemEstimate};
 use crate::router::{ShardIndex, ShardRouter};
-use crate::view::{ReadView, ViewHandle};
+use crate::view::{ReadKind, ReadView, ViewHandle};
 use cpa_core::engine::{Checkpoint, CheckpointError, DynEngine, RestoreFn};
 use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::{AnswerMatrix, AnswerMatrixBuilder};
@@ -290,6 +290,11 @@ impl Fleet {
     ///   is an interpreter concern (the `cpa-transport` server retains the
     ///   subscription and ships [`FleetReply::OpApplied`] frames), not a
     ///   fleet mutation;
+    /// - `SubscribeReads` is a read that returns the bootstrap snapshot —
+    ///   a [`FleetReply::PredictedDelta`] / [`FleetReply::EstimatedDelta`]
+    ///   carrying every subscribed item's row at the current epoch; the
+    ///   per-mutation delta push it requests is likewise an interpreter
+    ///   concern;
     /// - `Shutdown` is acknowledged and leaves the fleet untouched — it is
     ///   a signal to whatever is consuming the op stream.
     ///
@@ -378,6 +383,7 @@ impl Fleet {
                 None => FleetReply::err("no restore hook installed (see Fleet::with_restore_hook)"),
             },
             FleetOp::SubscribeOps { .. } => FleetReply::Subscribed { epoch: self.epoch },
+            FleetOp::SubscribeReads { kind, items } => self.read_bootstrap(kind, items),
             FleetOp::Shutdown => FleetReply::ShuttingDown,
         }
     }
@@ -652,6 +658,29 @@ impl Fleet {
         self.views.clone()
     }
 
+    /// Fills the **current** view's `kind` slabs for `shards`, computing
+    /// only the missing ones (out-of-range shard indices are ignored). This
+    /// is the pre-push warm step of a read-delta broadcast: the transport
+    /// driver warms exactly the dirty shards its subscriptions cover right
+    /// after publishing a mutation's view, so connection handlers — which
+    /// have no engine access — can encode delta rows straight from the
+    /// view's slabs.
+    pub fn warm_view(&self, kind: ReadKind, shards: &[usize]) {
+        let in_range: Vec<usize> = shards
+            .iter()
+            .copied()
+            .filter(|&s| s < self.num_shards())
+            .collect();
+        if in_range.is_empty() {
+            return;
+        }
+        let view = self.views.current();
+        match kind {
+            ReadKind::Predictions => self.fill_shard_predictions(&view, &in_range),
+            ReadKind::Estimate => self.fill_shard_estimates(&view, &in_range),
+        }
+    }
+
     /// Replays ops from `ops` until the fleet's epoch reaches `epoch`, then
     /// stops (without consuming further ops). Returns one reply per op
     /// consumed, like [`Fleet::replay`]; also stops after a `Shutdown` op or
@@ -814,6 +843,48 @@ impl Fleet {
                 ItemEstimate::from_estimate(est, i)
             })
             .collect())
+    }
+
+    /// The `SubscribeReads` arm of [`Fleet::apply`]: normalize the item set
+    /// (`None` = the whole universe; explicit lists are sorted and
+    /// deduplicated, then echoed), and build the bootstrap snapshot — every
+    /// subscribed item's row at the current epoch, with every covering
+    /// shard listed dirty. The per-mutation push stream that follows is an
+    /// interpreter concern.
+    fn read_bootstrap(&self, kind: ReadKind, items: Option<Vec<usize>>) -> FleetReply {
+        let items = match items {
+            Some(mut list) => {
+                list.sort_unstable();
+                list.dedup();
+                list
+            }
+            None => (0..self.num_items).collect(),
+        };
+        let dirty_shards = match self.ranged_shards(&items) {
+            Ok(shards) => shards,
+            Err(e) => return FleetReply::err(e),
+        };
+        let view = self.views.current();
+        match kind {
+            ReadKind::Predictions => match self.try_predict_items(&view, &items) {
+                Ok(predictions) => FleetReply::PredictedDelta {
+                    items,
+                    predictions,
+                    dirty_shards,
+                    epoch: view.epoch(),
+                },
+                Err(e) => FleetReply::err(e),
+            },
+            ReadKind::Estimate => match self.try_estimate_items(&view, &items) {
+                Ok(rows) => FleetReply::EstimatedDelta {
+                    items,
+                    rows,
+                    dirty_shards,
+                    epoch: view.epoch(),
+                },
+                Err(e) => FleetReply::err(e),
+            },
+        }
     }
 
     /// The merged-cell fill behind [`Fleet::predict_all`]: ensure every

@@ -30,6 +30,11 @@
 //!   re-driving the shards — and, over `cpa-transport`, without a driver
 //!   round trip. Publication is **incremental**: shards untouched by a
 //!   mutation carry their filled `Arc` slabs into the next epoch's view.
+//! - [`push`] — the read-delta subscription cache: a [`push::ReadCache`]
+//!   built from a `SubscribeReads` bootstrap applies the per-mutation
+//!   delta frames a leader pushes (rows for only the dirty shards'
+//!   subscribed items), holding, at every epoch, rows bit-identical to a
+//!   poll refetch — zero-RTT reads off a one-way stream.
 //! - [`replica`] — leader/follower replication by op shipping: a
 //!   [`replica::Follower`] owns its own fleet and applies the leader's
 //!   accepted mutations (from a live `SubscribeOps` stream over
@@ -76,6 +81,7 @@
 
 pub mod fleet;
 pub mod protocol;
+pub mod push;
 pub mod replica;
 pub mod router;
 pub mod view;
@@ -84,6 +90,7 @@ pub use fleet::{
     Fleet, FleetError, FleetManifest, StopAt, FLEET_MANIFEST_MAGIC, FLEET_MANIFEST_VERSION,
 };
 pub use protocol::{ops_from_jsonl, ops_to_jsonl, FleetOp, FleetReply, ItemEstimate};
+pub use push::{AppliedDelta, PushError, ReadCache};
 pub use replica::{Applied, Follower, OpFeed, OpLogTailFeed, ReplicaError, ShippedOp};
 pub use router::{ShardIndex, ShardRouter};
 pub use view::{ReadKind, ReadView, ReplyRef, ViewHandle, WIRE_SLOTS};

@@ -32,6 +32,7 @@
 //! self-contained.
 
 use crate::fleet::FleetManifest;
+use crate::view::ReadKind;
 use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::AnswerMatrix;
 use cpa_data::io::IoError;
@@ -97,6 +98,24 @@ pub enum FleetOp {
         /// pushed (0 subscribes from the beginning of the lineage).
         from_epoch: u64,
     },
+    /// Subscribe to the fleet's **read deltas**: the interpreter acks with a
+    /// bootstrap snapshot — a [`FleetReply::PredictedDelta`] /
+    /// [`FleetReply::EstimatedDelta`] carrying every subscribed item's row
+    /// at the current epoch — and thereafter (over a transport that retains
+    /// the subscription) pushes one delta frame per accepted mutation,
+    /// carrying rows for **only the dirty shards'** subscribed items. A
+    /// delta whose mutation dirtied no subscribed shard still arrives (with
+    /// zero rows) so the subscriber's epoch tracks the head. Against a bare
+    /// in-process fleet, this is a read that returns the bootstrap.
+    SubscribeReads {
+        /// Which read to subscribe to: consensus predictions or soft-truth
+        /// estimate rows.
+        kind: ReadKind,
+        /// `None` subscribes to the full universe at subscription time;
+        /// `Some(items)` to exactly those items. The item set is
+        /// normalized (sorted, deduplicated) and echoed in the bootstrap.
+        items: Option<Vec<usize>>,
+    },
     /// Stop serving. The fleet itself is untouched; interpreters (the
     /// transport server, [`crate::Fleet::replay`]) stop consuming ops.
     Shutdown,
@@ -135,6 +154,7 @@ impl FleetOp {
             FleetOp::Snapshot => "Snapshot",
             FleetOp::Restore { .. } => "Restore",
             FleetOp::SubscribeOps { .. } => "SubscribeOps",
+            FleetOp::SubscribeReads { .. } => "SubscribeReads",
             FleetOp::Shutdown => "Shutdown",
         }
     }
@@ -227,6 +247,39 @@ pub enum FleetReply {
         /// subscriber can bound its observable lag from the first frame.
         epoch: u64,
     },
+    /// A predictions read-delta frame: the bootstrap ack of a
+    /// `SubscribeReads { kind: Predictions, .. }` (all subscribed rows,
+    /// every covered shard listed dirty) and every pushed delta thereafter
+    /// (rows for the subscribed items of the mutation's dirty shards only).
+    /// `items` and `predictions` are aligned, in ascending item order.
+    PredictedDelta {
+        /// The subscribed items this frame carries rows for, ascending —
+        /// the full subscription in a bootstrap, the dirty subset in a
+        /// delta (possibly empty).
+        items: Vec<usize>,
+        /// One label set per carried item, aligned with `items`.
+        predictions: Vec<LabelSet>,
+        /// The shards contributing rows to this frame, ascending: every
+        /// shard covering the subscription in a bootstrap; in a delta, the
+        /// mutation's dirty shards that intersect the subscription.
+        dirty_shards: Vec<usize>,
+        /// The epoch of the published view this frame reflects. Applying
+        /// the frame leaves a subscriber's row set bit-identical to a poll
+        /// refetch at this epoch.
+        epoch: u64,
+    },
+    /// An estimate read-delta frame — the [`FleetReply::PredictedDelta`]
+    /// shape with per-item soft-truth rows ([`ItemEstimate`]).
+    EstimatedDelta {
+        /// The subscribed items this frame carries rows for, ascending.
+        items: Vec<usize>,
+        /// One estimate row per carried item, aligned with `items`.
+        rows: Vec<ItemEstimate>,
+        /// The shards contributing rows to this frame, ascending.
+        dirty_shards: Vec<usize>,
+        /// The epoch of the published view this frame reflects.
+        epoch: u64,
+    },
     /// One accepted mutation pushed to a `SubscribeOps` subscriber, tagged
     /// with the epoch the mutation created. Applying the op to a follower
     /// fleet whose epoch is `epoch - 1` reproduces the leader's state at
@@ -285,6 +338,8 @@ impl FleetReply {
             FleetReply::Manifest { .. } => "Manifest",
             FleetReply::Restored { .. } => "Restored",
             FleetReply::Subscribed { .. } => "Subscribed",
+            FleetReply::PredictedDelta { .. } => "PredictedDelta",
+            FleetReply::EstimatedDelta { .. } => "EstimatedDelta",
             FleetReply::OpApplied { .. } => "OpApplied",
             FleetReply::ShuttingDown => "ShuttingDown",
             FleetReply::Error { .. } => "Error",
@@ -304,6 +359,8 @@ impl FleetReply {
             | FleetReply::EstimatedItems { epoch, .. }
             | FleetReply::Restored { epoch }
             | FleetReply::Subscribed { epoch }
+            | FleetReply::PredictedDelta { epoch, .. }
+            | FleetReply::EstimatedDelta { epoch, .. }
             | FleetReply::OpApplied { epoch, .. } => Some(*epoch),
             FleetReply::Manifest { manifest } => Some(manifest.epoch),
             FleetReply::ShuttingDown | FleetReply::Error { .. } => None,
@@ -437,6 +494,51 @@ mod tests {
                 assert_eq!(op.name(), "Refit");
             }
             other => panic!("unexpected decode {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn read_subscription_variants_roundtrip_and_never_mutate() {
+        // SubscribeReads is a read: the epoch lineage must not notice a
+        // subscriber arriving.
+        let full = FleetOp::SubscribeReads {
+            kind: ReadKind::Predictions,
+            items: None,
+        };
+        let ranged = FleetOp::SubscribeReads {
+            kind: ReadKind::Estimate,
+            items: Some(vec![4, 1, 4]),
+        };
+        for op in [&full, &ranged] {
+            assert_eq!(op.name(), "SubscribeReads");
+            assert!(!op.is_mutation());
+            let json = serde_json::to_string(op).unwrap();
+            let back: FleetOp = serde_json::from_str(&json).unwrap();
+            assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
+        // `items: None` rides the wire as null and comes back as None.
+        assert!(serde_json::to_string(&full).unwrap().contains("null"));
+
+        let delta = FleetReply::PredictedDelta {
+            items: vec![0, 3],
+            predictions: vec![],
+            dirty_shards: vec![1],
+            epoch: 6,
+        };
+        assert_eq!(delta.name(), "PredictedDelta");
+        assert_eq!(delta.epoch(), Some(6));
+        let est = FleetReply::EstimatedDelta {
+            items: vec![],
+            rows: vec![],
+            dirty_shards: vec![],
+            epoch: 2,
+        };
+        assert_eq!(est.name(), "EstimatedDelta");
+        assert_eq!(est.epoch(), Some(2));
+        for reply in [&delta, &est] {
+            let json = serde_json::to_string(reply).unwrap();
+            let back: FleetReply = serde_json::from_str(&json).unwrap();
+            assert_eq!(serde_json::to_string(&back).unwrap(), json);
         }
     }
 

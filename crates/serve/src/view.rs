@@ -57,7 +57,7 @@ use crate::protocol::FleetOp;
 use crate::router::ShardIndex;
 use cpa_core::truth::TruthEstimate;
 use cpa_data::labels::LabelSet;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Number of wire-encoding slots each read reply is cached under — one per
@@ -67,7 +67,10 @@ use std::sync::{Arc, OnceLock, RwLock};
 pub const WIRE_SLOTS: usize = 2;
 
 /// Which read a [`ReadView`] cell answers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializes as its variant name (`"Predictions"` / `"Estimate"`) so it can
+/// ride inside wire ops like `FleetOp::SubscribeReads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReadKind {
     /// `FleetOp::Predict` / `PredictItems` — consensus label sets.
     Predictions,
@@ -196,6 +199,10 @@ pub struct ReadView {
     epoch: u64,
     index: Arc<ShardIndex>,
     shards: Vec<ShardCells>,
+    /// The shards the mutation that published this view dirtied, ascending —
+    /// exactly the slabs a reader of the previous epoch must refresh. A
+    /// fresh or restored view dirties every shard.
+    dirty: Vec<usize>,
     predictions: OnceLock<Arc<Vec<LabelSet>>>,
     estimate: OnceLock<Arc<TruthEstimate>>,
     encoded: [OnceLock<Arc<Vec<u8>>>; 2 * WIRE_SLOTS],
@@ -208,6 +215,7 @@ impl ReadView {
             .collect();
         Self {
             epoch,
+            dirty: (0..index.num_shards()).collect(),
             index,
             shards,
             predictions: OnceLock::new(),
@@ -238,6 +246,11 @@ impl ReadView {
             epoch,
             index: prev.index.clone(),
             shards,
+            dirty: dirty
+                .iter()
+                .enumerate()
+                .filter_map(|(s, &is_dirty)| is_dirty.then_some(s))
+                .collect(),
             predictions: OnceLock::new(),
             estimate: OnceLock::new(),
             encoded: Default::default(),
@@ -253,6 +266,13 @@ impl ReadView {
     /// The item → shard index this view's fleet routes by.
     pub fn index(&self) -> &Arc<ShardIndex> {
         &self.index
+    }
+
+    /// The shards the mutation that published this view dirtied, ascending
+    /// — the delta set relative to the previous epoch. A fresh or restored
+    /// view reports every shard dirty (nothing carried).
+    pub fn dirty_shards(&self) -> &[usize] {
+        &self.dirty
     }
 
     /// The merged predictions, if this epoch's merge has run.
@@ -595,6 +615,9 @@ mod tests {
         handle.publish(1, &[false, true]);
         let after = handle.current();
         assert_eq!(after.epoch(), 1);
+        // The view remembers its own delta set; a fresh view dirties all.
+        assert_eq!(after.dirty_shards(), &[1]);
+        assert_eq!(before.dirty_shards(), &[0, 1]);
         // Clean shard 0: slab and rows carried, pointer-identical.
         let carried = after.shard_predictions(0).expect("carried forward");
         assert!(Arc::ptr_eq(&clean, &carried));
@@ -615,6 +638,7 @@ mod tests {
         let fresh = handle.current();
         assert_eq!(fresh.epoch(), 9);
         assert!(fresh.shard_predictions(0).is_none());
+        assert_eq!(fresh.dirty_shards(), &[0, 1]);
     }
 
     #[test]

@@ -46,7 +46,8 @@ use cpa_core::truth::TruthEstimate;
 use cpa_data::answers::AnswerMatrix;
 use cpa_data::labels::LabelSet;
 use cpa_serve::{
-    FleetManifest, FleetOp, FleetReply, ItemEstimate, OpFeed, ReplicaError, ShippedOp,
+    AppliedDelta, FleetManifest, FleetOp, FleetReply, ItemEstimate, OpFeed, ReadCache, ReadKind,
+    ReplicaError, ShippedOp,
 };
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -471,6 +472,39 @@ impl FleetClient {
             other => Err(Self::unexpected("Subscribed", other)),
         }
     }
+
+    /// Turns this connection into a **read-delta subscription**
+    /// (`FleetOp::SubscribeReads`): the server acks with a bootstrap
+    /// snapshot of the subscribed rows at its current epoch — materialized
+    /// here into a `cpa_serve::ReadCache` — then pushes one delta frame per
+    /// accepted mutation carrying only the dirty shards' rows. Pass
+    /// `items: None` to watch the whole universe (as of subscription
+    /// time), or a list of items for a ranged subscription. The connection
+    /// is push-only from here on — hence `self` by value.
+    ///
+    /// After each [`ReadSubscription::next_delta`], the cache answers
+    /// `predict`/`estimate` for every subscribed item with zero round
+    /// trips, bit-identical to refetching over this connection's codec at
+    /// the same epoch.
+    ///
+    /// # Errors
+    /// [`TransportError::Rejected`] when the server refuses the
+    /// subscription (an item outside the served universe, or the server's
+    /// subscription slots are exhausted), or any transport failure.
+    pub fn subscribe_reads(
+        mut self,
+        kind: ReadKind,
+        items: Option<Vec<usize>>,
+    ) -> Result<ReadSubscription, TransportError> {
+        let bootstrap = self.call(&FleetOp::SubscribeReads { kind, items })?;
+        let cache = ReadCache::from_bootstrap(kind, &bootstrap)
+            .map_err(|e| TransportError::Malformed(format!("bootstrap frame: {e}")))?;
+        Ok(ReadSubscription {
+            stream: self.stream,
+            format: self.format,
+            cache,
+        })
+    }
 }
 
 /// The receiving end of a [`FleetClient::subscribe`] mutation stream: the
@@ -535,5 +569,91 @@ impl OpFeed for OpSubscription {
             Ok(None) => Ok(None),
             Err(e) => Err(ReplicaError::Feed(e.to_string())),
         }
+    }
+}
+
+/// What one applied delta frame changed, plus what it cost on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadDelta {
+    /// The cache mutation the frame performed (new epoch, rows replaced,
+    /// dirty shards covered).
+    pub applied: AppliedDelta,
+    /// The frame's encoded payload size in bytes (excluding the 4-byte
+    /// length prefix) — what a push costs per epoch, the number the
+    /// transport bench reports as `bytes_per_epoch`.
+    pub frame_bytes: usize,
+}
+
+/// The receiving end of a [`FleetClient::subscribe_reads`] delta stream: a
+/// locally materialized, epoch-tagged row set kept current by applying
+/// each pushed delta frame.
+///
+/// Clean EOF (the server wound down and closed the stream) is the end of
+/// the subscription — the cache stays readable at its last epoch. An
+/// expired read deadline ([`ClientConfig::read_timeout`]) is
+/// [`TransportError::TimedOut`] — the server went silent without closing.
+#[derive(Debug)]
+pub struct ReadSubscription {
+    stream: TcpStream,
+    format: WireFormat,
+    cache: ReadCache,
+}
+
+impl ReadSubscription {
+    /// The locally materialized rows, current as of the last applied
+    /// frame. `cache().epoch()` tags the epoch every row reflects;
+    /// `cache().predict(item)` / `cache().estimate(item)` answer with no
+    /// round trip, bit-identical to refetching at that epoch.
+    pub fn cache(&self) -> &ReadCache {
+        &self.cache
+    }
+
+    /// The epoch of the last applied frame (bootstrap included).
+    pub fn epoch(&self) -> u64 {
+        self.cache.epoch()
+    }
+
+    /// The codec this subscription's frames arrive under.
+    pub fn wire_format(&self) -> WireFormat {
+        self.format
+    }
+
+    /// Replaces the read deadline negotiated at connect time — tune this
+    /// to the longest server silence to tolerate before declaring the
+    /// push stream dead.
+    ///
+    /// # Errors
+    /// Any socket error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Blocks for the next delta frame and applies it to the cache.
+    /// `Ok(None)` at clean end of stream (server wind-down).
+    ///
+    /// # Errors
+    /// [`TransportError::TimedOut`] when the server goes silent past the
+    /// read deadline, [`TransportError::Rejected`] when the server ends
+    /// the subscription with a framed error (e.g. a restore shrank the
+    /// universe under the watched items), or any transport failure. The
+    /// cache is untouched by a failed frame.
+    pub fn next_delta(&mut self) -> Result<Option<ReadDelta>, TransportError> {
+        let Some(payload) = read_frame_bytes(&mut self.stream).map_err(map_timeout)? else {
+            return Ok(None);
+        };
+        let frame_bytes = payload.len();
+        let reply = codec::decode::<FleetReply>(self.format, &payload)?;
+        if let FleetReply::Error { message } = reply {
+            return Err(TransportError::Rejected(message));
+        }
+        let applied = self
+            .cache
+            .apply(&reply)
+            .map_err(|e| TransportError::Malformed(format!("delta frame: {e}")))?;
+        Ok(Some(ReadDelta {
+            applied,
+            frame_bytes,
+        }))
     }
 }

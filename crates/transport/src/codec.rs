@@ -208,6 +208,87 @@ pub fn assemble_ranged_reply(
     }
 }
 
+/// Assembles the encoded body of a push-subscription delta reply
+/// (`PredictedDelta` / `EstimatedDelta`) by splicing pre-encoded per-item
+/// rows, exactly like [`assemble_ranged_reply`] but with the delta frame's
+/// two extra fields: `dirty_shards` (the shards the publishing mutation
+/// dirtied, intersected with the subscription) before `epoch`. `items` and
+/// `rows` cover only the subscription's items that live on those shards, in
+/// ascending item order; an empty delta (`items == []`) is legal and tells
+/// the subscriber "epoch advanced, nothing you watch changed".
+///
+/// The assembled body decodes to exactly the owned
+/// `FleetReply::{PredictedDelta, EstimatedDelta}` value, and under JSON is
+/// byte-identical to [`encode`]-ing it.
+pub fn assemble_delta_reply(
+    format: WireFormat,
+    variant: &str,
+    rows_field: &str,
+    items: &[usize],
+    rows: &[&[u8]],
+    dirty_shards: &[usize],
+    epoch: u64,
+) -> Vec<u8> {
+    debug_assert_eq!(items.len(), rows.len(), "one row per delta item");
+    match format {
+        WireFormat::Json => {
+            let body: usize = rows.iter().map(|r| r.len() + 1).sum();
+            let mut out = String::with_capacity(body + 16 * items.len() + 96);
+            out.push_str("{\"");
+            out.push_str(variant);
+            out.push_str("\":{\"items\":[");
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&item.to_string());
+            }
+            out.push_str("],\"");
+            out.push_str(rows_field);
+            out.push_str("\":[");
+            for (k, row) in rows.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(std::str::from_utf8(row).expect("JSON rows are UTF-8"));
+            }
+            out.push_str("],\"dirty_shards\":[");
+            for (k, shard) in dirty_shards.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&shard.to_string());
+            }
+            out.push_str("],\"epoch\":");
+            out.push_str(&epoch.to_string());
+            out.push_str("}}");
+            out.into_bytes()
+        }
+        WireFormat::Binary => {
+            use cpa_data::codec::raw;
+            let mut out = Vec::with_capacity(rows.iter().map(|r| r.len()).sum::<usize>() + 96);
+            raw::push_object(&mut out, 1);
+            raw::push_key(&mut out, variant);
+            raw::push_object(&mut out, 4);
+            raw::push_key(&mut out, "items");
+            raw::push_value(&mut out, &serde::Serialize::serialize(&items.to_vec()));
+            raw::push_key(&mut out, rows_field);
+            raw::push_array(&mut out, rows.len());
+            for row in rows {
+                out.extend_from_slice(row);
+            }
+            raw::push_key(&mut out, "dirty_shards");
+            raw::push_value(
+                &mut out,
+                &serde::Serialize::serialize(&dirty_shards.to_vec()),
+            );
+            raw::push_key(&mut out, "epoch");
+            raw::push_uint(&mut out, epoch);
+            out
+        }
+    }
+}
+
 /// Client side of the handshake: sends the preamble requesting
 /// [`WIRE_VERSION`], reads the ack, and reports the codec the server
 /// granted — [`WireFormat::Binary`] on acceptance, [`WireFormat::Json`]
@@ -465,6 +546,83 @@ mod tests {
             0,
         );
         assert!(decode::<FleetReply>(WireFormat::Binary, &body).is_ok());
+    }
+
+    #[test]
+    fn assembled_delta_replies_decode_to_the_owned_reply() {
+        use cpa_data::labels::LabelSet;
+        use cpa_serve::{FleetReply, ItemEstimate};
+
+        let predictions = vec![
+            LabelSet::from_labels(4, vec![0, 3]),
+            LabelSet::from_labels(4, vec![2]),
+        ];
+        let items = vec![1usize, 5];
+        let dirty = vec![0usize, 2];
+        let owned = FleetReply::PredictedDelta {
+            items: items.clone(),
+            predictions: predictions.clone(),
+            dirty_shards: dirty.clone(),
+            epoch: 7,
+        };
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            let rows: Vec<Vec<u8>> = predictions
+                .iter()
+                .map(|p| encode(format, p).unwrap())
+                .collect();
+            let refs: Vec<&[u8]> = rows.iter().map(Vec::as_slice).collect();
+            let body = assemble_delta_reply(
+                format,
+                "PredictedDelta",
+                "predictions",
+                &items,
+                &refs,
+                &dirty,
+                7,
+            );
+            let back: FleetReply = decode(format, &body).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&owned).unwrap(),
+                "{format:?}"
+            );
+            if format == WireFormat::Json {
+                assert_eq!(body, encode(format, &owned).unwrap());
+            }
+        }
+
+        let est_rows = vec![ItemEstimate {
+            soft: vec![(1, 0.5), (3, 0.5)],
+            expected_size: 1.5,
+        }];
+        let owned = FleetReply::EstimatedDelta {
+            items: vec![2],
+            rows: est_rows.clone(),
+            dirty_shards: vec![1],
+            epoch: 9,
+        };
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            let rows: Vec<Vec<u8>> = est_rows
+                .iter()
+                .map(|r| encode(format, r).unwrap())
+                .collect();
+            let refs: Vec<&[u8]> = rows.iter().map(Vec::as_slice).collect();
+            let body = assemble_delta_reply(format, "EstimatedDelta", "rows", &[2], &refs, &[1], 9);
+            let back: FleetReply = decode(format, &body).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&owned).unwrap(),
+                "{format:?}"
+            );
+        }
+
+        // The empty delta — pure epoch bump — assembles and decodes too.
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            let body =
+                assemble_delta_reply(format, "PredictedDelta", "predictions", &[], &[], &[], 4);
+            let back: FleetReply = decode(format, &body).unwrap();
+            assert_eq!(back.epoch(), Some(4), "{format:?}");
+        }
     }
 
     #[test]

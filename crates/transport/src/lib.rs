@@ -70,7 +70,7 @@ pub mod error;
 pub mod frame;
 pub mod server;
 
-pub use client::{ClientConfig, FleetClient, OpSubscription};
+pub use client::{ClientConfig, FleetClient, OpSubscription, ReadDelta, ReadSubscription};
 pub use codec::{WireFormat, WirePolicy, WIRE_FORMAT_ENV, WIRE_MAGIC, WIRE_VERSION};
 pub use error::TransportError;
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};

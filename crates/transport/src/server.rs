@@ -35,7 +35,7 @@
 //! only after the new view is published, a client that observed its own
 //! ack never reads an older epoch afterwards.
 //!
-//! # Replication
+//! # Replication and push subscriptions
 //!
 //! A `FleetOp::SubscribeOps { from_epoch }` turns its connection into a
 //! **mutation-stream subscription**: the driver acks `Subscribed` with its
@@ -45,12 +45,31 @@
 //! subsequently accepted mutation as an epoch-tagged `OpApplied` frame —
 //! enqueued the moment `apply` publishes the mutation's view, and *before*
 //! the mutator's own ack, so an acked epoch is always already on the wire
-//! to every subscriber. The handler serving the connection flips to
-//! push-only and occupies its handler slot for the subscription's lifetime
-//! (size `max_clients` to followers + clients). On server wind-down the
-//! driver drops every subscription channel, so followers see a clean EOF —
-//! the replay-to-head-complete signal that starts failover (see
+//! to every subscriber. On server wind-down the driver drops every
+//! subscription channel, so followers see a clean EOF — the
+//! replay-to-head-complete signal that starts failover (see
 //! `cpa_serve::replica`).
+//!
+//! A `FleetOp::SubscribeReads { kind, items }` turns its connection into a
+//! **read-delta subscription**: the driver acks with a bootstrap snapshot
+//! (a `PredictedDelta`/`EstimatedDelta` frame carrying every subscribed
+//! row at the current epoch), then after every accepted mutation pushes
+//! one delta frame carrying **only the dirty shards'** rows — spliced from
+//! the view's per-(epoch, shard, codec) row caches without re-encoding
+//! ([`codec::assemble_delta_reply`]), under the same enqueue-before-ack
+//! ordering as `OpApplied` (both are shipped from one place, the
+//! server-internal `Broadcast::mutation_applied`). A mutation that dirties none of the
+//! subscribed items' shards still pushes an (empty) delta, so the
+//! subscriber's epoch always tracks the head. Server wind-down is the same
+//! clean EOF as for op subscriptions.
+//!
+//! Both subscription kinds flip their handler to push-only and occupy its
+//! handler slot for the subscription's lifetime. To keep a pathological
+//! client from wedging the server, at most `max_clients - 1` handler slots
+//! may hold subscriptions at once — at least one slot always remains for
+//! request/reply traffic. A subscription past the cap is refused with a
+//! framed error and the connection stays usable (under `max_clients == 1`
+//! every subscription is refused).
 //!
 //! # Shutdown and hardening
 //!
@@ -81,7 +100,7 @@ use crate::frame::{read_frame_bytes_polling, write_frame_bytes};
 use cpa_serve::{Fleet, FleetOp, FleetReply, ItemEstimate, ReadKind, ReadView, ViewHandle};
 use rayon::prelude::*;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -136,11 +155,60 @@ pub struct FleetServer {
     config: ServerConfig,
 }
 
+/// One op handed from a handler to the driver. `view_tx` rides along only
+/// for `SubscribeReads`: on a successful bootstrap the driver retains it
+/// and pushes the `Arc<ReadView>` published by every subsequently accepted
+/// mutation through it (the handler encodes the delta frame under its own
+/// connection's codec).
+struct Submitted {
+    op: FleetOp,
+    reply_tx: Sender<FleetReply>,
+    view_tx: Option<Sender<Arc<ReadView>>>,
+}
+
+/// Caps how many handler slots may be held by live subscriptions (op or
+/// read) at once: `max_clients - 1`, so at least one handler always stays
+/// free for request/reply traffic. Shared by every handler; acquisition is
+/// a lock-free compare-and-swap, release is the guard's drop.
+struct SubscriptionSlots {
+    active: AtomicUsize,
+    cap: usize,
+}
+
+impl SubscriptionSlots {
+    fn new(max_clients: usize) -> Self {
+        Self {
+            active: AtomicUsize::new(0),
+            cap: max_clients.saturating_sub(1),
+        }
+    }
+
+    /// Takes a subscription slot, or `None` when the cap is reached.
+    fn try_acquire(&self) -> Option<SlotGuard<'_>> {
+        self.active
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.cap).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| SlotGuard(self))
+    }
+}
+
+/// Releases its subscription slot when the subscription ends, however it
+/// ends (clean wind-down, subscriber disconnect, socket error).
+struct SlotGuard<'a>(&'a SubscriptionSlots);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// One long-lived task of the serve fan-out.
 enum Role {
     Driver {
         fleet: Fleet,
-        op_rx: Receiver<(FleetOp, Sender<FleetReply>)>,
+        op_rx: Receiver<Submitted>,
         record: bool,
     },
     Acceptor {
@@ -148,12 +216,190 @@ enum Role {
         conn_tx: Sender<TcpStream>,
     },
     Handler {
-        op_tx: Sender<(FleetOp, Sender<FleetReply>)>,
+        op_tx: Sender<Submitted>,
         policy: WirePolicy,
         /// The served fleet's read-view handle; `None` when
         /// [`ServerConfig::serve_reads_from_views`] is off.
         views: Option<ViewHandle>,
     },
+}
+
+/// One live read-delta subscription, as the driver tracks it: the items it
+/// watches (materialized and normalized at bootstrap time — a full
+/// subscription pinned the universe it saw), so the driver can warm
+/// exactly the dirty shards subscribers need before pushing the view.
+struct ReadSub {
+    kind: ReadKind,
+    items: Vec<usize>,
+    view_tx: Sender<Arc<ReadView>>,
+}
+
+/// Everything the driver pushes to subscribers, in one place — the single
+/// enqueue-before-ack point for both `OpApplied` frames (op subscriptions)
+/// and read-delta view pushes (read subscriptions). The driver calls
+/// [`Broadcast::mutation_applied`] right after `Fleet::apply` accepts a
+/// mutation and *before* sending the mutator's ack, so an acked epoch is
+/// always already enqueued to every subscriber of either kind.
+struct Broadcast {
+    record: bool,
+    /// Live op subscriptions: each the retained reply channel of a
+    /// `SubscribeOps` connection. A dead subscriber is dropped on its
+    /// first failed send.
+    op_subs: Vec<Sender<FleetReply>>,
+    /// Live read subscriptions (see [`ReadSub`]).
+    read_subs: Vec<ReadSub>,
+    /// `(epoch, op)` for every accepted mutation, kept (only while
+    /// recording) so a late op subscriber can resume from an earlier epoch
+    /// by backlog replay.
+    mutation_log: Vec<(u64, FleetOp)>,
+}
+
+impl Broadcast {
+    fn new(record: bool) -> Self {
+        Self {
+            record,
+            op_subs: Vec::new(),
+            read_subs: Vec::new(),
+            mutation_log: Vec::new(),
+        }
+    }
+
+    /// Registers a `SubscribeOps` connection: ack with the head epoch,
+    /// replay the recorded backlog past `from_epoch`, then go live.
+    fn subscribe_ops(&mut self, fleet: &mut Fleet, from_epoch: u64, reply_tx: Sender<FleetReply>) {
+        let head = fleet.epoch();
+        if from_epoch < head && !self.record {
+            let _ = reply_tx.send(FleetReply::err(format!(
+                "cannot resume subscription from epoch {from_epoch}: server \
+                 is not recording ops (head is epoch {head})"
+            )));
+            return;
+        }
+        if reply_tx
+            .send(fleet.apply(FleetOp::SubscribeOps { from_epoch }))
+            .is_err()
+        {
+            return;
+        }
+        let backlog_delivered = self
+            .mutation_log
+            .iter()
+            .filter(|(epoch, _)| *epoch > from_epoch)
+            .all(|(epoch, past)| {
+                reply_tx
+                    .send(FleetReply::OpApplied {
+                        epoch: *epoch,
+                        op: past.clone(),
+                    })
+                    .is_ok()
+            });
+        if backlog_delivered {
+            self.op_subs.push(reply_tx);
+        }
+    }
+
+    /// Registers a `SubscribeReads` connection: bootstrap through the
+    /// normal reply channel (a full snapshot of the subscribed rows at the
+    /// current epoch), then retain `view_tx` so every subsequently
+    /// accepted mutation pushes its published view. A refused bootstrap
+    /// (bad items) sends the framed error and registers nothing.
+    fn subscribe_reads(
+        &mut self,
+        fleet: &mut Fleet,
+        op: FleetOp,
+        reply_tx: Sender<FleetReply>,
+        view_tx: Option<Sender<Arc<ReadView>>>,
+    ) {
+        let Some(view_tx) = view_tx else {
+            let _ = reply_tx.send(FleetReply::err(
+                "SubscribeReads submitted without a delta channel (server bug)",
+            ));
+            return;
+        };
+        let kind = match op {
+            FleetOp::SubscribeReads { kind, .. } => kind,
+            _ => unreachable!("subscribe_reads is only called with SubscribeReads"),
+        };
+        let bootstrap = fleet.apply(op);
+        // The bootstrap echoes the normalized item list; that list is what
+        // the subscription watches from here on, even across restores.
+        let items = match &bootstrap {
+            FleetReply::PredictedDelta { items, .. } | FleetReply::EstimatedDelta { items, .. } => {
+                Some(items.clone())
+            }
+            _ => None,
+        };
+        if reply_tx.send(bootstrap).is_err() {
+            return;
+        }
+        if let Some(items) = items {
+            self.read_subs.push(ReadSub {
+                kind,
+                items,
+                view_tx,
+            });
+        }
+    }
+
+    /// THE enqueue-before-ack point: called with every accepted mutation
+    /// after `Fleet::apply` published its view and before the mutator's
+    /// ack is sent. Records the mutation (when recording), ships one
+    /// `OpApplied` to every op subscriber, warms the dirty shards read
+    /// subscribers need, and pushes the published view to every read
+    /// subscriber — whose handler encodes the delta under its own codec.
+    fn mutation_applied(&mut self, fleet: &Fleet, op: &FleetOp) {
+        let epoch = fleet.epoch();
+        if self.record {
+            self.mutation_log.push((epoch, op.clone()));
+        }
+        self.op_subs.retain(|sub| {
+            sub.send(FleetReply::OpApplied {
+                epoch,
+                op: op.clone(),
+            })
+            .is_ok()
+        });
+        self.push_read_deltas(fleet);
+    }
+
+    /// Ships the freshly published view to every read subscriber, warming
+    /// first: the driver (the only thread with engine access) fills the
+    /// value slabs of exactly the dirty shards some subscriber watches, so
+    /// handlers can encode delta rows without ever falling back to the
+    /// driver. Subscribers whose items fell out of range (a restore shrank
+    /// the universe) still get the view — their handler owns the framed
+    /// error and winds the subscription down.
+    fn push_read_deltas(&mut self, fleet: &Fleet) {
+        if self.read_subs.is_empty() {
+            return;
+        }
+        let view = fleet.view_handle().current();
+        let index = view.index().clone();
+        let mut dirty = vec![false; index.num_shards()];
+        for &s in view.dirty_shards() {
+            if s < dirty.len() {
+                dirty[s] = true;
+            }
+        }
+        for kind in [ReadKind::Predictions, ReadKind::Estimate] {
+            let mut needed = vec![false; index.num_shards()];
+            for sub in self.read_subs.iter().filter(|sub| sub.kind == kind) {
+                if sub.items.iter().any(|&i| i >= index.num_items()) {
+                    continue;
+                }
+                for &i in &sub.items {
+                    let s = index.shard_of(i);
+                    needed[s] = needed[s] || dirty[s];
+                }
+            }
+            let warm: Vec<usize> = (0..index.num_shards()).filter(|&s| needed[s]).collect();
+            if !warm.is_empty() {
+                fleet.warm_view(kind, &warm);
+            }
+        }
+        self.read_subs
+            .retain(|sub| sub.view_tx.send(view.clone()).is_ok());
+    }
 }
 
 impl FleetServer {
@@ -218,6 +464,7 @@ impl FleetServer {
         // The driver must see the channel close once every handler exits:
         // only the handler clones may keep it open.
         drop(op_tx);
+        let slots = SubscriptionSlots::new(handlers);
 
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(roles.len())
@@ -226,7 +473,7 @@ impl FleetServer {
         let outcomes: Vec<Option<ServeOutcome>> = pool.install(|| {
             roles
                 .into_par_iter()
-                .map(|role| run_role(role, &shutdown, &conn_rx))
+                .map(|role| run_role(role, &shutdown, &conn_rx, &slots))
                 .collect()
         });
         outcomes
@@ -242,6 +489,7 @@ fn run_role(
     role: Role,
     shutdown: &AtomicBool,
     conn_rx: &Mutex<Receiver<TcpStream>>,
+    slots: &SubscriptionSlots,
 ) -> Option<ServeOutcome> {
     match role {
         Role::Driver {
@@ -250,47 +498,25 @@ fn run_role(
             record,
         } => {
             let mut op_log = Vec::new();
-            // Live subscriptions: each is the retained reply channel of a
-            // `SubscribeOps` connection, pushed one `OpApplied` frame per
-            // accepted mutation. A dead subscriber (handler or socket gone)
-            // is dropped on its first failed send.
-            let mut subscribers: Vec<Sender<FleetReply>> = Vec::new();
-            // `(epoch, op)` for every accepted mutation, kept (only while
-            // recording) so a late subscriber can resume from an earlier
-            // epoch by backlog replay.
-            let mut mutation_log: Vec<(u64, FleetOp)> = Vec::new();
-            while let Ok((op, reply_tx)) = op_rx.recv() {
+            let mut broadcast = Broadcast::new(record);
+            while let Ok(Submitted {
+                op,
+                reply_tx,
+                view_tx,
+            }) = op_rx.recv()
+            {
                 if let FleetOp::SubscribeOps { from_epoch } = op {
                     if record {
                         op_log.push(op.clone());
                     }
-                    let head = fleet.epoch();
-                    if from_epoch < head && !record {
-                        let _ = reply_tx.send(FleetReply::err(format!(
-                            "cannot resume subscription from epoch {from_epoch}: server \
-                             is not recording ops (head is epoch {head})"
-                        )));
-                        continue;
+                    broadcast.subscribe_ops(&mut fleet, from_epoch, reply_tx);
+                    continue;
+                }
+                if matches!(op, FleetOp::SubscribeReads { .. }) {
+                    if record {
+                        op_log.push(op.clone());
                     }
-                    // Ack with the head epoch, replay the recorded backlog
-                    // past `from_epoch`, then go live.
-                    if reply_tx.send(fleet.apply(op)).is_err() {
-                        continue;
-                    }
-                    let backlog_delivered = mutation_log
-                        .iter()
-                        .filter(|(epoch, _)| *epoch > from_epoch)
-                        .all(|(epoch, past)| {
-                            reply_tx
-                                .send(FleetReply::OpApplied {
-                                    epoch: *epoch,
-                                    op: past.clone(),
-                                })
-                                .is_ok()
-                        });
-                    if backlog_delivered {
-                        subscribers.push(reply_tx);
-                    }
+                    broadcast.subscribe_reads(&mut fleet, op, reply_tx, view_tx);
                     continue;
                 }
                 let stop = matches!(op, FleetOp::Shutdown);
@@ -304,18 +530,9 @@ fn run_role(
                         // Ship the accepted mutation the moment its view is
                         // published (`apply` published it), and *before* the
                         // mutator's ack: a client that has seen its ack knows
-                        // every subscription already has the frame enqueued.
-                        let epoch = fleet.epoch();
-                        if record {
-                            mutation_log.push((epoch, op.clone()));
-                        }
-                        subscribers.retain(|sub| {
-                            sub.send(FleetReply::OpApplied {
-                                epoch,
-                                op: op.clone(),
-                            })
-                            .is_ok()
-                        });
+                        // every subscription — op stream or read delta —
+                        // already has the frame enqueued.
+                        broadcast.mutation_applied(&fleet, &op);
                     }
                 }
                 let _ = reply_tx.send(reply);
@@ -325,9 +542,10 @@ fn run_role(
                 }
             }
             // Also covers the channel-closed path (all handlers gone).
-            // Dropping `subscribers` here closes every subscription's reply
-            // channel; its handler unblocks, returns, and the follower sees
-            // a clean EOF — the end-of-stream signal that starts failover.
+            // Dropping `broadcast` here closes every subscription's push
+            // channel; its handler unblocks, returns, and the subscriber
+            // sees a clean EOF — the end-of-stream signal that starts
+            // failover (followers) or wind-down (read caches).
             shutdown.store(true, Ordering::Relaxed);
             Some(ServeOutcome { fleet, op_log })
         }
@@ -404,7 +622,14 @@ fn run_role(
                     Ok(stream) => {
                         // Connection-level failures are that connection's
                         // problem, never the server's.
-                        let _ = handle_connection(stream, &op_tx, shutdown, policy, views.as_ref());
+                        let _ = handle_connection(
+                            stream,
+                            &op_tx,
+                            shutdown,
+                            policy,
+                            views.as_ref(),
+                            slots,
+                        );
                     }
                     Err(_) => break,
                 }
@@ -420,10 +645,11 @@ fn run_role(
 /// (per-connection FIFO replies).
 fn handle_connection(
     mut stream: TcpStream,
-    op_tx: &Sender<(FleetOp, Sender<FleetReply>)>,
+    op_tx: &Sender<Submitted>,
     shutdown: &AtomicBool,
     policy: WirePolicy,
     views: Option<&ViewHandle>,
+    slots: &SubscriptionSlots,
 ) -> Result<(), TransportError> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     let (format, mut pending) = match codec::server_handshake(&mut stream, policy, shutdown) {
@@ -513,9 +739,96 @@ fn handle_connection(
                 }
             }
         }
-        let subscribing = matches!(op, FleetOp::SubscribeOps { .. });
+        let subscribing_ops = matches!(op, FleetOp::SubscribeOps { .. });
+        let subscribing_reads = matches!(op, FleetOp::SubscribeReads { .. });
+        // Subscriptions hold this handler slot for their whole lifetime;
+        // cap them at `max_clients - 1` so at least one handler always
+        // remains for request/reply traffic. A refused subscription is a
+        // framed error and the connection stays usable.
+        let slot = if subscribing_ops || subscribing_reads {
+            match slots.try_acquire() {
+                Some(guard) => Some(guard),
+                None => {
+                    send_reply(
+                        &mut stream,
+                        format,
+                        &FleetReply::err(format!(
+                            "subscription slots exhausted ({} of {} handler slots may hold \
+                             subscriptions); poll instead, or raise max_clients",
+                            slots.cap,
+                            slots.cap + 1
+                        )),
+                    )?;
+                    continue;
+                }
+            }
+        } else {
+            None
+        };
+        if subscribing_reads {
+            // The connection flips to push-only: the driver answers with a
+            // bootstrap snapshot through the reply channel, then pushes
+            // every accepted mutation's published view through `view_tx`;
+            // this handler encodes each into a delta frame under the
+            // connection's codec until the driver drops the channel
+            // (server wind-down → clean EOF) or the subscriber hangs up.
+            let (view_tx, view_rx) = channel();
+            let (reply_tx, reply_rx) = channel();
+            if op_tx
+                .send(Submitted {
+                    op,
+                    reply_tx,
+                    view_tx: Some(view_tx),
+                })
+                .is_err()
+            {
+                let _ = send_reply(
+                    &mut stream,
+                    format,
+                    &FleetReply::err("server is shutting down"),
+                );
+                return Ok(());
+            }
+            let bootstrap = match reply_rx.recv() {
+                Ok(reply) => reply,
+                Err(_) => {
+                    let _ = send_reply(
+                        &mut stream,
+                        format,
+                        &FleetReply::err("server is shutting down"),
+                    );
+                    return Ok(());
+                }
+            };
+            let sub = match &bootstrap {
+                FleetReply::PredictedDelta { items, .. } => {
+                    Some((ReadKind::Predictions, items.clone()))
+                }
+                FleetReply::EstimatedDelta { items, .. } => {
+                    Some((ReadKind::Estimate, items.clone()))
+                }
+                _ => None,
+            };
+            send_reply(&mut stream, format, &bootstrap)?;
+            drop(bootstrap);
+            let Some((kind, items)) = sub else {
+                // Refused bootstrap (bad items): the framed error was the
+                // reply; the subscription never started.
+                return Ok(());
+            };
+            let result = pump_read_deltas(&mut stream, format, kind, &items, &view_rx);
+            drop(slot);
+            return result;
+        }
         let (reply_tx, reply_rx) = channel();
-        if op_tx.send((op, reply_tx)).is_err() {
+        if op_tx
+            .send(Submitted {
+                op,
+                reply_tx,
+                view_tx: None,
+            })
+            .is_err()
+        {
             let _ = send_reply(
                 &mut stream,
                 format,
@@ -523,15 +836,13 @@ fn handle_connection(
             );
             return Ok(());
         }
-        if subscribing {
+        if subscribing_ops {
             // The connection flips to push-only: the driver retained our
             // reply channel and streams the `Subscribed` ack, any recorded
             // backlog, then one `OpApplied` per accepted mutation. This
             // handler stops reading the socket and pumps frames until the
             // driver drops the channel (server wind-down → the subscriber
-            // sees clean EOF) or the subscriber disconnects. Note a live
-            // subscription occupies this handler slot for its whole
-            // lifetime — size `max_clients` to followers + clients.
+            // sees clean EOF) or the subscriber disconnects.
             while let Ok(reply) = reply_rx.recv() {
                 let refused = matches!(reply, FleetReply::Error { .. });
                 send_reply(&mut stream, format, &reply)?;
@@ -539,6 +850,7 @@ fn handle_connection(
                     return Ok(());
                 }
             }
+            drop(slot);
             return Ok(());
         }
         let reply = match reply_rx.recv() {
@@ -610,6 +922,109 @@ fn ranged_from_view(
         &rows,
         view.epoch(),
     ))
+}
+
+/// Pumps one read subscription: for every view the driver pushes, encode
+/// and send one delta frame carrying rows for exactly the subscribed items
+/// whose shards the publishing mutation dirtied — spliced from the view's
+/// per-(epoch, shard, codec) row caches, zero re-encode after the first
+/// subscriber of an epoch under a codec ([`codec::assemble_delta_reply`]).
+/// A mutation that dirtied none of the subscribed shards still sends an
+/// empty delta so the subscriber's epoch tracks the head. Returns cleanly
+/// when the driver drops the channel (server wind-down → the subscriber
+/// sees EOF) and with the write error when the subscriber hangs up.
+fn pump_read_deltas(
+    stream: &mut TcpStream,
+    format: WireFormat,
+    kind: ReadKind,
+    items: &[usize],
+    view_rx: &Receiver<Arc<ReadView>>,
+) -> Result<(), TransportError> {
+    let slot = codec::wire_slot(format);
+    let (variant, rows_field) = match kind {
+        ReadKind::Predictions => ("PredictedDelta", "predictions"),
+        ReadKind::Estimate => ("EstimatedDelta", "rows"),
+    };
+    while let Ok(view) = view_rx.recv() {
+        let index = view.index().clone();
+        if items.iter().any(|&i| i >= index.num_items()) {
+            // A restore shrank the universe under the subscription: the
+            // watched rows no longer exist, so the stream cannot continue
+            // faithfully. End it with a framed error.
+            let _ = send_reply(
+                stream,
+                format,
+                &FleetReply::err(format!(
+                    "subscription watches items beyond the restored universe \
+                     ({} items); resubscribe",
+                    index.num_items()
+                )),
+            );
+            return Ok(());
+        }
+        let mut dirty = vec![false; index.num_shards()];
+        for &s in view.dirty_shards() {
+            if s < dirty.len() {
+                dirty[s] = true;
+            }
+        }
+        let delta_items: Vec<usize> = items
+            .iter()
+            .copied()
+            .filter(|&i| dirty[index.shard_of(i)])
+            .collect();
+        let mut dirty_shards: Vec<usize> = delta_items.iter().map(|&i| index.shard_of(i)).collect();
+        dirty_shards.sort_unstable();
+        dirty_shards.dedup();
+        let mut shard_rows: Vec<Option<Arc<Vec<Vec<u8>>>>> = vec![None; index.num_shards()];
+        let mut filled = true;
+        for &s in &dirty_shards {
+            let rows = match view.rows(kind, slot, s) {
+                Some(rows) => Some(rows),
+                None => encode_shard_rows(&view, kind, format, s)
+                    .map(|rows| view.fill_rows(kind, slot, s, rows)),
+            };
+            match rows {
+                Some(rows) => shard_rows[s] = Some(rows),
+                None => {
+                    filled = false;
+                    break;
+                }
+            }
+        }
+        if !filled {
+            // The driver warms every dirty shard a subscriber watches
+            // before pushing the view, so an unfilled slab here means the
+            // stream cannot be continued faithfully; end it rather than
+            // skip an epoch.
+            let _ = send_reply(
+                stream,
+                format,
+                &FleetReply::err("dirty shard rows unavailable; resubscribe"),
+            );
+            return Ok(());
+        }
+        let rows: Vec<&[u8]> = delta_items
+            .iter()
+            .map(|&i| {
+                shard_rows[index.shard_of(i)]
+                    .as_ref()
+                    .expect("dirty shard cached")[index.pos_in_shard(i)]
+                .as_slice()
+            })
+            .collect();
+        let body = codec::assemble_delta_reply(
+            format,
+            variant,
+            rows_field,
+            &delta_items,
+            &rows,
+            &dirty_shards,
+            view.epoch(),
+        );
+        write_frame_bytes(stream, &body)?;
+    }
+    Ok(())
 }
 
 /// Encodes shard `s`'s per-item reply rows for `kind` under `format` (one
